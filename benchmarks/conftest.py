@@ -1,0 +1,37 @@
+"""Shared machinery for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper: it runs the
+registered experiment under the active profile (``REPRO_PROFILE``,
+default ``quick``), prints the paper-style tables with the paper's own
+numbers alongside, asserts the shape checks (who wins, how gaps scale),
+and reports the harness wall time through pytest-benchmark.
+
+Experiments share simulated runs through the memoized point cache in
+:mod:`repro.experiments.common`, so the whole suite costs far less than
+the sum of its parts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments  # noqa: F401 - populate the registry
+from repro.config import active_profile
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The profile every benchmark in this session runs under."""
+    return active_profile()
+
+
+def regenerate(benchmark, experiment_id: str, profile):
+    """Run one experiment inside the benchmark fixture and validate it."""
+    report = benchmark.pedantic(
+        run_experiment, args=(experiment_id, profile), rounds=1, iterations=1
+    )
+    report.print()
+    failed = [name for name, ok in report.shape_checks.items() if not ok]
+    assert not failed, f"{experiment_id} shape checks failed: {failed}"
+    return report

@@ -1,0 +1,10 @@
+"""Ablations of the design choices DESIGN.md calls out: proactive-sync
+granularity (512-PTE table vs single PTE), sync strategy (parent copies
+vs notify-child-and-wait), and the two-way pointer fast path for
+VMA-wide checkpoints."""
+
+from conftest import regenerate
+
+
+def test_ablation_design_choices(benchmark, profile):
+    regenerate(benchmark, "ablation", profile)

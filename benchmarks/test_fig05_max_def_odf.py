@@ -1,0 +1,10 @@
+"""Regenerates Figure 5: maximum latency of normal vs Snapshot-DEF vs
+Snapshot-ODF queries (paper @64 GiB: DEF 1204.78 ms vs ODF 59.28 ms).
+Shares its runs with the Figure 4 benchmark through the point cache."""
+
+from conftest import regenerate
+
+
+def test_fig05_max_def_odf(benchmark, profile):
+    report = regenerate(benchmark, "fig4-5", profile)
+    assert any("Figure 5" in t.title for t in report.tables)

@@ -1,0 +1,9 @@
+"""Regenerates Figure 9: p99 latency of snapshot queries, ODF vs
+Async-fork, on Redis and KeyDB across 1-64 GiB (paper @64 GiB: Redis
+3.96 -> 1.5 ms, KeyDB 3.24 -> 1.03 ms)."""
+
+from conftest import regenerate
+
+
+def test_fig09_p99_odf_async(benchmark, profile):
+    regenerate(benchmark, "fig9-10", profile)

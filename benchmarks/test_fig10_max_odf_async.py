@@ -1,0 +1,10 @@
+"""Regenerates Figure 10: maximum latency of snapshot queries, ODF vs
+Async-fork (paper @1 GiB: Redis 13.93 -> 5.43 ms, KeyDB 10.24 -> 5.64 ms).
+Shares its runs with the Figure 9 benchmark."""
+
+from conftest import regenerate
+
+
+def test_fig10_max_odf_async(benchmark, profile):
+    report = regenerate(benchmark, "fig9-10", profile)
+    assert any("Figure 10" in t.title for t in report.tables)

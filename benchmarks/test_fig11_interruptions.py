@@ -1,0 +1,9 @@
+"""Regenerates Figure 11: how often the parent is interrupted during the
+snapshot, bucketed like bcc funclatency (paper @16 GiB: ODF 7348
+interruptions vs Async-fork 446, all in the [16,31]/[32,63] us buckets)."""
+
+from conftest import regenerate
+
+
+def test_fig11_interruptions(benchmark, profile):
+    regenerate(benchmark, "fig11", profile)

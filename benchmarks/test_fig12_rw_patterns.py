@@ -1,0 +1,9 @@
+"""Regenerates Figure 12: sensitivity to Set:Get ratio (1:1 vs 1:10) and
+key pattern (uniform vs Gaussian) on an 8 GiB instance: Async-fork keeps
+winning but by less for read-heavy and clustered workloads."""
+
+from conftest import regenerate
+
+
+def test_fig12_rw_patterns(benchmark, profile):
+    regenerate(benchmark, "fig12", profile)

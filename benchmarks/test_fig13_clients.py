@@ -1,0 +1,9 @@
+"""Regenerates Figure 13: latency vs client count (10/50/100/500) at a
+fixed 50k SET/s: more clients -> burstier arrivals -> longer effective
+interruptions and higher tails for both methods."""
+
+from conftest import regenerate
+
+
+def test_fig13_clients(benchmark, profile):
+    regenerate(benchmark, "fig13", profile)

@@ -1,0 +1,9 @@
+"""Regenerates Figure 14: Async-fork#1 vs Async-fork#8 vs ODF across
+sizes — even with a single copy thread Async-fork beats ODF on maximum
+latency (paper: -34.3% on average)."""
+
+from conftest import regenerate
+
+
+def test_fig14_threads(benchmark, profile):
+    regenerate(benchmark, "fig14-15", profile)

@@ -1,0 +1,10 @@
+"""Regenerates Figure 15: (a) the child's PMD/PTE copy time vs kernel
+thread count (near-linear speedup) and (b) the resulting 8 GiB latency.
+Shares runs with the Figure 14 benchmark."""
+
+from conftest import regenerate
+
+
+def test_fig15_copy_time(benchmark, profile):
+    report = regenerate(benchmark, "fig14-15", profile)
+    assert any("Figure 15a" in t.title for t in report.tables)

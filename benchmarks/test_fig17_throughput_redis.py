@@ -1,0 +1,9 @@
+"""Regenerates Figure 17: Redis throughput in 50 ms windows around the
+snapshot on a 16 GiB instance — the dip after the fork and the gradual
+recovery, much faster under Async-fork."""
+
+from conftest import regenerate
+
+
+def test_fig17_throughput_redis(benchmark, profile):
+    regenerate(benchmark, "fig17-19", profile)

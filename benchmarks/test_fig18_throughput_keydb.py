@@ -1,0 +1,9 @@
+"""Regenerates Figure 18: the same throughput timeline for the
+multi-threaded KeyDB engine. Shares runs with the Figure 17 benchmark."""
+
+from conftest import regenerate
+
+
+def test_fig18_throughput_keydb(benchmark, profile):
+    report = regenerate(benchmark, "fig17-19", profile)
+    assert any("Figure 18" in t.title for t in report.tables)

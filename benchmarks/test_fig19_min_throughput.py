@@ -1,0 +1,10 @@
+"""Regenerates Figure 19: minimum windowed throughput during the snapshot
+across sizes and engines (paper @16 GiB Redis: 17,592 QPS with ODF vs
+42,980 with Async-fork)."""
+
+from conftest import regenerate
+
+
+def test_fig19_min_throughput(benchmark, profile):
+    report = regenerate(benchmark, "fig17-19", profile)
+    assert any("Figure 19" in t.title for t in report.tables)

@@ -1,0 +1,8 @@
+"""Regenerates Figure 20: the parent's total out-of-service time (the sum
+of all copy_pmd_range() episode durations) — far longer under ODF."""
+
+from conftest import regenerate
+
+
+def test_fig20_oos_time(benchmark, profile):
+    regenerate(benchmark, "fig20", profile)

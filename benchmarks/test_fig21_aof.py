@@ -1,0 +1,9 @@
+"""Regenerates Figure 21 (Appendix C): latency of log-rewriting
+(BGREWRITEAOF) queries under default fork / ODF / Async-fork (paper p99
+@64 GiB: 1093.35 / 88.51 / 25.59 ms)."""
+
+from conftest import regenerate
+
+
+def test_fig21_aof(benchmark, profile):
+    regenerate(benchmark, "fig21", profile)

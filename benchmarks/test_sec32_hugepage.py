@@ -1,0 +1,10 @@
+"""Regenerates the §3.2 huge-page analysis: THP shrinks the fork cost by
+an order of magnitude but explodes fault cost (paper cites 3.6us ->
+378us), amplifies post-fork CoW to 2 MiB per write, bloats sparse
+workloads, and conflicts with Async-fork's PMD R/W-bit reuse (§4.2)."""
+
+from conftest import regenerate
+
+
+def test_sec32_hugepage(benchmark, profile):
+    regenerate(benchmark, "sec3-thp", profile)

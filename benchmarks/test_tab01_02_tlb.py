@@ -1,0 +1,11 @@
+"""Regenerates Tables 1 & 2: the page-migration data-leakage scenario.
+Under ODF's shared page table the child's stale TLB entry exposes a
+recycled frame (Table 1); under Async-fork's private tables the same
+interleaving is safe in both orders (Table 2). Also demonstrates the
+Appendix A working-set-size distortion."""
+
+from conftest import regenerate
+
+
+def test_tab01_02_tlb(benchmark, profile):
+    regenerate(benchmark, "tab1-2", profile)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""HyPer-style hybrid OLTP/OLAP on fork snapshots (§2.2).
+
+HyPer [Kemper & Neumann, ICDE'11] runs OLTP in the parent process and
+spawns OLAP workers as fork children: each child gets a consistent,
+CoW-isolated snapshot "for free" and can run long analytical scans while
+the parent keeps applying transactions.  The paper notes that Async-fork
+works well here too, because OLTP (the parent) is latency-critical while
+OLAP (the child) tolerates the copy happening on its side.
+
+This example keeps an account table hot with OLTP transfers while three
+OLAP children — forked at different moments via Async-fork — each compute
+the total balance over *their* snapshot.  Conservation of money per
+snapshot proves the isolation.
+
+Run:  python examples/hyper_olap.py
+"""
+
+import random
+
+from repro import AsyncFork
+from repro.kvs.engine import KvEngine
+
+ACCOUNTS = 200
+INITIAL_BALANCE = 1_000
+
+
+def read_balance(mm, table, account: int) -> int:
+    ref = table[f"acct:{account}".encode()]
+    return int(mm.read_memory(ref.vaddr, ref.length))
+
+
+def olap_total_balance(child, table) -> int:
+    """The analytical query: SUM(balance) over the child's snapshot."""
+    return sum(
+        read_balance(child.mm, table, i) for i in range(ACCOUNTS)
+    )
+
+
+def oltp_transfer(engine: KvEngine, rng: random.Random) -> None:
+    """One OLTP transaction: move money between two random accounts."""
+    src, dst = rng.sample(range(ACCOUNTS), 2)
+    amount = rng.randint(1, 50)
+    src_balance = int(engine.get(f"acct:{src}"))
+    dst_balance = int(engine.get(f"acct:{dst}"))
+    engine.set(f"acct:{src}", str(src_balance - amount).encode())
+    engine.set(f"acct:{dst}", str(dst_balance + amount).encode())
+
+
+def main() -> None:
+    rng = random.Random(7)
+    engine = KvEngine(fork_engine=AsyncFork())
+    for i in range(ACCOUNTS):
+        engine.set(f"acct:{i}", str(INITIAL_BALANCE).encode())
+    expected_total = ACCOUNTS * INITIAL_BALANCE
+
+    snapshots = []
+    for round_number in range(3):
+        # OLTP burst.
+        for _ in range(300):
+            oltp_transfer(engine, rng)
+        # Spawn an OLAP worker on the current state.  snapshot_worker()
+        # forks outside the single-BGSAVE slot, so several workers can
+        # hold snapshots at once (the HyPer pattern).
+        job = engine.snapshot_worker()
+        table = {k: r for k, r in job.engine.store.table_snapshot().items()}
+        snapshots.append((round_number, job, table))
+        # OLTP continues while the children hold their snapshots.
+        for _ in range(150):
+            oltp_transfer(engine, rng)
+            job.step_child()
+
+    print(f"{'olap worker':>12s}  {'sum(balance)':>13s}  conserved")
+    for round_number, job, table in snapshots:
+        total = olap_total_balance(job.child, table)
+        print(f"{round_number:>12d}  {total:>13,d}  "
+              f"{total == expected_total}")
+        job.finish()
+
+    live_total = sum(
+        int(engine.get(f"acct:{i}")) for i in range(ACCOUNTS)
+    )
+    print(f"{'live OLTP':>12s}  {live_total:>13,d}  "
+          f"{live_total == expected_total}")
+    print(
+        "\nEvery OLAP worker saw a transaction-consistent total over its\n"
+        "own snapshot while ~450 transfers/round mutated the table around\n"
+        "it — snapshot isolation provided entirely by fork + CoW."
+    )
+
+
+if __name__ == "__main__":
+    main()

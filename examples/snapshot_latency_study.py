@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Latency study: what snapshot queries experience under each fork.
+
+Reproduces the core of the paper's evaluation at example scale: an
+open-loop 50k SET/s stream hits an 8 GiB and a 32 GiB instance, BGSAVE
+fires a quarter of the way in through each fork method, and we report the
+p99 / maximum latency of the queries that arrive during the snapshot,
+plus the interruption counts that explain them.
+
+Run:  python examples/snapshot_latency_study.py
+"""
+
+from repro.metrics.report import Table
+from repro.sim.disk import DiskModel
+from repro.sim.snapshot_sim import SnapshotSimConfig, simulate_snapshot
+from repro.workload.generators import redis_benchmark_workload
+
+QUERIES = 300_000
+DISK = DiskModel(speedup=16.0)  # shorten the persist phase for the demo
+
+
+def study(size_gb: int) -> None:
+    table = Table(
+        f"{size_gb} GiB instance, 50k SET/s, BGSAVE at 25%",
+        ["fork", "fork call ms", "snap p99 ms", "snap max ms",
+         "interruptions", "min QPS"],
+    )
+    for method in ("default", "odf", "async"):
+        workload = redis_benchmark_workload(QUERIES, size_gb, seed=42)
+        result = simulate_snapshot(
+            SnapshotSimConfig(
+                size_gb=size_gb,
+                method=method,
+                workload=workload,
+                disk=DISK,
+                seed=7,
+            )
+        )
+        snap = result.snapshot_queries()
+        interruptions = (
+            result.counts["table_faults"] + result.counts["proactive_syncs"]
+        )
+        table.add_row(
+            method,
+            result.fork_call_ns / 1e6,
+            snap.p99_ms(),
+            snap.max_ms(),
+            interruptions,
+            result.min_snapshot_qps(),
+        )
+    table.print()
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    for size in (8, 32):
+        study(size)
+    print(
+        "Reading the tables: the default fork blocks the engine for the\n"
+        "whole page-table copy (the 'fork call' column) and that block\n"
+        "lands directly on tail latency.  ODF returns instantly but keeps\n"
+        "interrupting the engine for the entire snapshot (the\n"
+        "'interruptions' column).  Async-fork returns instantly AND\n"
+        "confines its few interruptions to the short child-copy window."
+    )

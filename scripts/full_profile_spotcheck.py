@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Paper-scale spot check backing EXPERIMENTS.md's full-profile table.
+
+Runs the full protocol (5M queries at 50k SET/s, real 200 MiB/s persist
+bandwidth) for Redis at 16 and 64 GiB under all three fork methods and
+prints the snapshot-query percentiles. Takes ~2 minutes.
+
+Run:  python scripts/full_profile_spotcheck.py
+"""
+
+import time
+
+from repro.sim.disk import DiskModel
+from repro.sim.snapshot_sim import SnapshotSimConfig, simulate_snapshot
+from repro.workload.generators import redis_benchmark_workload
+
+
+def main() -> None:
+    for size in (16, 64):
+        for method in ("default", "odf", "async"):
+            t0 = time.time()
+            workload = redis_benchmark_workload(5_000_000, size, seed=1000)
+            result = simulate_snapshot(
+                SnapshotSimConfig(
+                    size_gb=size,
+                    method=method,
+                    workload=workload,
+                    disk=DiskModel(speedup=1.0),
+                    seed=7001,
+                )
+            )
+            snap = result.snapshot_queries()
+            print(
+                f"{method:8s} {size:3d}GB "
+                f"p99={snap.p99_ms():9.3f}ms max={snap.max_ms():9.2f}ms "
+                f"snapshot_queries={len(snap):8d} "
+                f"syncs={result.counts['proactive_syncs']:6d} "
+                f"faults={result.counts['table_faults']:6d} "
+                f"min_qps={result.min_snapshot_qps():7.0f} "
+                f"[{time.time() - t0:.0f}s]",
+                flush=True,
+            )
+
+
+if __name__ == "__main__":
+    main()

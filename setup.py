@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml.  This file exists so the package can
+be installed in environments without the ``wheel`` package (offline CI),
+where ``pip install -e .`` cannot build the editable wheel:
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""Reproduction of *Async-fork* (VLDB 2023).
+
+Async-fork mitigates the query latency spikes that the fork-based snapshot
+mechanism causes in in-memory key-value stores, by offloading the dominant
+cost of ``fork()`` — copying the page table — from the parent process to
+the child, with proactive synchronization keeping the snapshot consistent.
+
+The original system is a Linux kernel patch; this library reproduces it on
+top of a simulated kernel:
+
+* :mod:`repro.mem` — the memory-management substrate (page tables, VMAs,
+  TLBs, CoW, frame allocation);
+* :mod:`repro.kernel` — processes, simulated time, the calibrated cost
+  model, and the baseline fork engines (default fork, On-Demand-Fork);
+* :mod:`repro.core` — **Async-fork itself** (Algorithm 1, proactive
+  synchronization, two-way pointers, error rollback, cgroup policy);
+* :mod:`repro.kvs` — a Redis/KeyDB-like store whose values live on
+  simulated pages, with BGSAVE snapshots and AOF rewriting;
+* :mod:`repro.sim`, :mod:`repro.workload`, :mod:`repro.metrics` — the
+  discrete-event timing tier and measurement machinery;
+* :mod:`repro.experiments` — one runner per paper figure/table.
+
+Quickstart::
+
+    from repro import AsyncFork, Process, FrameAllocator
+
+    frames = FrameAllocator()
+    parent = Process(frames, name="redis")
+    vma = parent.mm.mmap(1 << 20)          # 1 MiB heap
+    parent.mm.write_memory(vma.start, b"hello")
+
+    result = AsyncFork().fork(parent)       # microsecond parent call
+    result.session.run_to_completion()      # child copies PMD/PTEs
+    assert result.child.mm.read_memory(vma.start, 5) == b"hello"
+"""
+
+from repro.config import (
+    AsyncForkConfig,
+    EngineConfig,
+    SimulationProfile,
+    WorkloadConfig,
+    active_profile,
+)
+from repro.core import AsyncFork, AsyncForkSession, ForkPolicy, MemCgroup
+from repro.errors import (
+    ConfigurationError,
+    ForkError,
+    OutOfMemoryError,
+    ReproError,
+)
+from repro.kernel import Clock, CostModel, DEFAULT_COSTS, Process
+from repro.kernel.forks import DefaultFork, ForkResult, ForkStats, OnDemandFork
+from repro.mem import AddressSpace, FrameAllocator, PageTable, Tlb, Vma
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressSpace",
+    "AsyncFork",
+    "AsyncForkConfig",
+    "AsyncForkSession",
+    "Clock",
+    "ConfigurationError",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "DefaultFork",
+    "EngineConfig",
+    "ForkError",
+    "ForkPolicy",
+    "ForkResult",
+    "ForkStats",
+    "FrameAllocator",
+    "MemCgroup",
+    "OnDemandFork",
+    "OutOfMemoryError",
+    "PageTable",
+    "Process",
+    "ReproError",
+    "SimulationProfile",
+    "Tlb",
+    "Vma",
+    "WorkloadConfig",
+    "active_profile",
+    "__version__",
+]

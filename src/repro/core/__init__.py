@@ -1,0 +1,20 @@
+"""Async-fork: the paper's primary contribution.
+
+Public API:
+
+* :class:`~repro.core.async_fork.AsyncFork` — the fork engine.  The parent
+  copies only PGD/PUD entries and write-protects its PMD entries, then
+  returns to user mode; the microsecond-scale call is what removes the
+  latency spike.
+* :class:`~repro.core.async_fork.AsyncForkSession` — drives the child-side
+  PMD/PTE copy (optionally with multiple kernel threads) and performs the
+  parent's *proactive synchronization* when a checkpoint detects a
+  modification to a not-yet-copied PTE table.
+* :class:`~repro.core.policy.MemCgroup` / :class:`~repro.core.policy.ForkPolicy`
+  — the memory-cgroup style opt-in switch of §5.2.
+"""
+
+from repro.core.async_fork import AsyncFork, AsyncForkSession
+from repro.core.policy import ForkPolicy, MemCgroup
+
+__all__ = ["AsyncFork", "AsyncForkSession", "ForkPolicy", "MemCgroup"]

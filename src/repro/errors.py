@@ -1,0 +1,64 @@
+"""Exception hierarchy for the simulated kernel and the key-value store.
+
+The fork engines convert allocation failures into :class:`ForkError` after
+performing the rollback described in §4.4 of the paper, so callers observe
+the same contract as the real system call: either the fork fully succeeds or
+the parent is restored to its pre-fork state.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or unsupported configuration was requested.
+
+    Raised, for example, when Async-fork is enabled together with
+    transparent huge pages: the design reuses the PMD R/W bit, which is only
+    free when the PMD never maps a huge page (§4.2 of the paper).
+    """
+
+
+class MemoryError_(ReproError):
+    """Base class for simulated memory-management failures."""
+
+
+class OutOfMemoryError(MemoryError_):
+    """The simulated physical frame allocator is exhausted.
+
+    Mirrors a failed page allocation in the kernel; the fork engines must
+    roll back partially-copied page tables when they see this (§4.4).
+    """
+
+
+class InvalidAddressError(MemoryError_):
+    """An operation referenced a virtual address outside any VMA."""
+
+
+class ProtectionFaultError(MemoryError_):
+    """A memory access violated the VMA protection bits."""
+
+
+class ForkError(ReproError):
+    """A fork operation failed after rolling the parent back."""
+
+    def __init__(self, message: str, *, phase: str | None = None) -> None:
+        super().__init__(message)
+        #: Which phase failed: ``'parent-copy'``, ``'child-copy'`` or
+        #: ``'proactive-sync'`` (the three error cases of §4.4).
+        self.phase = phase
+
+
+class KvsError(ReproError):
+    """Base class for key-value-store level failures."""
+
+
+class SnapshotInProgressError(KvsError):
+    """A blocking snapshot request raced with one already running."""
+
+
+class WrongTypeError(KvsError):
+    """A command was applied to a key holding the wrong kind of value."""

@@ -1,0 +1,31 @@
+"""Experiment runners: one module per paper figure/table.
+
+Importing this package registers every experiment in
+:mod:`repro.experiments.registry`; ``repro-asyncfork list`` shows them and
+``repro-asyncfork run <id>`` executes one from the command line.
+"""
+
+from repro.experiments import (  # noqa: F401 - imported for registration
+    ablations,
+    fig03_fork_time,
+    fig04_05_def_latency,
+    fig09_10_latency,
+    fig11_interruptions,
+    fig12_patterns,
+    fig13_clients,
+    fig14_15_threads,
+    fig16_production,
+    fig17_19_throughput,
+    fig20_oos_time,
+    fig21_aof,
+    fig22_fork_call,
+    sec32_hugepage,
+    tab01_02_tlb,
+)
+from repro.experiments.registry import (
+    all_experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = ["all_experiment_ids", "get_experiment", "run_experiment"]

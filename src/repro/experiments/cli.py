@@ -1,0 +1,92 @@
+"""Command-line entry point: ``repro-asyncfork``.
+
+Examples::
+
+    repro-asyncfork list
+    repro-asyncfork run fig9-10
+    repro-asyncfork run-all --profile quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import FULL_PROFILE, QUICK_PROFILE, active_profile
+
+
+def _profile_from(args) -> object:
+    if args.profile == "quick":
+        return QUICK_PROFILE
+    if args.profile == "full":
+        return FULL_PROFILE
+    return active_profile()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-asyncfork",
+        description="Reproduce the tables and figures of the Async-fork "
+        "paper (VLDB 2023) on the simulated kernel.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment_id", help="e.g. fig9-10, tab1-2")
+    run_p.add_argument(
+        "--profile", choices=("quick", "full", "env"), default="env"
+    )
+    run_p.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="also export the tables as CSV into DIR",
+    )
+
+    all_p = sub.add_parser("run-all", help="run every experiment")
+    all_p.add_argument(
+        "--profile", choices=("quick", "full", "env"), default="env"
+    )
+    all_p.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="also export the tables as CSV into DIR",
+    )
+
+    args = parser.parse_args(argv)
+
+    # Import experiments lazily so `--help` stays fast.
+    from repro.experiments import all_experiment_ids, get_experiment
+    from repro.experiments.registry import run_experiment
+
+    if args.command == "list":
+        for experiment_id in all_experiment_ids():
+            spec = get_experiment(experiment_id)
+            print(f"{experiment_id:12s} {spec.title}")
+        return 0
+
+    profile = _profile_from(args)
+    failed = []
+    targets = (
+        [args.experiment_id]
+        if args.command == "run"
+        else all_experiment_ids()
+    )
+    for experiment_id in targets:
+        report = run_experiment(experiment_id, profile)
+        report.print()
+        out = getattr(args, "out", None)
+        if out:
+            for name in report.save_csv(out):
+                print(f"wrote {out}/{name}")
+        if not report.all_checks_pass():
+            failed.append(experiment_id)
+    if failed:
+        print(f"shape checks FAILED for: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

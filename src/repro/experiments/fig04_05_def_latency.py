@@ -1,0 +1,98 @@
+"""Figures 4 & 5: query latency under the default fork vs ODF vs no fork.
+
+The motivation experiment (§3.2): normal-query latency barely moves with
+instance size, Snapshot-DEF latency explodes (the parent is blocked for
+the whole page-table copy), and Snapshot-ODF sits in between.  At 64 GiB
+the paper reports DEF p99 911.95 ms / max 1204.78 ms against ODF's
+3.96 ms / 59.28 ms.
+
+Profile note: with the quick profile the persist phase (and with it the
+snapshot-query population) is compressed, which *raises* measured p99s for
+mid-size instances relative to the paper — the fork block is a physical
+constant while the window shrinks.  The orderings and growth trends are
+profile-invariant; ``REPRO_PROFILE=full`` restores the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationProfile
+from repro.experiments.common import run_point, sweep_sizes
+from repro.experiments.registry import register
+from repro.metrics.report import Comparison, ExperimentReport, Table
+
+PAPER_64G = {
+    ("default", "p99"): 911.95,
+    ("default", "max"): 1204.78,
+    ("odf", "p99"): 3.96,
+    ("odf", "max"): 59.28,
+}
+
+
+@register("fig4-5", "Normal vs Snapshot-DEF vs Snapshot-ODF latencies")
+def run(profile: SimulationProfile) -> ExperimentReport:
+    """Sweep sizes for methods none/default/odf and report p99 + max."""
+    report = ExperimentReport(
+        "fig4-5", "p99 (Fig.4) and max (Fig.5) latency in Redis"
+    )
+    sizes = sweep_sizes(profile)
+    points = {
+        (size, method): run_point(profile, size, method)
+        for size in sizes
+        for method in ("none", "default", "odf")
+    }
+
+    p99 = Table(
+        "Figure 4 — 99%-ile latency (ms)",
+        ["size GiB", "Normal", "Snapshot-ODF", "Snapshot-DEF"],
+    )
+    mx = Table(
+        "Figure 5 — maximum latency (ms)",
+        ["size GiB", "Normal", "Snapshot-ODF", "Snapshot-DEF"],
+    )
+    for size in sizes:
+        normal = points[(size, "none")]
+        odf = points[(size, "odf")]
+        deflt = points[(size, "default")]
+        # "Normal" = queries of an undisturbed run (no snapshot window).
+        p99.add_row(size, normal.norm_p99_ms,
+                    odf.snap_p99_ms, deflt.snap_p99_ms)
+        mx.add_row(size, normal.norm_max_ms, odf.snap_max_ms,
+                   deflt.snap_max_ms)
+    report.add_table(p99)
+    report.add_table(mx)
+
+    big = max(sizes)
+    odf_big = points[(big, "odf")]
+    def_big = points[(big, "default")]
+    report.comparisons.extend(
+        [
+            Comparison("DEF p99 @64GiB", PAPER_64G[("default", "p99")],
+                       def_big.snap_p99_ms),
+            Comparison("DEF max @64GiB", PAPER_64G[("default", "max")],
+                       def_big.snap_max_ms),
+            Comparison("ODF p99 @64GiB", PAPER_64G[("odf", "p99")],
+                       odf_big.snap_p99_ms,
+                       note="quick profile inflates (window compression)"),
+            Comparison("ODF max @64GiB", PAPER_64G[("odf", "max")],
+                       odf_big.snap_max_ms),
+        ]
+    )
+
+    report.check(
+        "snapshot-DEF >> snapshot-ODF at the largest size",
+        def_big.snap_p99_ms > 3 * odf_big.snap_p99_ms,
+    )
+    report.check(
+        "ODF removes most of DEF's tail at the largest size (>=80%)",
+        odf_big.snap_p99_ms < 0.2 * def_big.snap_p99_ms,
+    )
+    report.check(
+        "DEF snapshot p99 grows sharply with size (64GiB > 10x 1GiB)",
+        points[(big, "default")].snap_p99_ms
+        > 10 * points[(min(sizes), "default")].snap_p99_ms,
+    )
+    report.check(
+        "normal-query p99 stays sub-millisecond across sizes",
+        all(points[(s, "none")].norm_p99_ms < 1.0 for s in sizes),
+    )
+    return report

@@ -1,0 +1,54 @@
+"""Figure 13: impact of the number of clients (8 GiB instance).
+
+More clients at the same aggregate rate means burstier arrivals — more
+requests land at the same time, so more PTEs are modified at once and one
+interruption to the parent stretches longer.  Latency rises with the
+client count for both methods and Async-fork stays ahead.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationProfile
+from repro.experiments.common import run_point
+from repro.experiments.registry import register
+from repro.metrics.report import ExperimentReport, Table
+
+SIZE_GB = 8
+CLIENT_COUNTS = (10, 50, 100, 500)
+
+
+@register("fig13", "Latency vs number of clients (8GiB)")
+def run(profile: SimulationProfile) -> ExperimentReport:
+    """Sweep the client count at a fixed 50k SET/s aggregate rate."""
+    report = ExperimentReport(
+        "fig13", "p99/max of snapshot queries vs client count"
+    )
+    table = Table(
+        "Figure 13 — 8GiB instance, 50k SET/s",
+        ["clients", "ODF p99", "Async p99", "ODF max", "Async max"],
+    )
+    points = {}
+    for clients in CLIENT_COUNTS:
+        odf = run_point(profile, SIZE_GB, "odf", clients=clients)
+        asy = run_point(profile, SIZE_GB, "async", clients=clients)
+        points[clients] = (odf, asy)
+        table.add_row(
+            clients, odf.snap_p99_ms, asy.snap_p99_ms,
+            odf.snap_max_ms, asy.snap_max_ms,
+        )
+    report.add_table(table)
+
+    report.check(
+        "Async-fork p99 <= ODF p99 for every client count",
+        all(asy.snap_p99_ms <= odf.snap_p99_ms
+            for odf, asy in points.values()),
+    )
+    report.check(
+        "Async-fork max latency rises with client count (burstiness)",
+        points[500][1].snap_max_ms > points[10][1].snap_max_ms,
+    )
+    report.check(
+        "ODF max latency rises with client count (burstiness)",
+        points[500][0].snap_max_ms > points[10][0].snap_max_ms,
+    )
+    return report

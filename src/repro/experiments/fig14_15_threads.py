@@ -1,0 +1,104 @@
+"""Figures 14 & 15: the child's kernel copy threads.
+
+Figure 14 compares Async-fork#1 (the child copies alone) and Async-fork#8
+(7 extra kernel threads) against ODF across sizes: even single-threaded,
+Async-fork wins (paper: max latency -34.3 % on average vs ODF), and more
+threads shrink the copy window and with it the chance of a proactive
+synchronization.  Figure 15 shows (a) the copy time falling near-linearly
+with the thread count and (b) the corresponding 8 GiB latencies.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationProfile
+from repro.experiments.common import run_point, sweep_sizes
+from repro.experiments.registry import register
+from repro.kernel.costs import DEFAULT_COSTS
+from repro.metrics.report import Comparison, ExperimentReport, Table
+from repro.sim.compact import CompactInstance
+
+THREAD_COUNTS = (1, 2, 4, 8)
+
+
+@register("fig14-15", "Effect of the child's copy threads")
+def run(profile: SimulationProfile) -> ExperimentReport:
+    """Async-fork#1 / #8 vs ODF, plus the copy-time scaling curve."""
+    report = ExperimentReport(
+        "fig14-15", "copy-thread count: latency and copy time"
+    )
+    sizes = sweep_sizes(profile)
+
+    # Figure 14: latency across sizes for ODF / Async#1 / Async#8.
+    fig14 = Table(
+        "Figure 14 — p99 / max latency (ms)",
+        ["size GiB", "ODF p99", "Async#1 p99", "Async#8 p99",
+         "ODF max", "Async#1 max", "Async#8 max"],
+    )
+    points = {}
+    for size in sizes:
+        odf = run_point(profile, size, "odf")
+        a1 = run_point(profile, size, "async", copy_threads=1)
+        a8 = run_point(profile, size, "async", copy_threads=8)
+        points[size] = (odf, a1, a8)
+        fig14.add_row(
+            size, odf.snap_p99_ms, a1.snap_p99_ms, a8.snap_p99_ms,
+            odf.snap_max_ms, a1.snap_max_ms, a8.snap_max_ms,
+        )
+    report.add_table(fig14)
+
+    # Figure 15(a): child copy time vs thread count (model curve).
+    fig15a = Table(
+        "Figure 15a — child PMD/PTE copy time (ms)",
+        ["size GiB"] + [f"{t} thread(s)" for t in THREAD_COUNTS],
+    )
+    for size in sizes:
+        counts = CompactInstance(size).level_counts()
+        fig15a.add_row(
+            size,
+            *[DEFAULT_COSTS.child_copy_ns(counts, t) / 1e6
+              for t in THREAD_COUNTS],
+        )
+    report.add_table(fig15a)
+
+    # Figure 15(b): 8GiB latency vs thread count.
+    fig15b = Table(
+        "Figure 15b — 8GiB latency vs copy threads",
+        ["threads", "p99 ms", "max ms", "syncs"],
+    )
+    by_threads = {}
+    for threads in THREAD_COUNTS:
+        point = run_point(profile, 8, "async", copy_threads=threads)
+        by_threads[threads] = point
+        fig15b.add_row(
+            threads, point.snap_p99_ms, point.snap_max_ms,
+            point.proactive_syncs,
+        )
+    report.add_table(fig15b)
+
+    counts8 = CompactInstance(8).level_counts()
+    copy1 = DEFAULT_COSTS.child_copy_ns(counts8, 1)
+    copy8 = DEFAULT_COSTS.child_copy_ns(counts8, 8)
+    report.comparisons.append(
+        Comparison("8GiB copy time 1 thread", 72.0, copy1 / 1e6, "ms",
+                   note="~2ms PMDs + ~70ms PTEs (§3.1)")
+    )
+
+    big = max(sizes)
+    report.check(
+        "Async-fork#1 still beats ODF on max latency at >=8GiB",
+        all(points[s][1].snap_max_ms <= points[s][0].snap_max_ms
+            for s in sizes if s >= 8),
+    )
+    report.check(
+        "more copy threads -> fewer proactive syncs (8GiB)",
+        by_threads[8].proactive_syncs <= by_threads[1].proactive_syncs,
+    )
+    report.check(
+        "copy time scales near-linearly with threads (8x -> >6x)",
+        copy1 / copy8 > 6.0,
+    )
+    report.check(
+        "Async#8 p99 <= Async#1 p99 at the largest size",
+        points[big][2].snap_p99_ms <= points[big][1].snap_p99_ms,
+    )
+    return report

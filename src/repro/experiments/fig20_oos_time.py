@@ -1,0 +1,51 @@
+"""Figure 20: total out-of-service time of the Redis server.
+
+The parent is out of service whenever it executes ``copy_pmd_range()`` —
+during the fork call itself and during every later interruption (table
+CoW for ODF, proactive synchronization for Async-fork).  Summing all
+those episodes, ODF keeps the parent in the kernel for far longer than
+Async-fork at every size.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationProfile
+from repro.experiments.common import run_point, sweep_sizes
+from repro.experiments.registry import register
+from repro.metrics.report import ExperimentReport, Table
+
+
+@register("fig20", "Total out-of-service time of the parent")
+def run(profile: SimulationProfile) -> ExperimentReport:
+    """Sum kernel-mode episode durations per method and size."""
+    report = ExperimentReport(
+        "fig20", "sum of copy_pmd_range() episode durations"
+    )
+    table = Table(
+        "Figure 20 — total out-of-service time (ms)",
+        ["size GiB", "ODF", "Async-fork", "Async/ODF"],
+    )
+    sizes = sweep_sizes(profile)
+    oos = {}
+    for size in sizes:
+        odf = run_point(profile, size, "odf")
+        asy = run_point(profile, size, "async")
+        oos[(size, "odf")] = odf.oos_ms
+        oos[(size, "async")] = asy.oos_ms
+        ratio = asy.oos_ms / odf.oos_ms if odf.oos_ms else float("nan")
+        table.add_row(size, odf.oos_ms, asy.oos_ms, ratio)
+    report.add_table(table)
+
+    report.check(
+        "Async-fork total out-of-service < ODF's at every size >= 2GiB",
+        all(
+            oos[(s, "async")] < oos[(s, "odf")]
+            for s in sizes
+            if s >= 2
+        ),
+    )
+    report.check(
+        "ODF out-of-service grows with instance size",
+        oos[(max(sizes), "odf")] > oos[(min(sizes), "odf")],
+    )
+    return report

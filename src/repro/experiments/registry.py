@@ -1,0 +1,63 @@
+"""Registry mapping experiment ids (fig3, tab1, ...) to runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import SimulationProfile, active_profile
+from repro.metrics.report import ExperimentReport
+
+Runner = Callable[[SimulationProfile], ExperimentReport]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment."""
+
+    experiment_id: str
+    title: str
+    runner: Runner
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(experiment_id: str, title: str):
+    """Decorator registering ``runner(profile) -> ExperimentReport``."""
+
+    def wrap(runner: Runner) -> Runner:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = ExperimentSpec(
+            experiment_id, title, runner
+        )
+        return runner
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up a registered experiment."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def all_experiment_ids() -> list[str]:
+    """Sorted ids of every registered experiment."""
+    return sorted(_REGISTRY)
+
+
+def run_experiment(
+    experiment_id: str, profile: Optional[SimulationProfile] = None
+) -> ExperimentReport:
+    """Run one experiment under ``profile`` (default: env-selected)."""
+    spec = get_experiment(experiment_id)
+    if profile is None:
+        profile = active_profile()
+    return spec.runner(profile)

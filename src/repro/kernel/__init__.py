@@ -1,0 +1,24 @@
+"""Simulated kernel layer: processes, time, costs, and the fork engines.
+
+The three fork engines the paper compares live in
+:mod:`repro.kernel.forks`:
+
+* :class:`~repro.kernel.forks.default.DefaultFork` — stock ``fork()``,
+  the parent copies the whole page table in kernel mode;
+* :class:`~repro.kernel.forks.odf.OnDemandFork` — the shared-page-table
+  baseline (ODF), PTE tables shared CoW at 512-entry granularity;
+* Async-fork — the paper's contribution, re-exported from
+  :mod:`repro.core`.
+"""
+
+from repro.kernel.clock import Clock
+from repro.kernel.costs import CostModel, DEFAULT_COSTS
+from repro.kernel.task import Process, ProcessState
+
+__all__ = [
+    "Clock",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Process",
+    "ProcessState",
+]

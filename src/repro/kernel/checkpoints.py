@@ -1,0 +1,120 @@
+"""The checkpoint inventory of Tables 3 and 4.
+
+:mod:`repro.mem.checkpoints` defines the event plumbing; this module adds
+the paper's metadata — which syscall/OS activity reaches each checkpoint
+and the kernel-version lifecycle of each hooked function (Table 4) — so
+documentation and tests can assert the inventory is complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.checkpoints import (  # noqa: F401 - re-exported
+    ALL_CHECKPOINTS,
+    CHANGE_PROT_NUMA,
+    DETACH_VMAS,
+    DO_MPROTECT,
+    EXPAND_DOWNWARDS,
+    EXPAND_UPWARDS,
+    FOLLOW_PAGE_PTE,
+    HANDLE_MM_FAULT,
+    MADVISE_VMA,
+    MLOCK_FIXUP,
+    PMD_WIDE_CHECKPOINTS,
+    SPLIT_VMA,
+    VMA_MERGE,
+    VMA_TO_RESIZE,
+    VMA_WIDE_CHECKPOINTS,
+    ZAP_PMD_RANGE,
+    CheckpointEvent,
+    classify,
+)
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Metadata for one hooked kernel function (Tables 3 & 4)."""
+
+    name: str
+    scope: str  # 'vma-wide' or 'pmd-wide'
+    description: str
+    location: str  # kernel source file
+    lifecycle: str  # kernel versions where the function exists
+
+
+CHECKPOINT_TABLE: tuple[CheckpointInfo, ...] = (
+    CheckpointInfo(
+        VMA_MERGE, "vma-wide",
+        "mmap/mremap merging adjacent VMAs",
+        "mm/mmap.c", "v2.6.12 - v6.0",
+    ),
+    CheckpointInfo(
+        SPLIT_VMA, "vma-wide",
+        "partial munmap/mprotect splitting a VMA",
+        "mm/mmap.c", "v2.6.33 - v6.0",
+    ),
+    CheckpointInfo(
+        DETACH_VMAS, "vma-wide",
+        "munmap detaching VMAs and deleting their PTEs",
+        "mm/mmap.c", "v2.6.12 - v6.0",
+    ),
+    CheckpointInfo(
+        MADVISE_VMA, "vma-wide",
+        "madvise (e.g. MADV_DONTNEED) dropping pages",
+        "mm/madvise.c", "v2.6.12 - v5.16.20",
+    ),
+    CheckpointInfo(
+        DO_MPROTECT, "vma-wide",
+        "mprotect changing protection bits",
+        "mm/mprotect.c", "v4.9 - v6.0",
+    ),
+    CheckpointInfo(
+        MLOCK_FIXUP, "vma-wide",
+        "mlock/munlock fixing up VMA flags",
+        "mm/mlock.c", "v2.6.12 - v6.0",
+    ),
+    CheckpointInfo(
+        VMA_TO_RESIZE, "vma-wide",
+        "mremap resizing a VMA",
+        "mm/mremap.c", "v2.6.33 - v6.0",
+    ),
+    CheckpointInfo(
+        EXPAND_UPWARDS, "vma-wide",
+        "stack growing upwards",
+        "mm/mmap.c", "v2.6.15 - v6.0",
+    ),
+    CheckpointInfo(
+        EXPAND_DOWNWARDS, "vma-wide",
+        "stack growing downwards",
+        "mm/mmap.c", "v2.6.23 - v6.0",
+    ),
+    CheckpointInfo(
+        CHANGE_PROT_NUMA, "vma-wide",
+        "NUMA balancing poisoning PTEs with PROT_NONE",
+        "mm/mempolicy.c", "v3.8 - v6.0",
+    ),
+    CheckpointInfo(
+        HANDLE_MM_FAULT, "pmd-wide",
+        "first touch of a virtual address allocating a page",
+        "mm/memory.c", "v3.12 - v6.0",
+    ),
+    CheckpointInfo(
+        ZAP_PMD_RANGE, "pmd-wide",
+        "OOM killer reclaiming pages",
+        "mm/memory.c", "v2.6.12 - v6.0",
+    ),
+    CheckpointInfo(
+        FOLLOW_PAGE_PTE, "pmd-wide",
+        "direct I/O / VFIO pinning pages via get_user_pages",
+        "mm/gup.c", "v3.16 - v6.0",
+    ),
+)
+
+
+def checkpoint_info(name: str) -> CheckpointInfo:
+    """Look up Table 3/4 metadata for a checkpoint name."""
+    for info in CHECKPOINT_TABLE:
+        if info.name == name:
+            return info
+    raise KeyError(name)

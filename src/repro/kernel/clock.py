@@ -1,0 +1,66 @@
+"""Simulated time.
+
+A single integer nanosecond counter shared by everything in one simulated
+machine.  Kernel-mode sections of the parent process are bracketed with
+:meth:`Clock.kernel_section`, which both advances time and reports the
+episode to any registered observer — that is how the bcc-style
+interruption histograms of Figure 11 are collected.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+KernelSectionObserver = Callable[[str, int, int], None]
+
+
+class Clock:
+    """Monotonic simulated clock (integer nanoseconds)."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = start
+        self._observers: list[KernelSectionObserver] = []
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def advance(self, delta_ns: int) -> int:
+        """Move time forward; returns the new time."""
+        if delta_ns < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += int(delta_ns)
+        return self._now
+
+    def advance_to(self, when_ns: int) -> int:
+        """Move time forward to an absolute instant (no-op if passed)."""
+        if when_ns > self._now:
+            self._now = int(when_ns)
+        return self._now
+
+    def observe_kernel_sections(self, fn: KernelSectionObserver) -> None:
+        """Register ``fn(reason, start_ns, end_ns)`` for kernel episodes."""
+        self._observers.append(fn)
+
+    def unobserve_kernel_sections(self, fn: KernelSectionObserver) -> None:
+        """Remove a kernel-section observer."""
+        self._observers.remove(fn)
+
+    @contextmanager
+    def kernel_section(self, reason: str, cost_ns: Optional[int] = None):
+        """Bracket a kernel-mode episode of the serving process.
+
+        With ``cost_ns`` the section has a fixed duration; without it, the
+        body is expected to call :meth:`advance` itself.
+        """
+        start = self._now
+        try:
+            if cost_ns is not None:
+                self.advance(cost_ns)
+            yield self
+        finally:
+            end = self._now
+            for fn in self._observers:
+                fn(reason, start, end)

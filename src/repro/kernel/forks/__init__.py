@@ -1,0 +1,21 @@
+"""Fork engines: default fork, On-Demand-Fork, and Async-fork.
+
+All engines share the :class:`~repro.kernel.forks.base.ForkEngine`
+interface: ``fork(parent)`` returns a :class:`~repro.kernel.forks.base.ForkResult`
+whose ``child`` holds the point-in-time snapshot and whose optional
+``session`` carries ongoing copy state (ODF's sharing bookkeeping,
+Async-fork's child copier and proactive synchronization).
+"""
+
+from repro.kernel.forks.base import ForkEngine, ForkResult, ForkStats
+from repro.kernel.forks.default import DefaultFork
+from repro.kernel.forks.odf import OdfSession, OnDemandFork
+
+__all__ = [
+    "DefaultFork",
+    "ForkEngine",
+    "ForkResult",
+    "ForkStats",
+    "OdfSession",
+    "OnDemandFork",
+]

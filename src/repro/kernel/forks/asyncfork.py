@@ -1,0 +1,12 @@
+"""Kernel-side alias for the Async-fork engine.
+
+The full implementation lives in :mod:`repro.core.async_fork` — it is the
+paper's primary contribution and therefore exposed under ``repro.core`` —
+but it is also a fork engine like the others, so this module re-exports it
+next to :mod:`repro.kernel.forks.default` and
+:mod:`repro.kernel.forks.odf` for symmetric imports in the harness.
+"""
+
+from repro.core.async_fork import AsyncFork, AsyncForkSession
+
+__all__ = ["AsyncFork", "AsyncForkSession"]

@@ -1,0 +1,115 @@
+"""Common interface and helpers for the fork engines."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.kernel.clock import Clock
+from repro.kernel.costs import DEFAULT_COSTS, CostModel
+from repro.kernel.task import Process
+from repro.mem.address_space import AddressSpace
+from repro.mem.vma import Vma
+
+
+@dataclass
+class ForkStats:
+    """Counters accumulated across one fork operation and its aftermath."""
+
+    #: PGD/PUD/PMD entries the parent copied during the call.
+    parent_dir_entries: int = 0
+    #: PTEs the parent copied during the call (default fork only).
+    parent_pte_entries: int = 0
+    #: PMD entries the parent write-protected (Async-fork) or shared (ODF).
+    pmd_marked: int = 0
+    #: PTE tables the child copier cloned (Async-fork).
+    child_tables_copied: int = 0
+    #: Proactive synchronizations performed by the parent (Async-fork).
+    proactive_syncs: int = 0
+    #: Table CoW faults taken (ODF: either process unsharing a table).
+    table_faults: int = 0
+    #: Data-page CoW copies observed after the fork.
+    data_cow_copies: int = 0
+    #: PMD slots the parent examined while handling VMA-wide checkpoints
+    #: (the two-way pointer exists to keep this near zero, §4.3).
+    pmd_checks: int = 0
+    #: Wall (simulated) duration of the parent's fork call.
+    parent_call_ns: int = 0
+    #: Errors encountered (phase name -> count).
+    errors: dict = field(default_factory=dict)
+
+    def record_error(self, phase: str) -> None:
+        """Count an error by §4.4 phase."""
+        self.errors[phase] = self.errors.get(phase, 0) + 1
+
+
+@dataclass
+class ForkResult:
+    """What a fork engine hands back to the caller."""
+
+    child: Process
+    stats: ForkStats
+    #: Ongoing copy state; ``None`` for the default fork, which finishes
+    #: everything inside the call.
+    session: Optional[object] = None
+
+
+class ForkEngine(abc.ABC):
+    """A fork implementation selectable per process (cf. §5.2)."""
+
+    #: Short identifier used in reports ('default', 'odf', 'async').
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        costs: CostModel = DEFAULT_COSTS,
+    ) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self.costs = costs
+
+    @abc.abstractmethod
+    def fork(self, parent: Process) -> ForkResult:
+        """Create a child process holding a snapshot of ``parent``."""
+
+    # -- helpers shared by the engines -----------------------------------
+
+    def _create_child(self, parent: Process, link_vmas: bool) -> Process:
+        """Allocate the child task and clone the VMA layout.
+
+        With ``link_vmas`` each parent/child VMA pair is connected with an
+        Async-fork two-way pointer.
+        """
+        child = Process(
+            parent.mm.frames, name=f"{parent.name}-child", parent=parent
+        )
+        from repro.mem.vma import TwoWayPointer  # local to avoid cycle noise
+
+        for vma in parent.mm.vmas:
+            child_vma = Vma(vma.start, vma.end, vma.prot, vma.tag)
+            child.mm.vmas.insert(child_vma, merge=False)
+            if link_vmas:
+                pointer = TwoWayPointer(vma, child_vma)
+                vma.peer = pointer
+                child_vma.peer = pointer
+        return child
+
+    def _copy_upper_levels(
+        self, parent_mm: AddressSpace, child_mm: AddressSpace, vma: Vma
+    ) -> int:
+        """Create child PUD/PMD directories covering ``vma``.
+
+        Returns the number of directory entries created, for cost
+        accounting.  PMD *slots* stay empty — filling them is the part
+        each engine does differently.
+        """
+        created = 0
+        for _, _, base in parent_mm.page_table.iter_pmd_slots(
+            vma.start, vma.end
+        ):
+            before = child_mm.page_table.walk_pmd(base)
+            child_mm.page_table.walk_pmd(base, create=True)
+            if before is None:
+                created += 1
+        return created

@@ -1,0 +1,86 @@
+"""The stock ``fork()``: the parent copies everything, synchronously.
+
+This is the baseline whose latency spikes motivate the paper: the parent
+stays in kernel mode for the *entire* page-table copy (Figure 3 shows the
+copy is ≥97 % of the call), so every query arriving meanwhile waits.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OutOfMemoryError, ForkError
+from repro.kernel.forks.base import ForkEngine, ForkResult, ForkStats
+from repro.kernel.task import Process
+from repro.mem.cow import clone_pte_table_into
+from repro.mem.directory import require_pte_table
+from repro.mem.hugepage import HugePage
+
+
+class DefaultFork(ForkEngine):
+    """Copy-everything fork with copy-on-write data pages."""
+
+    name = "default"
+
+    def fork(self, parent: Process) -> ForkResult:
+        """Clone the whole page table inside the parent's call."""
+        stats = ForkStats()
+        start = self.clock.now
+        with self.clock.kernel_section("fork:default"):
+            child = None
+            try:
+                child = self._create_child(parent, link_vmas=False)
+                self._copy_page_table(parent, child, stats)
+            except OutOfMemoryError as exc:
+                if child is not None:
+                    child.exit(code=-1)
+                raise ForkError(
+                    f"default fork failed: {exc}", phase="parent-copy"
+                ) from exc
+            cost = self.costs.default_fork_ns(
+                parent.mm.page_table.level_counts()
+            )
+            self.clock.advance(cost)
+        # Write-protecting the parent's PTEs invalidates cached
+        # translations; the kernel flushes the TLB before returning.
+        parent.mm.tlb.flush_all()
+        stats.parent_call_ns = self.clock.now - start
+        return ForkResult(child=child, stats=stats)
+
+    def _copy_page_table(
+        self, parent: Process, child: Process, stats: ForkStats
+    ) -> None:
+        parent_mm, child_mm = parent.mm, child.mm
+        for vma in parent_mm.vmas:
+            stats.parent_dir_entries += self._copy_upper_levels(
+                parent_mm, child_mm, vma
+            )
+            for pmd, idx, base in parent_mm.page_table.iter_pmd_slots(
+                vma.start, vma.end
+            ):
+                leaf = pmd.get(idx)
+                if leaf is None:
+                    continue
+                if isinstance(leaf, HugePage):
+                    # THP: one PMD entry shares the whole 2 MiB page;
+                    # both sides CoW at huge granularity (§3.2's
+                    # amplification hazard).
+                    child_found = child_mm.page_table.walk_pmd(
+                        base, create=True
+                    )
+                    assert child_found is not None
+                    child_pmd, child_idx = child_found
+                    child_pmd.set(child_idx, leaf)
+                    leaf.mapcount += 1
+                    pmd.set_write_protected(idx, True)
+                    child_pmd.set_write_protected(child_idx, True)
+                    continue
+                leaf = require_pte_table(leaf)
+                child_found = child_mm.page_table.walk_pmd(base, create=True)
+                assert child_found is not None
+                child_pmd, child_idx = child_found
+                child_leaf = child_mm.page_table.new_pte_table()
+                copied = clone_pte_table_into(
+                    leaf, child_leaf, parent_mm.frames
+                )
+                child_pmd.set(child_idx, child_leaf)
+                stats.parent_pte_entries += copied
+        child_mm.rss = parent_mm.rss

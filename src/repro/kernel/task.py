@@ -1,0 +1,136 @@
+"""Processes (``task_struct``) and their lifecycle.
+
+The only lifecycle features modelled are the ones the paper's algorithms
+need: a child created by a fork engine, SIGKILL delivery on Async-fork
+error rollback ("the child process will be killed when it returns to the
+user mode"), and address-space teardown on exit that respects ODF's shared
+PTE tables.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.cow import drop_pte_table_references
+from repro.mem.directory import require_directory, require_pte_table
+from repro.mem.frames import FrameAllocator
+from repro.mem.hugepage import HugePage
+
+SIGKILL = 9
+
+_pid_counter = itertools.count(100)
+
+
+class ProcessState(enum.Enum):
+    """Coarse process states."""
+
+    RUNNING = "running"
+    #: In the run queue but still copying page tables in kernel mode
+    #: (an Async-fork child before it returns to user mode).
+    KERNEL_COPY = "kernel-copy"
+    ZOMBIE = "zombie"
+    DEAD = "dead"
+
+
+class Process:
+    """One simulated process."""
+
+    def __init__(
+        self,
+        frames: FrameAllocator,
+        name: str = "proc",
+        parent: Optional["Process"] = None,
+        mm: Optional[AddressSpace] = None,
+    ) -> None:
+        self.pid = next(_pid_counter)
+        self.name = name
+        self.parent = parent
+        self.children: list[Process] = []
+        self.state = ProcessState.RUNNING
+        self.mm = mm if mm is not None else AddressSpace(
+            frames, name=f"{name}:{self.pid}"
+        )
+        self.pending_signals: list[int] = []
+        self.exit_code: Optional[int] = None
+        if parent is not None:
+            parent.children.append(self)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process can still run."""
+        return self.state in (ProcessState.RUNNING, ProcessState.KERNEL_COPY)
+
+    def signal(self, signo: int) -> None:
+        """Queue a signal for delivery at the next user-mode return."""
+        if not self.alive:
+            return
+        self.pending_signals.append(signo)
+
+    def deliver_signals(self) -> bool:
+        """Deliver queued signals; returns True if the process died."""
+        while self.pending_signals:
+            signo = self.pending_signals.pop(0)
+            if signo == SIGKILL:
+                self.exit(code=-SIGKILL)
+                return True
+        return False
+
+    def exit(self, code: int = 0) -> None:
+        """Terminate: tear down the address space and reparent children."""
+        if self.state is ProcessState.DEAD:
+            return
+        self.exit_code = code
+        teardown_address_space(self.mm)
+        self.state = ProcessState.DEAD
+        if self.parent is not None and self in self.parent.children:
+            self.parent.children.remove(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process(pid={self.pid}, name={self.name!r}, {self.state.value})"
+
+
+def teardown_address_space(mm: AddressSpace) -> None:
+    """Release every frame and table a dying process holds.
+
+    Shared PTE tables (ODF) only lose one sharer: their data-frame
+    references were never raised for the second process, so only the share
+    count drops.  Private tables drop one reference per present PTE and the
+    table frame itself.
+    """
+    frames = mm.frames
+    pgd = mm.page_table.pgd
+    for pgd_i, pud in list(pgd.present_slots()):
+        pud = require_directory(pud, "pud")
+        for pud_i, pmd in list(pud.present_slots()):
+            pmd = require_directory(pmd, "pmd")
+            for pmd_i, leaf in list(pmd.present_slots()):
+                pmd.clear(pmd_i)
+                if isinstance(leaf, HugePage):
+                    leaf.mapcount -= 1
+                    continue
+                leaf = require_pte_table(leaf)
+                if leaf.page.share_count > 0:
+                    leaf.page.share_count -= 1
+                    continue
+                drop_pte_table_references(leaf, frames)
+                if frames.is_allocated(leaf.page.frame):
+                    frames.free(leaf.page.frame)
+            pud.clear(pud_i)
+            if frames.is_allocated(pmd.page.frame):
+                frames.free(pmd.page.frame)
+        pgd.clear(pgd_i)
+        if frames.is_allocated(pud.page.frame):
+            frames.free(pud.page.frame)
+    if frames.is_allocated(pgd.page.frame):
+        frames.free(pgd.page.frame)
+    for vma in list(mm.vmas):
+        if vma.peer is not None:
+            vma.peer.close()
+        mm.vmas.remove(vma)
+    mm.rss = 0
+    mm.tlb.flush_all()

@@ -1,0 +1,33 @@
+"""A Redis/KeyDB-like in-memory key-value store on the simulated kernel.
+
+The store keeps its *values* on simulated pages obtained through a
+jemalloc-style allocator (:mod:`repro.kvs.allocator`), so every SET dirties
+real (simulated) memory — which is exactly what drives the CoW machinery
+the paper studies.  Snapshots (:mod:`repro.kvs.snapshot` via ``BGSAVE``)
+and append-only-file rewriting (:mod:`repro.kvs.aof` via
+``BGREWRITEAOF``) both go through a pluggable fork engine, mirroring how
+the deployed system switches between default fork and Async-fork per
+memory cgroup.
+"""
+
+from repro.kvs import rdb, resp
+from repro.kvs.allocator import JemallocArena
+from repro.kvs.engine import KvEngine
+from repro.kvs.keydb import KeyDbEngine
+from repro.kvs.latency_monitor import LatencyMonitor
+from repro.kvs.recovery import recover
+from repro.kvs.server import CommandServer, SavePoint
+from repro.kvs.store import KvStore
+
+__all__ = [
+    "CommandServer",
+    "JemallocArena",
+    "KvEngine",
+    "KeyDbEngine",
+    "KvStore",
+    "LatencyMonitor",
+    "SavePoint",
+    "rdb",
+    "recover",
+    "resp",
+]

@@ -1,0 +1,155 @@
+"""A jemalloc-flavoured allocator over simulated VMAs.
+
+Redis and KeyDB allocate values through jemalloc.  The allocator's
+behaviour matters to Async-fork because it determines how often the
+process calls ``mmap``/``munmap`` — each of which is a VMA-wide PTE
+modification the parent must synchronize (§4.3, and the tuning advice in
+Appendix C: pre-allocate arenas and *retain* empty chunks instead of
+unmapping them).
+
+The model implements size-class allocation from arena chunks:
+
+* requests are rounded up to a size class (multiples of 64 B up to 4 KiB,
+  then page multiples);
+* chunks of ``chunk_size`` bytes are mmap'ed on demand;
+* freed blocks go to a per-class free list;
+* an empty chunk is munmap'ed immediately when ``retain=False`` and kept
+  for reuse when ``retain=True`` (jemalloc's ``retain`` option).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.vma import VmaProt
+from repro.units import MIB, PAGE_SIZE
+
+#: Granularity of the small size classes.
+QUANTUM = 64
+#: Requests above this use whole pages.
+SMALL_LIMIT = 4096
+
+
+def size_class(size: int) -> int:
+    """Round a request up to its allocation class."""
+    if size <= 0:
+        raise ValueError("allocation size must be positive")
+    if size <= SMALL_LIMIT:
+        return (size + QUANTUM - 1) // QUANTUM * QUANTUM
+    return (size + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+
+
+@dataclass
+class _Chunk:
+    """One mmap'ed arena chunk."""
+
+    start: int
+    end: int
+    cursor: int
+    live: int = 0  # live allocations carved from this chunk
+    free_lists: dict[int, list[int]] = field(default_factory=dict)
+
+    def remaining(self) -> int:
+        """Bytes still available for bump allocation."""
+        return self.end - self.cursor
+
+
+class JemallocArena:
+    """Size-class allocator for one address space."""
+
+    def __init__(
+        self,
+        mm: AddressSpace,
+        chunk_size: int = 4 * MIB,
+        retain: bool = True,
+    ) -> None:
+        if chunk_size % PAGE_SIZE:
+            raise ValueError("chunk size must be page-aligned")
+        self.mm = mm
+        self.chunk_size = chunk_size
+        #: jemalloc's 'retain': keep empty chunks mapped for reuse.
+        self.retain = retain
+        self._chunks: list[_Chunk] = []
+        self._retained: list[_Chunk] = []
+        self._blocks: dict[int, tuple[int, _Chunk]] = {}
+        self.stats = {"mmap_calls": 0, "munmap_calls": 0, "reused_chunks": 0}
+
+    # ------------------------------------------------------------------
+
+    def zmalloc(self, size: int) -> int:
+        """Allocate a block; returns its virtual address."""
+        klass = size_class(size)
+        if klass > self.chunk_size:
+            raise ValueError(
+                f"allocation of {size} exceeds chunk size {self.chunk_size}"
+            )
+        # First try per-class free lists.
+        for chunk in self._chunks:
+            free = chunk.free_lists.get(klass)
+            if free:
+                vaddr = free.pop()
+                chunk.live += 1
+                self._blocks[vaddr] = (klass, chunk)
+                return vaddr
+        # Then bump-allocate from a chunk with room.
+        for chunk in self._chunks:
+            if chunk.remaining() >= klass:
+                return self._carve(chunk, klass)
+        chunk = self._grow()
+        return self._carve(chunk, klass)
+
+    def zfree(self, vaddr: int) -> None:
+        """Release a block previously returned by :meth:`zmalloc`."""
+        klass, chunk = self._blocks.pop(vaddr)
+        chunk.free_lists.setdefault(klass, []).append(vaddr)
+        chunk.live -= 1
+        if chunk.live == 0:
+            self._release(chunk)
+
+    def usable_size(self, vaddr: int) -> int:
+        """Size class of a live block (jemalloc's malloc_usable_size)."""
+        return self._blocks[vaddr][0]
+
+    def live_blocks(self) -> int:
+        """Number of live allocations."""
+        return len(self._blocks)
+
+    # ------------------------------------------------------------------
+
+    def _carve(self, chunk: _Chunk, klass: int) -> int:
+        vaddr = chunk.cursor
+        chunk.cursor += klass
+        chunk.live += 1
+        self._blocks[vaddr] = (klass, chunk)
+        return vaddr
+
+    def _grow(self) -> _Chunk:
+        if self._retained:
+            chunk = self._retained.pop()
+            chunk.cursor = chunk.start
+            chunk.free_lists.clear()
+            self._chunks.append(chunk)
+            self.stats["reused_chunks"] += 1
+            return chunk
+        vma = self.mm.mmap(
+            self.chunk_size,
+            VmaProt.READ | VmaProt.WRITE,
+            tag="jemalloc-arena",
+        )
+        # The VMA may have merged with a neighbouring arena chunk; the
+        # chunk's own range is the newly requested tail of it.
+        start = vma.end - self.chunk_size
+        chunk = _Chunk(start=start, end=vma.end, cursor=start)
+        self._chunks.append(chunk)
+        self.stats["mmap_calls"] += 1
+        return chunk
+
+    def _release(self, chunk: _Chunk) -> None:
+        self._chunks.remove(chunk)
+        chunk.free_lists.clear()
+        if self.retain:
+            self._retained.append(chunk)
+            return
+        self.mm.munmap(chunk.start, chunk.end - chunk.start)
+        self.stats["munmap_calls"] += 1

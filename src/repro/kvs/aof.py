@@ -1,0 +1,106 @@
+"""Append-only-file persistence and BGREWRITEAOF (Appendix C).
+
+Redis's second persistence mechanism logs every write command; replaying
+the log reconstructs the dataset.  The log grows without bound, so the
+engine periodically *rewrites* it: ``fork()`` a child that serializes the
+current dataset as the shortest equivalent command sequence, while the
+parent keeps appending new commands to a buffer that is concatenated when
+the child finishes.  Because it forks, log rewriting suffers the same
+latency spikes as BGSAVE — Figure 21 measures exactly that — and benefits
+from Async-fork identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+
+@dataclass
+class AofRecord:
+    """One logged write command."""
+
+    op: str  # 'SET' or 'DEL'
+    key: bytes
+    value: Optional[bytes] = None
+
+    def encoded_size(self) -> int:
+        """Approximate on-disk size of the record."""
+        return (
+            len(self.op)
+            + len(self.key)
+            + (len(self.value) if self.value is not None else 0)
+            + 16  # framing overhead
+        )
+
+
+@dataclass
+class AppendOnlyFile:
+    """The AOF log: an ordered command stream."""
+
+    records: list[AofRecord] = field(default_factory=list)
+    #: Commands appended while a rewrite is running (the rewrite buffer).
+    rewrite_buffer: list[AofRecord] = field(default_factory=list)
+    rewriting: bool = False
+
+    def append(self, record: AofRecord) -> None:
+        """Log one write; routed to the rewrite buffer during a rewrite."""
+        if self.rewriting:
+            self.rewrite_buffer.append(record)
+        self.records.append(record)
+
+    @property
+    def size(self) -> int:
+        """Current log size in bytes."""
+        return sum(r.encoded_size() for r in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- rewrite protocol --------------------------------------------------
+
+    def begin_rewrite(self) -> None:
+        """Parent side: start buffering (called right before the fork)."""
+        if self.rewriting:
+            raise RuntimeError("AOF rewrite already in progress")
+        self.rewriting = True
+        self.rewrite_buffer = []
+
+    def complete_rewrite(
+        self, compact: Iterable[AofRecord]
+    ) -> "AppendOnlyFile":
+        """Install the child's compact log + the buffered tail."""
+        if not self.rewriting:
+            raise RuntimeError("no AOF rewrite in progress")
+        new_records = list(compact) + list(self.rewrite_buffer)
+        self.records = new_records
+        self.rewrite_buffer = []
+        self.rewriting = False
+        return self
+
+    def abort_rewrite(self) -> None:
+        """Drop rewrite state after a failed fork/rewrite."""
+        self.rewriting = False
+        self.rewrite_buffer = []
+
+
+def compact_commands(
+    entries: Iterable[tuple[bytes, bytes]]
+) -> Iterator[AofRecord]:
+    """The child's rewrite: one SET per live key."""
+    for key, value in entries:
+        yield AofRecord("SET", key, value)
+
+
+def replay(records: Iterable[AofRecord]) -> dict[bytes, bytes]:
+    """Reconstruct the dataset from a log (used at simulated reboot)."""
+    data: dict[bytes, bytes] = {}
+    for record in records:
+        if record.op == "SET":
+            assert record.value is not None
+            data[record.key] = record.value
+        elif record.op == "DEL":
+            data.pop(record.key, None)
+        else:
+            raise ValueError(f"unknown AOF op {record.op!r}")
+    return data

@@ -1,0 +1,294 @@
+"""The storage engine: a Redis-like server on the simulated kernel.
+
+One engine owns one :class:`~repro.kernel.task.Process` whose heap holds
+the values.  ``BGSAVE`` and ``BGREWRITEAOF`` fork that process through a
+pluggable fork engine — :class:`~repro.kernel.forks.default.DefaultFork`,
+:class:`~repro.kernel.forks.odf.OnDemandFork` or
+:class:`~repro.core.async_fork.AsyncFork` — and hand the IO-heavy work to
+the child, exactly like the real systems.
+
+Child work is *cooperative*: ``SnapshotJob.step_child()`` advances the
+child's page-table copy (Async-fork) by one step so tests can interleave
+parent queries at any granularity, and ``SnapshotJob.finish()`` completes
+the copy plus serialization in one go.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import EngineConfig
+from repro.errors import SnapshotInProgressError
+from repro.kernel.clock import Clock
+from repro.kernel.forks.base import ForkEngine, ForkResult
+from repro.kernel.forks.default import DefaultFork
+from repro.kernel.forks.odf import OdfSession
+from repro.kernel.task import Process
+from repro.kvs import aof as aof_mod
+from repro.kvs import rdb
+from repro.kvs.store import KvStore, ValueRef
+from repro.mem.frames import FrameAllocator
+
+
+@dataclass
+class SnapshotReport:
+    """Outcome of one completed snapshot."""
+
+    file: rdb.SnapshotFile
+    fork_call_ns: int
+    child_tables_copied: int = 0
+    proactive_syncs: int = 0
+    table_faults: int = 0
+
+
+class SnapshotJob:
+    """A BGSAVE in flight."""
+
+    def __init__(
+        self,
+        engine: "KvEngine",
+        result: ForkResult,
+        table: dict[bytes, ValueRef],
+    ) -> None:
+        self.engine = engine
+        self.result = result
+        self._table = table
+        self.done = False
+        self.report: Optional[SnapshotReport] = None
+
+    @property
+    def child(self) -> Process:
+        """The forked child holding the snapshot."""
+        return self.result.child
+
+    def step_child(self) -> int:
+        """Advance the child's page-table copy one step (Async-fork)."""
+        session = self.result.session
+        if session is not None and hasattr(session, "child_step"):
+            return session.child_step()
+        return 0
+
+    def finish(self) -> SnapshotReport:
+        """Complete the copy, serialize, and retire the child."""
+        if self.done:
+            assert self.report is not None
+            return self.report
+        session = self.result.session
+        if session is not None and hasattr(session, "run_to_completion"):
+            session.run_to_completion()
+            if getattr(session, "failed", False):
+                self.abort()
+                raise RuntimeError(
+                    f"snapshot child failed: {session.failure_reason}"
+                )
+        entries = (
+            (key, self.child.mm.read_memory(ref.vaddr, ref.length))
+            for key, ref in self._table.items()
+        )
+        snapshot = rdb.dump(entries)
+        self._retire()
+        stats = self.result.stats
+        self.report = SnapshotReport(
+            file=snapshot,
+            fork_call_ns=stats.parent_call_ns,
+            child_tables_copied=stats.child_tables_copied,
+            proactive_syncs=stats.proactive_syncs,
+            table_faults=stats.table_faults,
+        )
+        self.done = True
+        self.engine.store.dirty_since_save = 0
+        return self.report
+
+    def abort(self) -> None:
+        """Tear the job down after a failure."""
+        self._retire()
+        self.done = True
+
+    def _retire(self) -> None:
+        session = self.result.session
+        if isinstance(session, OdfSession):
+            session.finish()
+        if self.child.alive:
+            self.child.exit()
+        if self.engine._active_job is self:
+            self.engine._active_job = None
+
+
+class RewriteJob:
+    """A BGREWRITEAOF in flight (same fork mechanics as BGSAVE)."""
+
+    def __init__(
+        self,
+        engine: "KvEngine",
+        result: ForkResult,
+        table: dict[bytes, ValueRef],
+    ) -> None:
+        self.engine = engine
+        self.result = result
+        self._table = table
+        self.done = False
+
+    @property
+    def child(self) -> Process:
+        """The forked child performing the rewrite."""
+        return self.result.child
+
+    def step_child(self) -> int:
+        """Advance the child's page-table copy one step (Async-fork)."""
+        session = self.result.session
+        if session is not None and hasattr(session, "child_step"):
+            return session.child_step()
+        return 0
+
+    def finish(self) -> aof_mod.AppendOnlyFile:
+        """Build the compact log and splice in the rewrite buffer."""
+        if self.done:
+            return self.engine.aof
+        session = self.result.session
+        if session is not None and hasattr(session, "run_to_completion"):
+            session.run_to_completion()
+            if getattr(session, "failed", False):
+                self.abort()
+                raise RuntimeError(
+                    f"rewrite child failed: {session.failure_reason}"
+                )
+        entries = (
+            (key, self.child.mm.read_memory(ref.vaddr, ref.length))
+            for key, ref in self._table.items()
+        )
+        compact = list(aof_mod.compact_commands(entries))
+        self._retire()
+        self.done = True
+        assert self.engine.aof is not None
+        return self.engine.aof.complete_rewrite(compact)
+
+    def abort(self) -> None:
+        """Tear the job down after a failure."""
+        self._retire()
+        if self.engine.aof is not None and self.engine.aof.rewriting:
+            self.engine.aof.abort_rewrite()
+        self.done = True
+
+    def _retire(self) -> None:
+        session = self.result.session
+        if isinstance(session, OdfSession):
+            session.finish()
+        if self.child.alive:
+            self.child.exit()
+        if self.engine._active_job is self:
+            self.engine._active_job = None
+
+
+class KvEngine:
+    """Single-threaded Redis-like engine."""
+
+    def __init__(
+        self,
+        fork_engine: Optional[ForkEngine] = None,
+        config: EngineConfig = EngineConfig(),
+        frames: Optional[FrameAllocator] = None,
+        name: str = "redis",
+    ) -> None:
+        self.config = config
+        self.frames = frames if frames is not None else FrameAllocator()
+        self.process = Process(self.frames, name=name)
+        self.store = KvStore(self.process.mm)
+        self.fork_engine = (
+            fork_engine if fork_engine is not None else DefaultFork()
+        )
+        self.aof: Optional[aof_mod.AppendOnlyFile] = (
+            aof_mod.AppendOnlyFile() if config.aof_enabled else None
+        )
+        self._active_job: Optional[object] = None
+        self.commands_processed = 0
+
+    @property
+    def clock(self) -> Clock:
+        """The simulated clock (owned by the fork engine)."""
+        return self.fork_engine.clock
+
+    # -- commands ----------------------------------------------------------
+
+    def set(self, key, value: bytes) -> None:
+        """SET key value."""
+        self.store.set(key, value)
+        if self.aof is not None:
+            normalized = key.encode() if isinstance(key, str) else key
+            data = value.encode() if isinstance(value, str) else value
+            self.aof.append(aof_mod.AofRecord("SET", normalized, data))
+        self.commands_processed += 1
+
+    def get(self, key) -> Optional[bytes]:
+        """GET key."""
+        self.commands_processed += 1
+        return self.store.get(key)
+
+    def delete(self, key) -> bool:
+        """DEL key."""
+        existed = self.store.delete(key)
+        if self.aof is not None and existed:
+            normalized = key.encode() if isinstance(key, str) else key
+            self.aof.append(aof_mod.AofRecord("DEL", normalized))
+        self.commands_processed += 1
+        return existed
+
+    def execute(self, command: str, *args):
+        """Tiny dispatcher for command-style access."""
+        op = command.upper()
+        if op == "SET":
+            return self.set(args[0], args[1])
+        if op == "GET":
+            return self.get(args[0])
+        if op == "DEL":
+            return self.delete(args[0])
+        if op == "BGSAVE":
+            return self.bgsave()
+        if op == "BGREWRITEAOF":
+            return self.bgrewriteaof()
+        if op == "DBSIZE":
+            return len(self.store)
+        raise ValueError(f"unknown command {command!r}")
+
+    # -- persistence ----------------------------------------------------------
+
+    def bgsave(self) -> SnapshotJob:
+        """Fork a child to take a point-in-time snapshot (BGSAVE)."""
+        if self._active_job is not None:
+            raise SnapshotInProgressError("a background job is running")
+        table = self.store.table_snapshot()
+        result = self.fork_engine.fork(self.process)
+        job = SnapshotJob(self, result, table)
+        self._active_job = job
+        return job
+
+    def bgrewriteaof(self) -> RewriteJob:
+        """Fork a child to rewrite the AOF (BGREWRITEAOF)."""
+        if self.aof is None:
+            raise ValueError("AOF is not enabled on this engine")
+        if self._active_job is not None:
+            raise SnapshotInProgressError("a background job is running")
+        self.aof.begin_rewrite()
+        table = self.store.table_snapshot()
+        result = self.fork_engine.fork(self.process)
+        job = RewriteJob(self, result, table)
+        self._active_job = job
+        return job
+
+    def snapshot_worker(self) -> SnapshotJob:
+        """Fork a snapshot child *outside* the single BGSAVE slot.
+
+        This is the HyPer use case of §2.2: OLAP workers each hold a
+        fork snapshot while OLTP continues in the parent.  Several
+        workers may exist at once; under Async-fork a new fork
+        proactively completes the previous child's page-table copy
+        (the consecutive-snapshots rule of §5.2), so the workers'
+        snapshots stay mutually consistent.
+        """
+        table = self.store.table_snapshot()
+        result = self.fork_engine.fork(self.process)
+        return SnapshotJob(self, result, table)
+
+    def save_now(self) -> SnapshotReport:
+        """Convenience: BGSAVE and immediately finish the child's work."""
+        return self.bgsave().finish()

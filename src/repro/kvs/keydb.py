@@ -1,0 +1,49 @@
+"""KeyDB: the multi-threaded IMKVS of the paper's evaluation.
+
+KeyDB is a Redis fork that serves queries from several worker threads
+(four in §6.1) in front of a shared keyspace.  The functional behaviour of
+fork-based snapshots is identical to Redis — one process, one heap, one
+``fork()`` — so :class:`KeyDbEngine` reuses :class:`KvEngine` and adds the
+thread structure the *timing* tier needs: queries are served by
+``config.threads`` parallel servers, which raises throughput and softens
+(but does not remove) the fork-induced stalls, as Figures 9/10/18 show.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import EngineConfig
+from repro.kernel.forks.base import ForkEngine
+from repro.kvs.engine import KvEngine
+from repro.mem.frames import FrameAllocator
+
+KEYDB_DEFAULT_THREADS = 4
+
+
+class KeyDbEngine(KvEngine):
+    """A KeyDB-like engine: same store, multiple serving threads."""
+
+    def __init__(
+        self,
+        fork_engine: Optional[ForkEngine] = None,
+        config: Optional[EngineConfig] = None,
+        frames: Optional[FrameAllocator] = None,
+        name: str = "keydb",
+    ) -> None:
+        if config is None:
+            config = EngineConfig(threads=KEYDB_DEFAULT_THREADS)
+        elif config.threads == 1:
+            # A KeyDB instance is multi-threaded by definition.
+            config = EngineConfig(
+                value_size=config.value_size,
+                key_range=config.key_range,
+                threads=KEYDB_DEFAULT_THREADS,
+                aof_enabled=config.aof_enabled,
+            )
+        super().__init__(fork_engine, config, frames, name)
+
+    @property
+    def server_threads(self) -> int:
+        """Number of query-serving threads (4 in the paper's setup)."""
+        return self.config.threads

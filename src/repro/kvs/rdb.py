@@ -1,0 +1,66 @@
+"""Point-in-time snapshot serialization (the RDB file).
+
+A deliberately simple but complete binary format::
+
+    magic 'SRDB' | u32 count | count * (u32 klen | key | u32 vlen | value)
+
+The *content* matters to tests (the child must serialize exactly the
+fork-time state); the *size* matters to the timing tier (persist duration
+= bytes / disk bandwidth).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+MAGIC = b"SRDB"
+
+
+@dataclass
+class SnapshotFile:
+    """An RDB-like snapshot image plus bookkeeping."""
+
+    payload: bytes = b""
+    entry_count: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Bytes the child wrote to disk."""
+        return len(self.payload)
+
+
+def dump(entries: Iterable[tuple[bytes, bytes]]) -> SnapshotFile:
+    """Serialize (key, value) pairs into a snapshot file."""
+    parts = [MAGIC, b"\x00\x00\x00\x00"]  # count patched afterwards
+    count = 0
+    for key, value in entries:
+        parts.append(struct.pack("<I", len(key)))
+        parts.append(key)
+        parts.append(struct.pack("<I", len(value)))
+        parts.append(value)
+        count += 1
+    payload = b"".join(parts)
+    payload = MAGIC + struct.pack("<I", count) + payload[8:]
+    return SnapshotFile(payload=payload, entry_count=count)
+
+
+def load(snapshot: SnapshotFile) -> Iterator[tuple[bytes, bytes]]:
+    """Parse a snapshot file back into (key, value) pairs."""
+    payload = snapshot.payload
+    if payload[:4] != MAGIC:
+        raise ValueError("not a snapshot file")
+    (count,) = struct.unpack_from("<I", payload, 4)
+    offset = 8
+    for _ in range(count):
+        (klen,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        key = payload[offset : offset + klen]
+        offset += klen
+        (vlen,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        value = payload[offset : offset + vlen]
+        offset += vlen
+        yield key, value

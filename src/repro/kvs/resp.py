@@ -1,0 +1,204 @@
+"""RESP2: the Redis serialization protocol.
+
+The engines in this package are driven programmatically by the harness,
+but a reproduction of a Redis-family system should speak its wire
+protocol; :mod:`repro.kvs.server` builds a command server on top of this
+codec, and the examples use it to feed realistic byte streams.
+
+Implemented: the five RESP2 types (simple strings, errors, integers, bulk
+strings, arrays), null bulk/array, and inline commands.  The parser is
+incremental — feed it arbitrary chunks and it yields complete values —
+because that is how bytes arrive off a socket.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+CRLF = b"\r\n"
+
+RespValue = Union[bytes, int, None, list, "RespError", "SimpleString"]
+
+
+class SimpleString(bytes):
+    """A RESP simple string (``+OK``), distinct from a bulk string."""
+
+    __slots__ = ()
+
+
+class RespError(Exception):
+    """A RESP error reply (``-ERR ...``)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+class ProtocolError(Exception):
+    """The byte stream violates RESP framing."""
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+def encode(value: RespValue) -> bytes:
+    """Serialize one value as RESP2."""
+    if isinstance(value, SimpleString):
+        return b"+" + bytes(value) + CRLF
+    if isinstance(value, RespError):
+        return b"-" + value.message.encode() + CRLF
+    if isinstance(value, bool):
+        raise TypeError("RESP2 has no boolean; reply with an integer")
+    if isinstance(value, int):
+        return b":" + str(value).encode() + CRLF
+    if value is None:
+        return b"$-1" + CRLF
+    if isinstance(value, (bytes, bytearray)):
+        data = bytes(value)
+        return b"$" + str(len(data)).encode() + CRLF + data + CRLF
+    if isinstance(value, str):
+        return encode(value.encode())
+    if isinstance(value, (list, tuple)):
+        parts = [b"*" + str(len(value)).encode() + CRLF]
+        parts.extend(encode(item) for item in value)
+        return b"".join(parts)
+    raise TypeError(f"cannot encode {type(value).__name__} as RESP")
+
+
+def encode_command(*args) -> bytes:
+    """Serialize a client command as an array of bulk strings."""
+    normalized = [
+        a if isinstance(a, (bytes, bytearray)) else str(a).encode()
+        for a in args
+    ]
+    return encode(list(normalized))
+
+
+OK = SimpleString(b"OK")
+PONG = SimpleString(b"PONG")
+
+
+# ---------------------------------------------------------------------------
+# incremental parsing
+# ---------------------------------------------------------------------------
+
+class Parser:
+    """Incremental RESP2 parser.
+
+    Usage::
+
+        parser = Parser()
+        parser.feed(chunk)
+        for value in parser:
+            ...
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        """Append raw bytes from the wire."""
+        self._buffer.extend(data)
+
+    def __iter__(self) -> Iterator[RespValue]:
+        while True:
+            value = self.parse_one()
+            if value is _INCOMPLETE:
+                return
+            yield value
+
+    # -- internals ---------------------------------------------------------
+
+    def parse_one(self):
+        """One complete value, or the _INCOMPLETE sentinel."""
+        result, consumed = _parse(bytes(self._buffer), 0)
+        if result is _INCOMPLETE:
+            return _INCOMPLETE
+        del self._buffer[:consumed]
+        return result
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete value."""
+        return len(self._buffer)
+
+
+class _Incomplete:
+    __repr__ = lambda self: "<incomplete>"  # noqa: E731 pragma: no cover
+
+
+_INCOMPLETE = _Incomplete()
+
+
+def _find_line(data: bytes, pos: int) -> Optional[tuple[bytes, int]]:
+    end = data.find(CRLF, pos)
+    if end < 0:
+        return None
+    return data[pos:end], end + 2
+
+
+def _parse(data: bytes, pos: int):
+    if pos >= len(data):
+        return _INCOMPLETE, pos
+    kind = data[pos : pos + 1]
+    if kind in b"+-:$*":
+        found = _find_line(data, pos + 1)
+        if found is None:
+            return _INCOMPLETE, pos
+        line, after = found
+        if kind == b"+":
+            return SimpleString(line), after
+        if kind == b"-":
+            return RespError(line.decode()), after
+        if kind == b":":
+            try:
+                return int(line), after
+            except ValueError:
+                raise ProtocolError(f"bad integer {line!r}") from None
+        if kind == b"$":
+            return _parse_bulk(data, line, after)
+        return _parse_array(data, line, after)
+    # Inline command: a bare line of space-separated words.
+    found = _find_line(data, pos)
+    if found is None:
+        return _INCOMPLETE, pos
+    line, after = found
+    if not line.strip():
+        raise ProtocolError("empty inline command")
+    return [bytes(w) for w in line.split()], after
+
+
+def _parse_bulk(data: bytes, header: bytes, pos: int):
+    try:
+        length = int(header)
+    except ValueError:
+        raise ProtocolError(f"bad bulk length {header!r}") from None
+    if length == -1:
+        return None, pos
+    if length < 0:
+        raise ProtocolError(f"negative bulk length {length}")
+    end = pos + length
+    if len(data) < end + 2:
+        return _INCOMPLETE, pos
+    if data[end : end + 2] != CRLF:
+        raise ProtocolError("bulk string missing terminator")
+    return data[pos:end], end + 2
+
+
+def _parse_array(data: bytes, header: bytes, pos: int):
+    try:
+        count = int(header)
+    except ValueError:
+        raise ProtocolError(f"bad array length {header!r}") from None
+    if count == -1:
+        return None, pos
+    if count < 0:
+        raise ProtocolError(f"negative array length {count}")
+    items = []
+    for _ in range(count):
+        item, pos = _parse(data, pos)
+        if item is _INCOMPLETE:
+            return _INCOMPLETE, pos
+        items.append(item)
+    return items, pos

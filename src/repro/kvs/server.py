@@ -1,0 +1,273 @@
+"""A RESP command server over the storage engine.
+
+Ties the pieces into something shaped like a real Redis front end:
+
+* RESP2 request parsing / reply encoding (:mod:`repro.kvs.resp`);
+* a command table (strings subset + persistence + introspection);
+* the classic ``save <seconds> <changes>`` snapshot policy, evaluated
+  against the simulated clock like Redis's serverCron;
+* cooperative background-job progress: each served command advances an
+  in-flight Async-fork child copy by one step, mimicking how the real
+  child runs concurrently with the event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import SnapshotInProgressError
+from repro.kvs import resp
+from repro.kvs.engine import KvEngine, RewriteJob, SnapshotJob
+from repro.kvs.latency_monitor import LatencyMonitor
+from repro.kvs.resp import OK, PONG, RespError, RespValue
+from repro.units import SEC
+
+
+@dataclass(frozen=True)
+class SavePoint:
+    """One ``save <seconds> <changes>`` rule."""
+
+    seconds: int
+    changes: int
+
+    def due(self, elapsed_ns: int, dirty: int) -> bool:
+        """Whether this rule triggers a background save."""
+        return elapsed_ns >= self.seconds * SEC and dirty >= self.changes
+
+
+#: Redis's default rules (redis.conf): the paper quotes the 60 s/10000
+#: one as the reason snapshot queries are not rare.
+DEFAULT_SAVE_POINTS = (
+    SavePoint(3600, 1),
+    SavePoint(300, 100),
+    SavePoint(60, 10_000),
+)
+
+
+class CommandServer:
+    """RESP front end for one engine."""
+
+    def __init__(
+        self,
+        engine: KvEngine,
+        save_points: tuple[SavePoint, ...] = DEFAULT_SAVE_POINTS,
+        latency_threshold_ms: float = 0.01,
+    ) -> None:
+        self.engine = engine
+        self.save_points = save_points
+        self.parser = resp.Parser()
+        #: Redis's latency monitoring framework; the fork event is where
+        #: operators first see the snapshot spike ([43], [44]).
+        self.latency = LatencyMonitor(threshold_ms=latency_threshold_ms)
+        self._last_save_ns = engine.clock.now
+        self._active_job: Optional[object] = None
+        self._completed_snapshots = 0
+        self._handlers: dict[bytes, Callable] = {
+            b"PING": self._ping,
+            b"ECHO": self._echo,
+            b"SET": self._set,
+            b"GET": self._get,
+            b"DEL": self._del,
+            b"EXISTS": self._exists,
+            b"DBSIZE": self._dbsize,
+            b"FLUSHALL": self._flushall,
+            b"BGSAVE": self._bgsave,
+            b"BGREWRITEAOF": self._bgrewriteaof,
+            b"LASTSAVE": self._lastsave,
+            b"INFO": self._info,
+            b"LATENCY": self._latency,
+        }
+
+    # ------------------------------------------------------------------
+    # wire interface
+    # ------------------------------------------------------------------
+
+    def feed(self, data: bytes) -> bytes:
+        """Process raw request bytes; returns the concatenated replies."""
+        self.parser.feed(data)
+        replies = []
+        for command in self.parser:
+            replies.append(resp.encode(self.handle(command)))
+        return b"".join(replies)
+
+    def handle(self, command) -> RespValue:
+        """Dispatch one parsed command array; returns the reply value."""
+        self._background_cron()
+        if not isinstance(command, list) or not command:
+            return RespError("ERR protocol: expected a command array")
+        first = command[0]
+        if not isinstance(first, (bytes, bytearray)):
+            return RespError("ERR protocol: command name must be a string")
+        name = bytes(first).upper()
+        handler = self._handlers.get(name)
+        if handler is None:
+            shown = name.decode("utf-8", errors="backslashreplace")
+            return RespError(f"ERR unknown command '{shown}'")
+        try:
+            return handler(command[1:])
+        except RespError as err:
+            return err
+
+    # ------------------------------------------------------------------
+    # background machinery
+    # ------------------------------------------------------------------
+
+    def _background_cron(self) -> None:
+        """ServerCron: advance the child copy and evaluate save points."""
+        if self._active_job is not None:
+            self._active_job.step_child()
+            return
+        elapsed = self.engine.clock.now - self._last_save_ns
+        dirty = self.engine.store.dirty_since_save
+        if any(p.due(elapsed, dirty) for p in self.save_points):
+            try:
+                self._active_job = self.engine.bgsave()
+                self._record_fork_latency(self._active_job)
+            except SnapshotInProgressError:  # pragma: no cover - defensive
+                pass
+
+    def _record_fork_latency(self, job) -> None:
+        self.latency.record(
+            "fork",
+            job.result.stats.parent_call_ns,
+            at_ns=self.engine.clock.now,
+        )
+
+    def finish_background_job(self):
+        """Drain the active background job (tests and shutdown use this)."""
+        if self._active_job is None:
+            return None
+        job = self._active_job
+        outcome = job.finish()
+        self._job_done(job)
+        return outcome
+
+    def _job_done(self, job) -> None:
+        if isinstance(job, SnapshotJob):
+            self._completed_snapshots += 1
+            self._last_save_ns = self.engine.clock.now
+        self._active_job = None
+
+    # ------------------------------------------------------------------
+    # commands
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _arity(args, expected: int, name: str) -> None:
+        if len(args) != expected:
+            raise RespError(
+                f"ERR wrong number of arguments for '{name}' command"
+            )
+
+    def _ping(self, args) -> RespValue:
+        if args:
+            self._arity(args, 1, "ping")
+            return bytes(args[0])
+        return PONG
+
+    def _echo(self, args) -> RespValue:
+        self._arity(args, 1, "echo")
+        return bytes(args[0])
+
+    def _set(self, args) -> RespValue:
+        self._arity(args, 2, "set")
+        self.engine.set(bytes(args[0]), bytes(args[1]))
+        return OK
+
+    def _get(self, args) -> RespValue:
+        self._arity(args, 1, "get")
+        return self.engine.get(bytes(args[0]))
+
+    def _del(self, args) -> RespValue:
+        if not args:
+            raise RespError("ERR wrong number of arguments for 'del' command")
+        return sum(1 for key in args if self.engine.delete(bytes(key)))
+
+    def _exists(self, args) -> RespValue:
+        if not args:
+            raise RespError(
+                "ERR wrong number of arguments for 'exists' command"
+            )
+        return sum(1 for key in args if bytes(key) in self.engine.store)
+
+    def _dbsize(self, args) -> RespValue:
+        self._arity(args, 0, "dbsize")
+        return len(self.engine.store)
+
+    def _flushall(self, args) -> RespValue:
+        self._arity(args, 0, "flushall")
+        for key in list(self.engine.store.keys()):
+            self.engine.delete(key)
+        return OK
+
+    def _bgsave(self, args) -> RespValue:
+        self._arity(args, 0, "bgsave")
+        if self._active_job is not None:
+            raise RespError("ERR Background save already in progress")
+        self._active_job = self.engine.bgsave()
+        self._record_fork_latency(self._active_job)
+        return resp.SimpleString(b"Background saving started")
+
+    def _bgrewriteaof(self, args) -> RespValue:
+        self._arity(args, 0, "bgrewriteaof")
+        if self.engine.aof is None:
+            raise RespError("ERR AOF is not enabled on this instance")
+        if self._active_job is not None:
+            raise RespError("ERR Background job already in progress")
+        self._active_job = self.engine.bgrewriteaof()
+        self._record_fork_latency(self._active_job)
+        return resp.SimpleString(b"Background append only file "
+                                 b"rewriting started")
+
+    def _lastsave(self, args) -> RespValue:
+        self._arity(args, 0, "lastsave")
+        return self._last_save_ns // SEC
+
+    def _latency(self, args) -> RespValue:
+        """LATENCY HISTORY|LATEST|RESET|DOCTOR (Redis's framework)."""
+        if not args:
+            raise RespError(
+                "ERR wrong number of arguments for 'latency' command"
+            )
+        sub = bytes(args[0]).upper()
+        if sub == b"HISTORY":
+            self._arity(args, 2, "latency history")
+            samples = self.latency.history(bytes(args[1]).decode())
+            return [
+                [s.at_ns // SEC, int(s.duration_ms * 1000)]
+                for s in samples
+            ]
+        if sub == b"LATEST":
+            rows = []
+            for event, sample in sorted(self.latency.latest().items()):
+                worst = self.latency.worst(event)
+                rows.append(
+                    [
+                        event.encode(),
+                        sample.at_ns // SEC,
+                        int(sample.duration_ms * 1000),
+                        int(worst * 1000),
+                    ]
+                )
+            return rows
+        if sub == b"RESET":
+            events = [bytes(a).decode() for a in args[1:]]
+            return self.latency.reset(*events)
+        if sub == b"DOCTOR":
+            return self.latency.doctor().encode()
+        raise RespError(f"ERR unknown LATENCY subcommand {sub.decode()!r}")
+
+    def _info(self, args) -> RespValue:
+        job = self._active_job
+        fields = {
+            "fork_engine": self.engine.fork_engine.name,
+            "db_keys": len(self.engine.store),
+            "dirty_since_save": self.engine.store.dirty_since_save,
+            "rdb_bgsave_in_progress": int(isinstance(job, SnapshotJob)),
+            "aof_rewrite_in_progress": int(isinstance(job, RewriteJob)),
+            "completed_snapshots": self._completed_snapshots,
+            "rss_pages": self.engine.process.mm.rss,
+        }
+        text = "".join(f"{k}:{v}\r\n" for k, v in fields.items())
+        return text.encode()

@@ -1,0 +1,42 @@
+"""Simulated Linux memory-management substrate.
+
+This package models the pieces of the Linux mm subsystem that the paper's
+algorithms are defined over:
+
+* a four-level radix page table (:mod:`repro.mem.page_table`) built from
+  512-entry directory tables (:mod:`repro.mem.directory`) and numpy-backed
+  PTE leaf tables (:mod:`repro.mem.pte_table`);
+* virtual memory areas with merge/split and the Async-fork two-way pointer
+  (:mod:`repro.mem.vma`);
+* a physical frame allocator with OOM injection (:mod:`repro.mem.frames`)
+  and per-frame ``struct page`` metadata (:mod:`repro.mem.page_struct`);
+* an ``mm_struct`` equivalent tying it together with fault handling and
+  checkpoint notifications (:mod:`repro.mem.address_space`);
+* per-process TLBs with explicit flush semantics (:mod:`repro.mem.tlb`),
+  used to reproduce the shared-page-table data-leakage scenario of Table 1;
+* the OS-inherent events that modify PTEs behind the application's back —
+  page migration, swap, OOM reclaim, get_user_pages
+  (:mod:`repro.mem.reclaim`).
+"""
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.flags import PteFlags
+from repro.mem.frames import FrameAllocator, SwapSpace
+from repro.mem.hugepage import HugePage
+from repro.mem.page_table import PageTable
+from repro.mem.tlb import Tlb
+from repro.mem.vma import Vma, VmaProt
+from repro.mem.wss import WssEstimator
+
+__all__ = [
+    "AddressSpace",
+    "FrameAllocator",
+    "HugePage",
+    "PageTable",
+    "PteFlags",
+    "SwapSpace",
+    "Tlb",
+    "Vma",
+    "VmaProt",
+    "WssEstimator",
+]

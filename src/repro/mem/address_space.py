@@ -1,0 +1,651 @@
+"""The simulated ``mm_struct``: VMAs + page table + fault handling.
+
+This module glues the substrate together and, crucially, fires the
+*checkpoints* of Table 3 before every operation that may modify VMAs or
+PTEs.  Fork sessions (Async-fork's proactive synchronization, ODF's
+table-CoW) subscribe to these checkpoints; the address space itself stays
+agnostic about which fork engine, if any, is active.
+
+The write-protect bit of a PMD entry is treated as a software marker, as in
+the paper: a write access under a write-protected PMD faults, the fault
+fires :data:`~repro.mem.checkpoints.HANDLE_MM_FAULT`, subscribers repair
+the page table (copy or unshare the leaf table), and the fault path then
+resolves the data-page CoW as usual.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import InvalidAddressError, ProtectionFaultError
+from repro.mem import checkpoints as cp
+from repro.mem.checkpoints import CheckpointEvent
+from repro.mem.directory import require_pte_table
+from repro.mem.flags import (
+    PteFlags,
+    pte_frame,
+    pte_present,
+    pte_writable,
+)
+from repro.mem.frames import FrameAllocator
+from repro.mem.page_table import PageTable
+from repro.mem.tlb import Tlb
+from repro.mem.vma import Vma, VmaList, VmaProt, aligned_range
+from repro.units import (
+    PAGE_SIZE,
+    PTE_TABLE_SPAN,
+    page_align_down,
+    pte_index,
+)
+
+#: Default base of the anonymous mapping arena.
+MMAP_BASE = 0x5555_0000_0000
+#: Default top of the (downward-growing) stack arena.
+STACK_TOP = 0x7FFF_FF00_0000
+
+ZERO_FRAME = 0
+
+CheckpointSubscriber = Callable[[CheckpointEvent], None]
+
+
+class AddressSpace:
+    """One process's memory map."""
+
+    def __init__(
+        self,
+        frames: FrameAllocator,
+        name: str = "mm",
+        tlb: Optional[Tlb] = None,
+    ) -> None:
+        self.frames = frames
+        self.name = name
+        self.vmas = VmaList()
+        self.page_table = PageTable(frames)
+        #: Per-process TLB (optional; the leakage demos provide one).
+        self.tlb = tlb if tlb is not None else Tlb(owner=name)
+        self.checkpoint_subscribers: list[CheckpointSubscriber] = []
+        #: Resident set size in pages.
+        self.rss = 0
+        self._mmap_cursor = MMAP_BASE
+        self.stats = {"faults": 0, "cow_copies": 0, "zapped": 0}
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+
+    def fire(
+        self,
+        name: str,
+        start: int,
+        end: int,
+        vma: Optional[Vma] = None,
+        write: bool = False,
+        **detail,
+    ) -> CheckpointEvent:
+        """Fire a checkpoint *before* the corresponding modification."""
+        event = CheckpointEvent(
+            name=name,
+            mm=self,
+            start=start,
+            end=end,
+            vma=vma,
+            write=write,
+            detail=detail,
+        )
+        for subscriber in list(self.checkpoint_subscribers):
+            subscriber(event)
+        return event
+
+    def subscribe(self, fn: CheckpointSubscriber) -> None:
+        """Register a checkpoint subscriber (a fork session)."""
+        self.checkpoint_subscribers.append(fn)
+
+    def unsubscribe(self, fn: CheckpointSubscriber) -> None:
+        """Remove a checkpoint subscriber."""
+        self.checkpoint_subscribers.remove(fn)
+
+    # ------------------------------------------------------------------
+    # VMA syscalls
+    # ------------------------------------------------------------------
+
+    def mmap(
+        self,
+        length: int,
+        prot: VmaProt = VmaProt.READ | VmaProt.WRITE,
+        tag: str = "anon",
+        fixed_at: Optional[int] = None,
+    ) -> Vma:
+        """Create an anonymous mapping; returns the (possibly merged) VMA."""
+        if length <= 0:
+            raise ValueError("mmap length must be positive")
+        if fixed_at is not None:
+            lo, hi = aligned_range(fixed_at, length)
+        else:
+            lo, hi = aligned_range(self._mmap_cursor, length)
+            self._mmap_cursor = hi
+        vma = Vma(lo, hi, prot, tag)
+        self.fire(cp.VMA_MERGE, lo, hi, vma=vma)
+        return self.vmas.insert(vma)
+
+    def mmap_huge(
+        self,
+        length: int,
+        prot: VmaProt = VmaProt.READ | VmaProt.WRITE,
+    ) -> Vma:
+        """Create a transparent-huge-page mapping (2 MiB granularity).
+
+        The region faults in whole huge pages: cheap to fork (one PMD
+        entry instead of 512 PTEs) but with the §3.2 downsides — 2 MiB
+        fault/CoW granularity and all-or-nothing residency — and
+        incompatible with Async-fork's PMD R/W-bit reuse.
+        """
+        from repro.mem.hugepage import HUGE_PAGE_SIZE
+
+        if length <= 0 or length % HUGE_PAGE_SIZE:
+            raise ValueError("huge mappings are 2 MiB-granular")
+        # Align the arena cursor up to a huge-page boundary.
+        base = (
+            (self._mmap_cursor + HUGE_PAGE_SIZE - 1)
+            // HUGE_PAGE_SIZE
+            * HUGE_PAGE_SIZE
+        )
+        self._mmap_cursor = base + length
+        vma = Vma(base, base + length, prot, tag="thp")
+        self.fire(cp.VMA_MERGE, base, base + length, vma=vma)
+        return self.vmas.insert(vma, merge=False)
+
+    def munmap(self, start: int, length: int) -> int:
+        """Remove mappings over [start, start+length); returns pages zapped.
+
+        Fires :data:`~repro.mem.checkpoints.DETACH_VMAS` before any PTE is
+        touched — this is the canonical VMA-wide modification of §4.3 (the
+        "user deletes lots of KV pairs" example).
+        """
+        lo, hi = aligned_range(start, length)
+        affected = self.vmas.overlapping(lo, hi)
+        if not affected:
+            return 0
+        self.fire(cp.DETACH_VMAS, lo, hi)
+        zapped = 0
+        for vma in affected:
+            vma = self._trim_to_range(vma, lo, hi)
+            zapped += self._zap(vma.start, vma.end, checkpoint=None)
+            self.vmas.remove(vma)
+        return zapped
+
+    def mprotect(self, start: int, length: int, prot: VmaProt) -> None:
+        """Change protection over a range (do_mprotect_pkey)."""
+        lo, hi = aligned_range(start, length)
+        affected = self.vmas.overlapping(lo, hi)
+        if not affected:
+            raise InvalidAddressError(f"mprotect of unmapped range {lo:#x}")
+        self.fire(cp.DO_MPROTECT, lo, hi)
+        for vma in affected:
+            vma = self._trim_to_range(vma, lo, hi)
+            vma.prot = prot
+            if not prot & VmaProt.WRITE:
+                self.page_table.write_protect_range(vma.start, vma.end)
+                self._flush_tlb_range(vma.start, vma.end)
+
+    def madvise_dontneed(self, start: int, length: int) -> int:
+        """MADV_DONTNEED: drop pages but keep the VMA (madvise_vma)."""
+        lo, hi = aligned_range(start, length)
+        if not self.vmas.overlapping(lo, hi):
+            return 0
+        self.fire(cp.MADVISE_VMA, lo, hi)
+        return self._zap(lo, hi, checkpoint=None)
+
+    def mremap(self, vma: Vma, new_length: int) -> Vma:
+        """Resize a VMA in place (vma_to_resize)."""
+        new_end = vma.start + new_length
+        new_end = aligned_range(vma.start, new_length)[1]
+        self.fire(cp.VMA_TO_RESIZE, vma.start, max(vma.end, new_end), vma=vma)
+        if new_end < vma.end:
+            self._zap(new_end, vma.end, checkpoint=None)
+            vma.end = new_end
+        elif new_end > vma.end:
+            blockers = self.vmas.overlapping(vma.end, new_end)
+            if blockers:
+                raise InvalidAddressError("cannot grow into mapped range")
+            vma.end = new_end
+        return vma
+
+    def mlock(self, start: int, length: int) -> None:
+        """Lock a range (mlock_fixup checkpoint; no PTE change modelled)."""
+        lo, hi = aligned_range(start, length)
+        self.fire(cp.MLOCK_FIXUP, lo, hi)
+
+    def expand_stack(self, vma: Vma, new_start: int) -> Vma:
+        """Grow a stack VMA downwards (expand_downwards)."""
+        new_start = page_align_down(new_start)
+        if new_start >= vma.start:
+            return vma
+        self.fire(cp.EXPAND_DOWNWARDS, new_start, vma.start, vma=vma)
+        vma.start = new_start
+        return vma
+
+    def _trim_to_range(self, vma: Vma, lo: int, hi: int) -> Vma:
+        """Split ``vma`` so the returned VMA lies entirely in [lo, hi)."""
+        if vma.start < lo:
+            self.fire(cp.SPLIT_VMA, vma.start, vma.end, vma=vma)
+            _, vma = self.vmas.split(vma, lo)
+        if vma.end > hi:
+            self.fire(cp.SPLIT_VMA, vma.start, vma.end, vma=vma)
+            vma, _ = self.vmas.split(vma, hi)
+        return vma
+
+    # ------------------------------------------------------------------
+    # PTE zapping (shared by munmap / madvise / OOM reclaim)
+    # ------------------------------------------------------------------
+
+    def _zap(
+        self, lo: int, hi: int, checkpoint: Optional[str]
+    ) -> int:
+        """Clear present PTEs in [lo, hi), dropping frame references.
+
+        ``checkpoint`` names a PMD-wide checkpoint to fire per PMD slot
+        (``zap_pmd_range`` on the OOM path) or ``None`` when a VMA-wide
+        checkpoint already covered the range.
+        """
+        from repro.mem.hugepage import HugePage
+
+        zapped = 0
+        for pmd, idx, base in self.page_table.iter_pmd_slots(lo, hi):
+            leaf = pmd.get(idx)
+            if leaf is None:
+                continue
+            if checkpoint is not None:
+                self.fire(
+                    checkpoint, base, base + PTE_TABLE_SPAN, write=True
+                )
+            if isinstance(leaf, HugePage):
+                if lo <= base and base + PTE_TABLE_SPAN <= hi:
+                    pmd.clear(idx)
+                    leaf.mapcount -= 1
+                    if leaf.resident_bytes:
+                        self.rss -= PTE_TABLE_SPAN // PAGE_SIZE
+                    self._flush_tlb_range(base, base + PTE_TABLE_SPAN)
+                    zapped += PTE_TABLE_SPAN // PAGE_SIZE
+                continue
+            leaf = require_pte_table(pmd.get(idx))
+            for i in leaf.referencing_indices():
+                vaddr = base + i * PAGE_SIZE
+                if not lo <= vaddr < hi:
+                    continue
+                old = leaf.clear(i)
+                self._drop_frame(pte_frame(old))
+                self.tlb.flush_page(vaddr)
+                zapped += 1
+            span_covered = lo <= base and base + PTE_TABLE_SPAN <= hi
+            if leaf.present_count == 0 and span_covered:
+                pmd.clear(idx)
+                self._free_table_frame(leaf)
+        self.stats["zapped"] += zapped
+        return zapped
+
+    def zap_pmd_range(self, lo: int, hi: int) -> int:
+        """OOM-killer style reclaim: zap with per-PMD checkpoints."""
+        return self._zap(lo, hi, checkpoint=cp.ZAP_PMD_RANGE)
+
+    def _free_table_frame(self, leaf) -> None:
+        page = leaf.page
+        if page.share_count > 0:
+            page.share_count -= 1
+            return
+        if self.frames.is_allocated(page.frame) and not page.locked:
+            self.frames.free(page.frame)
+
+    def _drop_frame(self, frame: int) -> None:
+        if frame == ZERO_FRAME:
+            return
+        page = self.frames.page(frame)
+        if page.put() == 0:
+            self.frames.free(frame)
+        self.rss -= 1
+
+    def _flush_tlb_range(self, lo: int, hi: int) -> None:
+        for vaddr in range(lo, hi, PAGE_SIZE):
+            self.tlb.flush_page(vaddr)
+
+    # ------------------------------------------------------------------
+    # faults
+    # ------------------------------------------------------------------
+
+    def handle_fault(self, vaddr: int, write: bool) -> int:
+        """Resolve a page fault at ``vaddr``; returns the mapped frame.
+
+        Mirrors ``handle_mm_fault()``: fires the PMD-wide checkpoint first
+        (letting an active Async-fork session proactively synchronize the
+        covering PTE table, or an ODF session unshare it), then installs or
+        CoW-copies the data page.
+        """
+        vma = self.vmas.find(vaddr)
+        if vma is None:
+            raise InvalidAddressError(f"fault at unmapped {vaddr:#x}")
+        needed = VmaProt.WRITE if write else VmaProt.READ
+        if not vma.prot & needed:
+            raise ProtectionFaultError(
+                f"{'write' if write else 'read'} to {vaddr:#x} "
+                f"violates {vma.prot!r}"
+            )
+        self.stats["faults"] += 1
+        page_lo = page_align_down(vaddr)
+        found = self.page_table.walk_pmd(vaddr)
+        pmd_wp = found is not None and found[0].is_write_protected(found[1])
+        self.fire(
+            cp.HANDLE_MM_FAULT,
+            page_lo,
+            page_lo + PAGE_SIZE,
+            vma=vma,
+            write=write,
+            pmd_wp=pmd_wp,
+        )
+        # A subscriber may have repaired the PMD; if the software marker
+        # is still set with NO session subscribed, clear it — it is only
+        # a leftover marker then.  With a live session the marker stays:
+        # the session may have lost the trylock race (the holder will
+        # finish the copy and clear it).
+        found = self.page_table.walk_pmd(vaddr)
+        if (
+            write
+            and not self.checkpoint_subscribers
+            and found is not None
+            and found[0].is_write_protected(found[1])
+        ):
+            found[0].set_write_protected(found[1], False)
+
+        pte = self.page_table.get_pte(vaddr)
+        if not pte_present(pte) and pte & int(PteFlags.SWAP):
+            # Swap-in: restore the page privately from the shared slot,
+            # then resolve any pending CoW arm for write accesses.
+            frame = self._swap_in(vaddr, pte)
+            pte = self.page_table.get_pte(vaddr)
+            if write and not pte_writable(pte):
+                return self._resolve_cow(vaddr, pte)
+            return frame
+        if not pte_present(pte) and pte & int(PteFlags.SPECIAL):
+            # NUMA hint fault: the frame is intact, re-establish PRESENT.
+            pte = self._restore_numa_hint(vaddr, pte)
+        if not pte_present(pte):
+            return self._fault_in_page(vaddr, vma, write)
+        if write and not pte_writable(pte):
+            return self._resolve_cow(vaddr, pte)
+        leaf = self.page_table.walk_pte_table(vaddr)
+        assert leaf is not None
+        flags = PteFlags.ACCESSED | (PteFlags.DIRTY if write else PteFlags.NONE)
+        leaf.add_flags(pte_index(vaddr), flags)
+        return pte_frame(pte)
+
+    def _swap_in(self, vaddr: int, pte: int) -> int:
+        """Fault a swapped-out page back in from the shared swap space."""
+        from repro.mem.flags import make_pte, pte_flags
+
+        slot = pte_frame(pte)
+        contents = self.frames.swap.load(slot)
+        page = self.frames.alloc("data")
+        page.get()
+        if contents:
+            self.frames.write(page.frame, 0, contents)
+        flags = (pte_flags(pte) | PteFlags.PRESENT) & ~PteFlags.SWAP
+        leaf = self.page_table.walk_pte_table(vaddr)
+        assert leaf is not None
+        leaf.set(pte_index(vaddr), make_pte(page.frame, flags))
+        self.rss += 1
+        self.tlb.flush_page(vaddr)
+        return page.frame
+
+    def _restore_numa_hint(self, vaddr: int, pte: int) -> int:
+        """Undo a change_prot_numa poisoning for one PTE."""
+        from repro.mem.flags import make_pte, pte_flags  # local: tiny helper
+
+        leaf = self.page_table.walk_pte_table(vaddr)
+        assert leaf is not None
+        flags = (pte_flags(pte) | PteFlags.PRESENT) & ~PteFlags.SPECIAL
+        restored = make_pte(pte_frame(pte), flags)
+        leaf.set(pte_index(vaddr), restored)
+        return restored
+
+    def _fault_in_page(self, vaddr: int, vma: Vma, write: bool) -> int:
+        """First touch of an anonymous page."""
+        if not write:
+            # Read faults map the shared zero page read-only.
+            self.page_table.map(
+                vaddr, ZERO_FRAME, PteFlags.ACCESSED
+            )
+            return ZERO_FRAME
+        page = self.frames.alloc("data")
+        page.get()
+        flags = PteFlags.RW | PteFlags.ACCESSED | PteFlags.DIRTY
+        if not vma.prot & VmaProt.WRITE:  # pragma: no cover - guarded above
+            flags &= ~PteFlags.RW
+        self.page_table.map(vaddr, page.frame, flags)
+        self.rss += 1
+        self.tlb.flush_page(vaddr)
+        return page.frame
+
+    def _resolve_cow(self, vaddr: int, pte: int) -> int:
+        """Break copy-on-write for a write to a write-protected page."""
+        frame = pte_frame(pte)
+        if frame == ZERO_FRAME:
+            # Upgrade the zero page to a private writable page.
+            self.page_table.clear_pte(vaddr)
+            vma = self.vmas.find(vaddr)
+            assert vma is not None
+            return self._fault_in_page(vaddr, vma, write=True)
+        page = self.frames.page(frame)
+        if page.mapcount > 1:
+            new_page = self.frames.alloc("data")
+            new_page.get()
+            self.frames.copy_contents(frame, new_page.frame)
+            page.put()
+            self.page_table.map(
+                vaddr,
+                new_page.frame,
+                PteFlags.RW | PteFlags.ACCESSED | PteFlags.DIRTY,
+            )
+            self.tlb.flush_page(vaddr)
+            self.stats["cow_copies"] += 1
+            return new_page.frame
+        # Sole owner: reuse the page in place.
+        leaf = self.page_table.walk_pte_table(vaddr)
+        assert leaf is not None
+        leaf.add_flags(
+            pte_index(vaddr),
+            PteFlags.RW | PteFlags.ACCESSED | PteFlags.DIRTY,
+        )
+        self.tlb.flush_page(vaddr)
+        return frame
+
+    # ------------------------------------------------------------------
+    # huge pages (§3.2)
+    # ------------------------------------------------------------------
+
+    def _huge_mapping(self, vaddr: int, write: bool):
+        """The huge page backing ``vaddr``, or None for regular VMAs."""
+        vma = self.vmas.find(vaddr)
+        if vma is None or vma.tag != "thp":
+            return None
+        return self._huge_fault(vaddr, vma, write)
+
+    def _huge_fault(self, vaddr: int, vma: Vma, write: bool):
+        from repro.mem.hugepage import HUGE_PAGE_SIZE, HugePage, huge_base
+
+        needed = VmaProt.WRITE if write else VmaProt.READ
+        if not vma.prot & needed:
+            raise ProtectionFaultError(
+                f"{'write' if write else 'read'} to huge page {vaddr:#x} "
+                f"violates {vma.prot!r}"
+            )
+        base = huge_base(vaddr)
+        found = self.page_table.walk_pmd(base, create=True)
+        assert found is not None
+        pmd, idx = found
+        hp = pmd.get(idx)
+        if hp is None:
+            # First touch: fault in a whole 2 MiB page (the expensive
+            # huge-page fault §3.2 quantifies).
+            self.stats["faults"] += 1
+            self.fire(
+                cp.HANDLE_MM_FAULT, base, base + HUGE_PAGE_SIZE,
+                vma=vma, write=write, huge=True,
+            )
+            hp = HugePage()
+            pmd.set(idx, hp)
+            pmd.set_write_protected(idx, False)
+            return hp
+        if not isinstance(hp, HugePage):  # pragma: no cover - guarded
+            raise TypeError("thp VMA slot holds a PTE table")
+        if write and pmd.is_write_protected(idx):
+            # Huge CoW: one small write copies the whole 2 MiB.
+            self.stats["faults"] += 1
+            self.fire(
+                cp.HANDLE_MM_FAULT, base, base + HUGE_PAGE_SIZE,
+                vma=vma, write=True, huge=True,
+            )
+            if hp.mapcount > 1:
+                hp.mapcount -= 1
+                hp = hp.copy()
+                pmd.set(idx, hp)
+                self.stats["cow_copies"] += 1
+            pmd.set_write_protected(idx, False)
+            self._flush_tlb_range(base, base + HUGE_PAGE_SIZE)
+        return hp
+
+    # ------------------------------------------------------------------
+    # user-space access (drives faults and the TLB)
+    # ------------------------------------------------------------------
+
+    def write_memory(self, vaddr: int, data: bytes) -> None:
+        """Store bytes at a virtual address, faulting pages in as needed."""
+        from repro.mem.hugepage import HUGE_PAGE_SIZE, huge_base
+
+        offset = 0
+        while offset < len(data):
+            here = vaddr + offset
+            hp = self._huge_mapping(here, write=True)
+            if hp is not None:
+                base = huge_base(here)
+                in_huge = here - base
+                chunk = min(len(data) - offset, HUGE_PAGE_SIZE - in_huge)
+                newly_resident = hp.resident_bytes == 0
+                hp.write(in_huge, data[offset : offset + chunk])
+                if newly_resident:
+                    self.rss += HUGE_PAGE_SIZE // PAGE_SIZE
+                offset += chunk
+                continue
+            page_lo = page_align_down(here)
+            in_page = here - page_lo
+            chunk = min(len(data) - offset, PAGE_SIZE - in_page)
+            frame = self._writable_frame(here)
+            self.frames.write(frame, in_page, data[offset : offset + chunk])
+            self.tlb.insert(page_lo, frame)
+            offset += chunk
+
+    def read_memory(self, vaddr: int, length: int) -> bytes:
+        """Load bytes, using the TLB first — stale entries *will* be used.
+
+        This faithful modelling of TLB semantics is what exposes the
+        shared-page-table leakage of Table 1.
+        """
+        from repro.mem.hugepage import HUGE_PAGE_SIZE, huge_base
+
+        parts: list[bytes] = []
+        offset = 0
+        while offset < length:
+            here = vaddr + offset
+            hp = self._huge_mapping(here, write=False)
+            if hp is not None:
+                base = huge_base(here)
+                in_huge = here - base
+                chunk = min(length - offset, HUGE_PAGE_SIZE - in_huge)
+                parts.append(hp.read(in_huge, chunk))
+                offset += chunk
+                continue
+            page_lo = page_align_down(vaddr + offset)
+            in_page = vaddr + offset - page_lo
+            chunk = min(length - offset, PAGE_SIZE - in_page)
+            frame = self.tlb.lookup(page_lo)
+            if frame is None:
+                pte = self.page_table.get_pte(page_lo)
+                if pte_present(pte):
+                    frame = pte_frame(pte)
+                    leaf = self.page_table.walk_pte_table(page_lo)
+                    assert leaf is not None
+                    leaf.add_flags(pte_index(page_lo), PteFlags.ACCESSED)
+                else:
+                    frame = self.handle_fault(page_lo, write=False)
+                self.tlb.insert(page_lo, frame)
+            parts.append(self.frames.read(frame, in_page, chunk))
+            offset += chunk
+        return b"".join(parts)
+
+    def _writable_frame(self, vaddr: int) -> int:
+        """Frame for a write access, resolving faults if required."""
+        pte = self.page_table.get_pte(vaddr)
+        if pte_present(pte) and pte_writable(pte):
+            found = self.page_table.walk_pmd(vaddr)
+            assert found is not None
+            if not found[0].is_write_protected(found[1]):
+                leaf = self.page_table.walk_pte_table(vaddr)
+                assert leaf is not None
+                leaf.add_flags(
+                    pte_index(vaddr), PteFlags.ACCESSED | PteFlags.DIRTY
+                )
+                return pte_frame(pte)
+        return self.handle_fault(vaddr, write=True)
+
+    def follow_page(self, vaddr: int) -> int:
+        """get_user_pages-style pinning access (follow_page_pte)."""
+        page_lo = page_align_down(vaddr)
+        self.fire(
+            cp.FOLLOW_PAGE_PTE, page_lo, page_lo + PAGE_SIZE, write=True
+        )
+        return self._writable_frame(vaddr)
+
+    # ------------------------------------------------------------------
+    # working-set estimation (Appendix A)
+    # ------------------------------------------------------------------
+
+    def estimate_wss(self) -> int:
+        """Count accessed PTEs — the kernel's WSS estimator input."""
+        count = 0
+        for vma in self.vmas:
+            for _, pte in self.page_table.iter_present_ptes(
+                vma.start, vma.end
+            ):
+                if pte & int(PteFlags.ACCESSED):
+                    count += 1
+        return count
+
+    def clear_accessed_bits(self) -> None:
+        """Age the accessed bits, as the WSS estimation loop does.
+
+        The kernel flushes the TLB alongside, so the next access performs
+        a fresh walk and re-marks the entry.
+        """
+        self.tlb.flush_all()
+        for vma in self.vmas:
+            for pmd, idx, _ in self.page_table.iter_pmd_slots(
+                vma.start, vma.end
+            ):
+                leaf = pmd.get(idx)
+                if leaf is None:
+                    continue
+                leaf = require_pte_table(leaf)
+                for i in leaf.present_indices():
+                    leaf.remove_flags(i, PteFlags.ACCESSED)
+
+    # ------------------------------------------------------------------
+
+    def snapshot_contents(self) -> dict[int, bytes]:
+        """Map of page-aligned vaddr -> page bytes for all present pages.
+
+        Used by tests as the ground truth "point-in-time" image.
+        """
+        image: dict[int, bytes] = {}
+        for vma in self.vmas:
+            for vaddr, pte in self.page_table.iter_present_ptes(
+                vma.start, vma.end
+            ):
+                image[vaddr] = self.frames.read(pte_frame(pte))
+        return image

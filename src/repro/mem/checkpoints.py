@@ -1,0 +1,92 @@
+"""Checkpoint names and events: where the OS modifies VMAs or PTEs.
+
+Table 3 of the paper enumerates the kernel functions through which *every*
+VMA/PTE modification flows; Async-fork hooks them so the parent can detect
+a to-be-modified, not-yet-copied PTE range and synchronize it to the child
+first.  The same names are used here so tests can assert coverage.
+
+Two classes exist (§4.3):
+
+* **VMA-wide** checkpoints potentially touch every PTE of one or more VMAs
+  (munmap, mprotect, madvise, mremap, mlock, stack expansion, NUMA
+  balancing).
+* **PMD-wide** checkpoints touch PTEs under a single PMD entry (page
+  faults, OOM reclaim via ``zap_pmd_range``, ``follow_page_pte`` for
+  get_user_pages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.mem.address_space import AddressSpace
+    from repro.mem.vma import Vma
+
+# VMA-wide checkpoints (Table 3, left column).
+VMA_MERGE = "vma_merge"
+SPLIT_VMA = "split_vma"
+DETACH_VMAS = "detach_vmas_to_be_unmapped"
+MADVISE_VMA = "madvise_vma"
+DO_MPROTECT = "do_mprotect_pkey"
+MLOCK_FIXUP = "mlock_fixup"
+VMA_TO_RESIZE = "vma_to_resize"
+EXPAND_UPWARDS = "expand_upwards"
+EXPAND_DOWNWARDS = "expand_downwards"
+CHANGE_PROT_NUMA = "change_prot_numa"
+
+# PMD-wide checkpoints (Table 3, right column).
+HANDLE_MM_FAULT = "handle_mm_fault"
+ZAP_PMD_RANGE = "zap_pmd_range"
+FOLLOW_PAGE_PTE = "follow_page_pte"
+
+VMA_WIDE_CHECKPOINTS = frozenset(
+    {
+        VMA_MERGE,
+        SPLIT_VMA,
+        DETACH_VMAS,
+        MADVISE_VMA,
+        DO_MPROTECT,
+        MLOCK_FIXUP,
+        VMA_TO_RESIZE,
+        EXPAND_UPWARDS,
+        EXPAND_DOWNWARDS,
+        CHANGE_PROT_NUMA,
+    }
+)
+
+PMD_WIDE_CHECKPOINTS = frozenset(
+    {HANDLE_MM_FAULT, ZAP_PMD_RANGE, FOLLOW_PAGE_PTE}
+)
+
+ALL_CHECKPOINTS = VMA_WIDE_CHECKPOINTS | PMD_WIDE_CHECKPOINTS
+
+
+@dataclass
+class CheckpointEvent:
+    """One firing of a checkpoint, observed *before* the modification."""
+
+    name: str
+    mm: "AddressSpace"
+    start: int
+    end: int
+    vma: Optional["Vma"] = None
+    write: bool = False
+    #: Set by the fault path when the covering PMD entry is write-protected
+    #: (i.e. Async-fork has not copied that PTE table yet).
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def is_vma_wide(self) -> bool:
+        """Whether this checkpoint may touch many PMD entries."""
+        return self.name in VMA_WIDE_CHECKPOINTS
+
+
+def classify(name: str) -> str:
+    """Return ``'vma-wide'`` or ``'pmd-wide'`` for a checkpoint name."""
+    if name in VMA_WIDE_CHECKPOINTS:
+        return "vma-wide"
+    if name in PMD_WIDE_CHECKPOINTS:
+        return "pmd-wide"
+    raise ValueError(f"unknown checkpoint {name!r}")

@@ -1,0 +1,82 @@
+"""Copy-on-write helpers shared by the fork engines.
+
+``clone_pte_table_into`` is the one primitive every engine ultimately
+performs — default fork for every leaf table during the call, ODF on the
+first write fault to a shared table, Async-fork in the child copier and in
+the parent's proactive synchronization.  It copies the 512 entries,
+write-protects both sides (arming the data-page CoW), and raises the map
+counts of every referenced frame.
+"""
+
+from __future__ import annotations
+
+from repro.mem.flags import PteFlags, pte_frame, pte_present
+from repro.mem.frames import FrameAllocator
+from repro.mem.pte_table import PteTable
+
+
+def clone_pte_table_into(
+    src: PteTable,
+    dst: PteTable,
+    frames: FrameAllocator,
+    write_protect: bool = True,
+) -> int:
+    """Copy all entries of ``src`` into ``dst``; returns entries copied.
+
+    With ``write_protect`` (the CoW arm), the RW bit is cleared in *both*
+    tables so the first post-fork write by either process faults.
+    """
+    dst.copy_entries_from(src)
+    for i in src.referencing_indices():
+        frame = pte_frame(src.get(i))
+        if frame != 0:
+            frames.page(frame).get()
+    if write_protect:
+        src.write_protect_all()
+        dst.write_protect_all()
+    return src.present_count
+
+
+def unshare_pte_table(
+    shared: PteTable, frames: FrameAllocator
+) -> PteTable:
+    """ODF's table-CoW: give the faulting process a private copy.
+
+    The shared table's ``share_count`` is decremented by the caller (which
+    knows which PMD slot to repoint).  Entries are copied verbatim — they
+    are already write-protected from the fork — and map counts rise because
+    a new set of PTEs now references the same frames.
+    """
+    private = PteTable(frames.alloc("pte-table"))
+    private.copy_entries_from(shared)
+    for i in shared.referencing_indices():
+        frame = pte_frame(shared.get(i))
+        if frame != 0:
+            frames.page(frame).get()
+    return private
+
+
+def drop_pte_table_references(
+    leaf: PteTable, frames: FrameAllocator
+) -> int:
+    """Release every frame reference a leaf table holds (rollback/exit)."""
+    dropped = 0
+    for i in leaf.referencing_indices():
+        pte = leaf.get(i)
+        frame = pte_frame(pte)
+        if frame == 0:
+            continue
+        page = frames.page(frame)
+        if page.put() == 0:
+            frames.free(frame)
+        dropped += 1
+    return dropped
+
+
+def count_write_protected(leaf: PteTable) -> int:
+    """Number of present entries with the RW bit clear (test helper)."""
+    count = 0
+    for i in leaf.present_indices():
+        if not leaf.get(i) & int(PteFlags.RW):
+            count += 1
+    return count

@@ -1,0 +1,118 @@
+"""Directory levels of the radix page table: PGD, PUD, PMD.
+
+Each directory table holds 512 slots.  A PGD slot references a PUD table, a
+PUD slot references a PMD table, and a PMD slot references a
+:class:`~repro.mem.pte_table.PteTable` leaf.
+
+PMD entries additionally carry the **R/W flag** that Async-fork repurposes
+as its "has this PTE table been copied to the child yet?" marker (§4.2).
+The flag is only free because the design requires transparent huge pages to
+be disabled — with THP on, the bit would mean "writable huge page".  The
+model enforces that restriction in :mod:`repro.core.policy`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.mem.page_struct import PageStruct
+from repro.mem.pte_table import PteTable
+from repro.units import ENTRIES_PER_TABLE
+
+PGD = "pgd"
+PUD = "pud"
+PMD = "pmd"
+
+_CHILD_LEVEL = {PGD: PUD, PUD: PMD, PMD: "pte"}
+
+
+class DirectoryTable:
+    """One 512-slot directory table at a given level."""
+
+    __slots__ = ("level", "page", "_slots", "_writable")
+
+    def __init__(self, level: str, page: PageStruct) -> None:
+        if level not in (PGD, PUD, PMD):
+            raise ValueError(f"unknown directory level {level!r}")
+        self.level = level
+        #: ``struct page`` of the frame holding this directory.
+        self.page = page
+        self._slots: list[Optional[object]] = [None] * ENTRIES_PER_TABLE
+        # R/W flag per entry; meaningful at the PMD level only, where
+        # True = writable (copied / not tracked) and False = write-protected
+        # (Async-fork: "not yet copied to the child").
+        self._writable: list[bool] = [True] * ENTRIES_PER_TABLE
+
+    @property
+    def child_level(self) -> str:
+        """Level of the tables referenced by this directory's slots."""
+        return _CHILD_LEVEL[self.level]
+
+    # -- slot access -------------------------------------------------------
+
+    def get(self, index: int):
+        """Child table referenced by slot ``index`` (or ``None``)."""
+        return self._slots[index]
+
+    def set(self, index: int, child) -> None:
+        """Point slot ``index`` at ``child`` (a directory or PTE table)."""
+        self._slots[index] = child
+
+    def clear(self, index: int):
+        """Empty slot ``index``; return the old child."""
+        old = self._slots[index]
+        self._slots[index] = None
+        self._writable[index] = True
+        return old
+
+    def is_present(self, index: int) -> bool:
+        """Whether slot ``index`` references a child table."""
+        return self._slots[index] is not None
+
+    # -- the PMD R/W flag ----------------------------------------------------
+
+    def is_write_protected(self, index: int) -> bool:
+        """Async-fork's "not yet copied" marker (PMD level)."""
+        return not self._writable[index]
+
+    def set_write_protected(self, index: int, protected: bool = True) -> None:
+        """Toggle the R/W flag of a slot."""
+        self._writable[index] = not protected
+
+    def write_protect_present(self) -> int:
+        """Write-protect every present slot; return how many were present."""
+        count = 0
+        for i in range(ENTRIES_PER_TABLE):
+            if self._slots[i] is not None:
+                self._writable[i] = False
+                count += 1
+        return count
+
+    # -- iteration -----------------------------------------------------------
+
+    def present_slots(self) -> Iterator[tuple[int, object]]:
+        """Yield ``(index, child)`` for every present slot."""
+        for i, child in enumerate(self._slots):
+            if child is not None:
+                yield i, child
+
+    def present_count(self) -> int:
+        """Number of present slots."""
+        return sum(1 for child in self._slots if child is not None)
+
+    def __len__(self) -> int:
+        return ENTRIES_PER_TABLE
+
+
+def require_pte_table(child) -> PteTable:
+    """Downcast a PMD slot's child to a PTE table, asserting the level."""
+    if not isinstance(child, PteTable):
+        raise TypeError(f"PMD slot references {type(child).__name__}")
+    return child
+
+
+def require_directory(child, level: str) -> DirectoryTable:
+    """Downcast a slot's child to a directory table of ``level``."""
+    if not isinstance(child, DirectoryTable) or child.level != level:
+        raise TypeError(f"expected {level} table, found {child!r}")
+    return child

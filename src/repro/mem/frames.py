@@ -1,0 +1,197 @@
+"""Physical memory: frame allocation, contents, and failure injection.
+
+Frames are identified by integer frame numbers.  Contents are materialized
+lazily — only frames that are actually written get a backing ``bytearray`` —
+so functional tests can map large sparse regions cheaply.
+
+Failure injection drives the §4.4 error-handling paths: a test arms the
+allocator to fail after N further allocations, which makes the parent's
+PGD/PUD copy, the child's PMD/PTE copy, or a proactive synchronization hit
+"out of memory" mid-flight, and the fork engine must roll back.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import OutOfMemoryError
+from repro.mem.page_struct import PageStruct
+from repro.units import PAGE_SIZE
+
+
+class SwapSpace:
+    """System-wide swap: slot id -> page contents.
+
+    Swap entries live in PTEs as non-present values carrying the slot id
+    (PteFlags.SWAP).  Slots are write-once in the model; a slot shared by
+    several processes (a page swapped out while CoW-shared) is swapped
+    back in privately by each faulting process, which is semantically an
+    eager CoW and preserves snapshot consistency.
+    """
+
+    def __init__(self) -> None:
+        self._slots: dict[int, bytes] = {}
+        self._next_slot = 1
+
+    def store(self, contents: bytes) -> int:
+        """Write a page to swap; returns the slot id."""
+        slot = self._next_slot
+        self._next_slot += 1
+        self._slots[slot] = contents
+        return slot
+
+    def load(self, slot: int) -> bytes:
+        """Read a swapped-out page."""
+        return self._slots[slot]
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, slot: int) -> bool:
+        return slot in self._slots
+
+
+class FrameAllocator:
+    """Allocates simulated physical frames and tracks their metadata.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of simultaneously allocated frames, or ``None`` for
+        unlimited.  Exceeding it raises :class:`OutOfMemoryError`, which is
+        how the OOM-killer scenarios are staged.
+    """
+
+    def __init__(
+        self, capacity: int | None = None, reuse_freed: bool = False
+    ) -> None:
+        self.capacity = capacity
+        #: Hand freed frame numbers back out (real allocators do; the
+        #: data-leakage demo of Table 1 needs it to show a stale TLB entry
+        #: exposing another owner's data).
+        self.reuse_freed = reuse_freed
+        self._next_frame = 1  # frame 0 is reserved as "the zero page"
+        self._free_list: list[int] = []
+        self._pages: dict[int, PageStruct] = {}
+        self._contents: dict[int, bytearray] = {}
+        self._fail_after: int | None = None
+        self._fail_filter: Callable[[str], bool] | None = None
+        self.alloc_count = 0
+        self.free_count = 0
+        #: System-wide swap space shared by every process on the machine.
+        self.swap = SwapSpace()
+
+    # -- failure injection ---------------------------------------------------
+
+    def fail_after(
+        self,
+        remaining: int | None,
+        *,
+        only: Callable[[str], bool] | None = None,
+    ) -> None:
+        """Arm (or disarm with ``None``) allocation-failure injection.
+
+        ``remaining`` allocations succeed; the next one matching ``only``
+        (a predicate over the allocation purpose tag) raises
+        :class:`OutOfMemoryError`.
+        """
+        self._fail_after = remaining
+        self._fail_filter = only
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(self, purpose: str = "data") -> PageStruct:
+        """Allocate a frame; ``purpose`` tags it (e.g. ``'pte-table'``)."""
+        if self._fail_after is not None and (
+            self._fail_filter is None or self._fail_filter(purpose)
+        ):
+            if self._fail_after <= 0:
+                raise OutOfMemoryError(
+                    f"injected allocation failure (purpose={purpose})"
+                )
+            self._fail_after -= 1
+        if self.capacity is not None and len(self._pages) >= self.capacity:
+            raise OutOfMemoryError(
+                f"frame allocator exhausted ({self.capacity} frames)"
+            )
+        if self.reuse_freed and self._free_list:
+            frame = self._free_list.pop()
+        else:
+            frame = self._next_frame
+            self._next_frame += 1
+        page = PageStruct(frame=frame)
+        page.tags.add(purpose)
+        self._pages[frame] = page
+        self.alloc_count += 1
+        return page
+
+    def free(self, frame: int) -> None:
+        """Release a frame and drop its contents."""
+        page = self._pages.pop(frame, None)
+        if page is None:
+            raise KeyError(f"frame {frame} is not allocated")
+        if page.locked:
+            raise RuntimeError(f"freeing locked frame {frame}")
+        self._contents.pop(frame, None)
+        if self.reuse_freed:
+            self._free_list.append(frame)
+        self.free_count += 1
+
+    def page(self, frame: int) -> PageStruct:
+        """Metadata for an allocated frame."""
+        return self._pages[frame]
+
+    def is_allocated(self, frame: int) -> bool:
+        """Whether the frame is currently allocated."""
+        return frame in self._pages
+
+    @property
+    def allocated(self) -> int:
+        """Number of currently allocated frames."""
+        return len(self._pages)
+
+    def frames(self) -> Iterator[int]:
+        """Iterate over currently allocated frame numbers."""
+        return iter(self._pages)
+
+    # -- contents ------------------------------------------------------------
+
+    def read(self, frame: int, offset: int = 0, length: int | None = None) -> bytes:
+        """Read bytes from a frame (zero-filled if never written)."""
+        if frame != 0 and frame not in self._pages:
+            raise KeyError(f"frame {frame} is not allocated")
+        if length is None:
+            length = PAGE_SIZE - offset
+        self._check_span(offset, length)
+        buf = self._contents.get(frame)
+        if buf is None:
+            return bytes(length)
+        return bytes(buf[offset : offset + length])
+
+    def write(self, frame: int, offset: int, data: bytes) -> None:
+        """Write bytes into a frame, materializing its backing store."""
+        if frame == 0:
+            raise ValueError("the zero page is immutable")
+        if frame not in self._pages:
+            raise KeyError(f"frame {frame} is not allocated")
+        self._check_span(offset, len(data))
+        buf = self._contents.get(frame)
+        if buf is None:
+            buf = bytearray(PAGE_SIZE)
+            self._contents[frame] = buf
+        buf[offset : offset + len(data)] = data
+
+    def copy_contents(self, src: int, dst: int) -> None:
+        """Copy a whole frame (the CoW page copy)."""
+        buf = self._contents.get(src)
+        if buf is not None:
+            self._contents[dst] = bytearray(buf)
+        else:
+            self._contents.pop(dst, None)
+
+    @staticmethod
+    def _check_span(offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > PAGE_SIZE:
+            raise ValueError(
+                f"access [{offset}, {offset + length}) exceeds page size"
+            )

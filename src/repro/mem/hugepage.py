@@ -1,0 +1,106 @@
+"""Transparent huge pages (THP): the optimization the paper rules out.
+
+§3.2 examines huge pages as a way to shrink the page table (one PMD-level
+mapping replaces 512 PTEs, so ``fork`` gets cheap) and explains why
+IMKVSes disable them anyway:
+
+* the **fault penalty** — faulting a huge page zeroes/compacts 2 MiB
+  instead of 4 KiB (the cited study measured 3.6 µs -> 378 µs);
+* **CoW amplification** — after a fork, one small write copies the whole
+  2 MiB region ("a few event loops ... trigger the copy operation of a
+  large amount of process memory");
+* **memory bloat** — sparse access patterns pin entire huge pages (the
+  cited Redis experiment grew from 12.2 GB to 20.7 GB).
+
+Async-fork additionally *cannot coexist* with THP: it reuses the PMD
+R/W bit as its copied-marker, which is only free while no PMD maps a
+huge page (§4.2).  The model enforces that at fork time.
+
+A huge mapping lives directly in a PMD slot as a :class:`HugePage`
+object instead of a :class:`~repro.mem.pte_table.PteTable`; the
+write-protect bit of the slot is its *real* hardware CoW bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mem.directory import DirectoryTable
+from repro.units import ENTRIES_PER_TABLE, PTE_TABLE_SPAN
+
+#: Bytes covered by one huge page (the PMD span).
+HUGE_PAGE_SIZE = PTE_TABLE_SPAN  # 2 MiB
+#: Small pages replaced by one huge mapping.
+PAGES_PER_HUGE_PAGE = ENTRIES_PER_TABLE
+
+
+class HugePage:
+    """One 2 MiB huge page: contents + share count."""
+
+    __slots__ = ("_data", "mapcount")
+
+    def __init__(self) -> None:
+        self._data: Optional[bytearray] = None
+        #: Number of PMD slots mapping this huge page (CoW sharing).
+        self.mapcount = 1
+
+    # -- contents --------------------------------------------------------
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read bytes (zero-filled while never written)."""
+        self._check(offset, length)
+        if self._data is None:
+            return bytes(length)
+        return bytes(self._data[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write bytes, materializing the 2 MiB buffer."""
+        self._check(offset, len(data))
+        if self._data is None:
+            self._data = bytearray(HUGE_PAGE_SIZE)
+        self._data[offset : offset + len(data)] = data
+
+    def copy(self) -> "HugePage":
+        """Deep copy — the expensive huge-page CoW."""
+        clone = HugePage()
+        if self._data is not None:
+            clone._data = bytearray(self._data)
+        return clone
+
+    @property
+    def resident_bytes(self) -> int:
+        """Physical memory pinned by this mapping.
+
+        A huge page is all-or-nothing: one touched byte pins the whole
+        2 MiB — the bloat §3.2 describes.
+        """
+        return HUGE_PAGE_SIZE if self._data is not None else 0
+
+    @staticmethod
+    def _check(offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > HUGE_PAGE_SIZE:
+            raise ValueError(
+                f"access [{offset}, {offset + length}) exceeds a huge page"
+            )
+
+
+def is_huge_slot(pmd: DirectoryTable, idx: int) -> bool:
+    """Whether a PMD slot maps a huge page rather than a PTE table."""
+    return isinstance(pmd.get(idx), HugePage)
+
+
+def huge_base(vaddr: int) -> int:
+    """Round an address down to its huge-page boundary."""
+    return (vaddr // HUGE_PAGE_SIZE) * HUGE_PAGE_SIZE
+
+
+def count_huge_mappings(mm) -> int:
+    """Number of huge PMD slots in an address space (fork-time check)."""
+    count = 0
+    for vma in mm.vmas:
+        for pmd, idx, _ in mm.page_table.iter_pmd_slots(
+            vma.start, vma.end
+        ):
+            if is_huge_slot(pmd, idx):
+                count += 1
+    return count

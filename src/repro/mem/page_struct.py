@@ -1,0 +1,67 @@
+"""Per-frame metadata, the simulated ``struct page``.
+
+Every physical frame handed out by :class:`repro.mem.frames.FrameAllocator`
+carries one of these.  The fields mirror the parts of the kernel structure
+the paper's algorithms touch:
+
+* ``mapcount`` — how many PTEs map the frame.  Data-page copy-on-write uses
+  it to decide between copying and reusing in place, exactly like the
+  kernel's ``page_mapcount`` check.
+* ``share_count`` — ODF's extra per-PTE-table reference counter (the paper
+  notes ODF stores it in unused ``struct page`` bits).  Async-fork
+  deliberately does *not* use such a counter (§4.2, "we do not adopt the
+  design using the struct page").
+* a ``trylock``/``unlock`` pair — both the parent's proactive
+  synchronization and the child copier take the PTE-table page lock before
+  copying so they never copy the same table twice (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PageStruct:
+    """Metadata for one physical frame."""
+
+    frame: int
+    #: Number of PTEs currently mapping this frame.
+    mapcount: int = 0
+    #: ODF's share counter for frames used as PTE tables.
+    share_count: int = 0
+    #: True while somebody holds the page lock.
+    locked: bool = False
+    #: Free-form tags used by tests and by the reclaim machinery.
+    tags: set = field(default_factory=set)
+
+    def trylock(self) -> bool:
+        """Take the page lock if it is free; return whether we got it.
+
+        This mirrors ``trylock_page()``: the loser backs off instead of
+        sleeping, which is how the parent and child avoid copying the PTEs
+        of the same PMD entry at the same time.
+        """
+        if self.locked:
+            return False
+        self.locked = True
+        return True
+
+    def unlock(self) -> None:
+        """Release the page lock."""
+        if not self.locked:
+            raise RuntimeError(f"frame {self.frame}: unlock of unlocked page")
+        self.locked = False
+
+    def get(self) -> None:
+        """Increment the map count (a new PTE references the frame)."""
+        self.mapcount += 1
+
+    def put(self) -> int:
+        """Decrement the map count and return the new value."""
+        if self.mapcount <= 0:
+            raise RuntimeError(
+                f"frame {self.frame}: put() below zero mapcount"
+            )
+        self.mapcount -= 1
+        return self.mapcount

@@ -1,0 +1,237 @@
+"""The four-level radix page table (PGD -> PUD -> PMD -> PTE).
+
+This is the data structure whose *copy* dominates the default ``fork()``
+(Observation 1 in the paper).  The three fork engines manipulate it in
+different ways:
+
+* default fork clones every level top-down inside the parent;
+* ODF clones down to the PMD level and *shares* the PTE leaf tables;
+* Async-fork clones PGD/PUD in the parent, write-protects the PMD entries,
+  and leaves PMD/PTE cloning to the child.
+
+The tree is intentionally explicit rather than flattened: tests and the
+leakage demos inspect individual levels, flags and page locks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.mem.directory import (
+    PGD,
+    PMD,
+    PUD,
+    DirectoryTable,
+    require_directory,
+    require_pte_table,
+)
+from repro.mem.flags import PteFlags, make_pte, pte_frame, pte_present
+from repro.mem.frames import FrameAllocator
+from repro.mem.pte_table import PteTable
+from repro.units import (
+    ENTRIES_PER_TABLE,
+    PAGE_SIZE,
+    PMD_TABLE_SPAN,
+    PTE_TABLE_SPAN,
+    PUD_TABLE_SPAN,
+    pgd_index,
+    pmd_index,
+    pte_index,
+    pud_index,
+)
+
+
+class PageTable:
+    """A process's page table, rooted at a PGD."""
+
+    def __init__(self, frames: FrameAllocator) -> None:
+        self.frames = frames
+        self.pgd = DirectoryTable(PGD, frames.alloc("pgd"))
+
+    # -- table allocation ---------------------------------------------------
+
+    def _new_directory(self, level: str) -> DirectoryTable:
+        return DirectoryTable(level, self.frames.alloc(f"{level}-table"))
+
+    def new_pte_table(self) -> PteTable:
+        """Allocate an empty leaf table (used by fork engines too)."""
+        return PteTable(self.frames.alloc("pte-table"))
+
+    # -- walking -------------------------------------------------------------
+
+    def walk_pmd(
+        self, vaddr: int, create: bool = False
+    ) -> Optional[tuple[DirectoryTable, int]]:
+        """Find the PMD table and slot index covering ``vaddr``.
+
+        With ``create`` the intermediate directories are allocated on
+        demand; otherwise ``None`` is returned when the path is absent.
+        """
+        pud = self.pgd.get(pgd_index(vaddr))
+        if pud is None:
+            if not create:
+                return None
+            pud = self._new_directory(PUD)
+            self.pgd.set(pgd_index(vaddr), pud)
+        pud = require_directory(pud, PUD)
+        pmd = pud.get(pud_index(vaddr))
+        if pmd is None:
+            if not create:
+                return None
+            pmd = self._new_directory(PMD)
+            pud.set(pud_index(vaddr), pmd)
+        return require_directory(pmd, PMD), pmd_index(vaddr)
+
+    def walk_pte_table(
+        self, vaddr: int, create: bool = False
+    ) -> Optional[PteTable]:
+        """Find (or create) the PTE leaf table covering ``vaddr``."""
+        found = self.walk_pmd(vaddr, create=create)
+        if found is None:
+            return None
+        pmd, idx = found
+        leaf = pmd.get(idx)
+        if leaf is None:
+            if not create:
+                return None
+            leaf = self.new_pte_table()
+            pmd.set(idx, leaf)
+        return require_pte_table(leaf)
+
+    # -- PTE access -----------------------------------------------------------
+
+    def get_pte(self, vaddr: int) -> int:
+        """Raw PTE value for ``vaddr`` (0 if unmapped)."""
+        leaf = self.walk_pte_table(vaddr)
+        if leaf is None:
+            return 0
+        return leaf.get(pte_index(vaddr))
+
+    def set_pte(self, vaddr: int, value: int) -> None:
+        """Install a raw PTE value, allocating the path as needed."""
+        leaf = self.walk_pte_table(vaddr, create=True)
+        assert leaf is not None
+        leaf.set(pte_index(vaddr), value)
+
+    def map(self, vaddr: int, frame: int, flags: PteFlags) -> None:
+        """Map ``vaddr`` to ``frame`` with ``flags`` (plus PRESENT)."""
+        self.set_pte(vaddr, make_pte(frame, flags | PteFlags.PRESENT))
+
+    def clear_pte(self, vaddr: int) -> int:
+        """Clear the PTE for ``vaddr``; return the old value."""
+        leaf = self.walk_pte_table(vaddr)
+        if leaf is None:
+            return 0
+        return leaf.clear(pte_index(vaddr))
+
+    def translate(self, vaddr: int) -> Optional[int]:
+        """Virtual-to-physical: frame number, or ``None`` if not present."""
+        pte = self.get_pte(vaddr)
+        if not pte_present(pte):
+            return None
+        return pte_frame(pte)
+
+    # -- range iteration -------------------------------------------------------
+
+    def iter_pmd_slots(
+        self, start: int, end: int, create: bool = False
+    ) -> Iterator[tuple[DirectoryTable, int, int]]:
+        """Yield ``(pmd_table, slot, base_vaddr)`` over [start, end).
+
+        Each yielded slot covers one PTE table's span (2 MiB).  Without
+        ``create``, absent paths are skipped.
+        """
+        vaddr = (start // PTE_TABLE_SPAN) * PTE_TABLE_SPAN
+        while vaddr < end:
+            found = self.walk_pmd(vaddr, create=create)
+            if found is not None:
+                pmd, idx = found
+                yield pmd, idx, vaddr
+            vaddr += PTE_TABLE_SPAN
+
+    def iter_present_ptes(
+        self, start: int, end: int
+    ) -> Iterator[tuple[int, int]]:
+        """Yield ``(vaddr, pte_value)`` for present PTEs in [start, end)."""
+        from repro.mem.hugepage import HugePage  # local: avoid cycle
+
+        for pmd, idx, base in self.iter_pmd_slots(start, end):
+            leaf = pmd.get(idx)
+            if leaf is None or isinstance(leaf, HugePage):
+                continue
+            leaf = require_pte_table(leaf)
+            for i in leaf.present_indices():
+                vaddr = base + i * PAGE_SIZE
+                if start <= vaddr < end:
+                    yield vaddr, leaf.get(i)
+
+    # -- statistics used by the cost model ---------------------------------------
+
+    def level_counts(self) -> dict[str, int]:
+        """Count present entries per level: pgd/pud/pmd slots and PTEs.
+
+        For an 8 GiB instance this reproduces the anatomy of §3.1:
+        1 PGD entry, 8 PUD entries, 2^12 PMD entries, 2^21 PTEs.  A huge
+        mapping counts as one PMD entry and no PTEs — which is exactly
+        why THP makes ``fork`` cheap (§3.2).
+        """
+        from repro.mem.hugepage import HugePage  # local: avoid cycle
+
+        counts = {"pgd": 0, "pud": 0, "pmd": 0, "pte": 0, "huge": 0}
+        for _, pud in self.pgd.present_slots():
+            counts["pgd"] += 1
+            pud = require_directory(pud, PUD)
+            for _, pmd in pud.present_slots():
+                counts["pud"] += 1
+                pmd = require_directory(pmd, PMD)
+                for _, leaf in pmd.present_slots():
+                    counts["pmd"] += 1
+                    if isinstance(leaf, HugePage):
+                        counts["huge"] += 1
+                        continue
+                    counts["pte"] += require_pte_table(leaf).present_count
+        return counts
+
+    # -- bulk helpers shared by fork engines --------------------------------------
+
+    def write_protect_range(self, start: int, end: int) -> int:
+        """Clear the RW bit on all present PTEs in [start, end) (CoW arm).
+
+        Whole-table spans use the fast bulk path; boundary tables are
+        protected entry by entry so a partial ``mprotect`` does not spill
+        over.
+        """
+        from repro.mem.hugepage import HugePage  # local: avoid cycle
+
+        touched = 0
+        for pmd, idx, base in self.iter_pmd_slots(start, end):
+            leaf = pmd.get(idx)
+            if leaf is None:
+                continue
+            if isinstance(leaf, HugePage):
+                # Huge mappings CoW at PMD granularity: the slot's own
+                # write-protect bit is the arm.
+                pmd.set_write_protected(idx, True)
+                touched += 1
+                continue
+            leaf = require_pte_table(leaf)
+            if start <= base and base + PTE_TABLE_SPAN <= end:
+                touched += leaf.write_protect_all()
+                continue
+            for i in leaf.present_indices():
+                vaddr = base + i * PAGE_SIZE
+                if start <= vaddr < end:
+                    pte = leaf.get(i)
+                    if pte & int(PteFlags.RW):
+                        leaf.remove_flags(i, PteFlags.RW)
+                        touched += 1
+        return touched
+
+    def spans(self) -> dict[str, int]:
+        """Convenience: spans covered by one table at each level (bytes)."""
+        return {
+            "pte": PAGE_SIZE,
+            "pmd": PTE_TABLE_SPAN,
+            "pud": PMD_TABLE_SPAN,
+            "pgd": PUD_TABLE_SPAN,
+        }

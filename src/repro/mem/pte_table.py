@@ -1,0 +1,122 @@
+"""Leaf (PTE) tables: 512 entries backed by a numpy array.
+
+One PTE table covers 2 MiB of virtual address space and is itself stored in
+a physical frame, whose :class:`~repro.mem.page_struct.PageStruct` carries
+the ``trylock_page()`` lock used by Async-fork and the share counter used by
+ODF.  The array is materialized lazily so that sparse address spaces stay
+cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.flags import (
+    PteFlags,
+    pte_clear_flags,
+    pte_present,
+    pte_set_flags,
+)
+from repro.mem.page_struct import PageStruct
+from repro.units import ENTRIES_PER_TABLE
+
+
+class PteTable:
+    """A 512-entry leaf table of the radix page table."""
+
+    __slots__ = ("page", "_entries", "present_count")
+
+    def __init__(self, page: PageStruct) -> None:
+        #: ``struct page`` of the frame holding this table.
+        self.page = page
+        self._entries: np.ndarray | None = None
+        #: Number of present entries, kept incrementally for cheap scans.
+        self.present_count = 0
+
+    # -- entry access ----------------------------------------------------
+
+    def _materialize(self) -> np.ndarray:
+        if self._entries is None:
+            self._entries = np.zeros(ENTRIES_PER_TABLE, dtype=np.uint64)
+        return self._entries
+
+    def get(self, index: int) -> int:
+        """Raw PTE value at ``index`` (0 when never set)."""
+        if self._entries is None:
+            return 0
+        return int(self._entries[index])
+
+    def set(self, index: int, value: int) -> None:
+        """Store a raw PTE value, maintaining the present counter."""
+        entries = self._materialize()
+        old = int(entries[index])
+        entries[index] = np.uint64(value)
+        self.present_count += int(pte_present(value)) - int(pte_present(old))
+
+    def clear(self, index: int) -> int:
+        """Clear an entry to "none present"; return the old value."""
+        old = self.get(index)
+        if old:
+            self.set(index, 0)
+        return old
+
+    def add_flags(self, index: int, flags: PteFlags) -> None:
+        """Set flag bits on one entry."""
+        self.set(index, pte_set_flags(self.get(index), flags))
+
+    def remove_flags(self, index: int, flags: PteFlags) -> None:
+        """Clear flag bits on one entry."""
+        self.set(index, pte_clear_flags(self.get(index), flags))
+
+    def entries(self) -> np.ndarray:
+        """Read-only view of the raw entries (zeros if untouched)."""
+        if self._entries is None:
+            return np.zeros(ENTRIES_PER_TABLE, dtype=np.uint64)
+        return self._entries
+
+    def present_indices(self) -> list[int]:
+        """Indices of present entries."""
+        if self._entries is None or self.present_count == 0:
+            return []
+        present_bit = np.uint64(int(PteFlags.PRESENT))
+        mask = (self._entries & present_bit) != 0
+        return [int(i) for i in np.nonzero(mask)[0]]
+
+    def referencing_indices(self) -> list[int]:
+        """Indices of entries that hold a frame reference.
+
+        Besides present entries this includes non-present entries that
+        still own their frame — NUMA PROT_NONE hints and migration
+        entries (PteFlags.SPECIAL) — which reclaim and teardown must
+        release like any other mapping.
+        """
+        if self._entries is None:
+            return []
+        bits = np.uint64(int(PteFlags.PRESENT) | int(PteFlags.SPECIAL))
+        mask = (self._entries & bits) != 0
+        return [int(i) for i in np.nonzero(mask)[0]]
+
+    # -- bulk operations used by the fork engines --------------------------
+
+    def write_protect_all(self) -> int:
+        """Clear the RW bit on every present entry; return how many."""
+        if self._entries is None or self.present_count == 0:
+            return 0
+        present_bit = np.uint64(int(PteFlags.PRESENT))
+        rw_bit = np.uint64(int(PteFlags.RW))
+        mask = (self._entries & present_bit) != 0
+        touched = int(np.count_nonzero(mask & ((self._entries & rw_bit) != 0)))
+        self._entries[mask] &= ~rw_bit
+        return touched
+
+    def copy_entries_from(self, other: "PteTable") -> None:
+        """Replace this table's entries with a copy of ``other``'s."""
+        if other._entries is None:
+            self._entries = None
+            self.present_count = 0
+            return
+        self._entries = other._entries.copy()
+        self.present_count = other.present_count
+
+    def __len__(self) -> int:
+        return ENTRIES_PER_TABLE

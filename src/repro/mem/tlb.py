@@ -1,0 +1,58 @@
+"""A per-process TLB model with explicit flush semantics.
+
+The TLB caches virtual-page -> physical-frame translations.  Its only
+purpose here is to reproduce the data-leakage scenario of Table 1: with a
+*shared* page table, the OS's page-migration loop cannot tell that the
+child process still caches a stale translation, skips the child's flush,
+and the child keeps reading the old frame.  Table 2 shows why Async-fork's
+private page tables (plus the PTE-table page lock) make the same
+interleaving safe; both are exercised in
+``repro.experiments.tab01_02_tlb``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.units import page_align_down
+
+
+class Tlb:
+    """Translation lookaside buffer for one process."""
+
+    def __init__(self, owner: str = "?") -> None:
+        self.owner = owner
+        self._entries: dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def lookup(self, vaddr: int) -> Optional[int]:
+        """Cached frame for the page of ``vaddr``, or ``None`` on miss."""
+        frame = self._entries.get(page_align_down(vaddr))
+        if frame is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return frame
+
+    def insert(self, vaddr: int, frame: int) -> None:
+        """Cache a translation (called after a page-table walk)."""
+        self._entries[page_align_down(vaddr)] = frame
+
+    def flush_page(self, vaddr: int) -> None:
+        """Invalidate the entry for one page (INVLPG)."""
+        self._entries.pop(page_align_down(vaddr), None)
+        self.flushes += 1
+
+    def flush_all(self) -> None:
+        """Invalidate everything (CR3 reload)."""
+        self._entries.clear()
+        self.flushes += 1
+
+    def cached(self, vaddr: int) -> Optional[int]:
+        """Peek without counting a hit/miss (used by assertions)."""
+        return self._entries.get(page_align_down(vaddr))
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,15 @@
+"""Measurement machinery: latency percentiles, windowed throughput, and
+paper-style report tables."""
+
+from repro.metrics.latency import LatencySample, percentile
+from repro.metrics.throughput import ThroughputSeries, windowed_throughput
+from repro.metrics.report import Comparison, Table
+
+__all__ = [
+    "Comparison",
+    "LatencySample",
+    "Table",
+    "ThroughputSeries",
+    "percentile",
+    "windowed_throughput",
+]

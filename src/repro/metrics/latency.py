@@ -1,0 +1,100 @@
+"""Latency samples and percentile machinery.
+
+The paper reports the 99 %-ile and the maximum latency of *snapshot
+queries* (arrivals between the fork call and the end of persistence) and
+*normal queries* (§3, §6.1).  :class:`LatencySample` wraps a numpy array of
+per-query latencies and knows how to split itself on the snapshot window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import ns_to_ms
+
+
+def percentile(values: np.ndarray, q: float) -> float:
+    """Percentile with the 'lower-of-the-two' convention used by
+    latency-measurement tools (no interpolation above observed samples)."""
+    if len(values) == 0:
+        return float("nan")
+    return float(np.percentile(values, q, method="lower"))
+
+
+@dataclass
+class LatencySample:
+    """Latencies (ns) of a set of queries, with their arrival times."""
+
+    latencies_ns: np.ndarray
+    arrivals_ns: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.latencies_ns) != len(self.arrivals_ns):
+            raise ValueError("latencies and arrivals must align")
+
+    def __len__(self) -> int:
+        return len(self.latencies_ns)
+
+    # -- selection ---------------------------------------------------------
+
+    def window(self, start_ns: int, end_ns: int) -> "LatencySample":
+        """Queries whose *arrival* falls inside [start, end)."""
+        mask = (self.arrivals_ns >= start_ns) & (self.arrivals_ns < end_ns)
+        return LatencySample(self.latencies_ns[mask], self.arrivals_ns[mask])
+
+    def outside(self, start_ns: int, end_ns: int) -> "LatencySample":
+        """Queries arriving outside [start, end) — the 'normal' queries."""
+        mask = (self.arrivals_ns < start_ns) | (self.arrivals_ns >= end_ns)
+        return LatencySample(self.latencies_ns[mask], self.arrivals_ns[mask])
+
+    # -- statistics ----------------------------------------------------------
+
+    def p99_ns(self) -> float:
+        """99 %-ile latency in nanoseconds."""
+        return percentile(self.latencies_ns, 99.0)
+
+    def p999_ns(self) -> float:
+        """99.9 %-ile latency in nanoseconds."""
+        return percentile(self.latencies_ns, 99.9)
+
+    def max_ns(self) -> float:
+        """Maximum latency in nanoseconds."""
+        if len(self.latencies_ns) == 0:
+            return float("nan")
+        return float(self.latencies_ns.max())
+
+    def mean_ns(self) -> float:
+        """Mean latency in nanoseconds."""
+        if len(self.latencies_ns) == 0:
+            return float("nan")
+        return float(self.latencies_ns.mean())
+
+    def p99_ms(self) -> float:
+        """99 %-ile latency in milliseconds (the paper's unit)."""
+        return ns_to_ms(self.p99_ns())
+
+    def max_ms(self) -> float:
+        """Maximum latency in milliseconds."""
+        return ns_to_ms(self.max_ns())
+
+    def summary(self) -> dict:
+        """Dict of the headline statistics (ms)."""
+        return {
+            "count": len(self),
+            "mean_ms": ns_to_ms(self.mean_ns()),
+            "p99_ms": self.p99_ms(),
+            "p999_ms": ns_to_ms(self.p999_ns()),
+            "max_ms": self.max_ms(),
+        }
+
+
+def merge(samples: list[LatencySample]) -> LatencySample:
+    """Concatenate several samples (e.g. repeats with different seeds)."""
+    if not samples:
+        return LatencySample(np.empty(0), np.empty(0))
+    return LatencySample(
+        np.concatenate([s.latencies_ns for s in samples]),
+        np.concatenate([s.arrivals_ns for s in samples]),
+    )

@@ -1,0 +1,78 @@
+"""Windowed throughput, as reported in Figures 17-19.
+
+The paper samples completed queries per 50 ms window on the server side.
+``windowed_throughput`` bins completion times; :class:`ThroughputSeries`
+carries the series plus helpers for the minimum-throughput statistic of
+Figure 19 (restricted to the snapshot window, where the dips happen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import MSEC, SEC
+
+#: The paper's sampling window.
+DEFAULT_WINDOW_NS = 50 * MSEC
+
+
+@dataclass
+class ThroughputSeries:
+    """Queries-per-second sampled over fixed windows."""
+
+    window_ns: int
+    #: Start time of each window (ns).
+    starts_ns: np.ndarray
+    #: Throughput of each window, in queries/second.
+    qps: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.qps)
+
+    def min_qps(
+        self, start_ns: float | None = None, end_ns: float | None = None
+    ) -> float:
+        """Minimum windowed throughput, optionally within [start, end)."""
+        qps = self.qps
+        if start_ns is not None or end_ns is not None:
+            lo = -np.inf if start_ns is None else start_ns
+            hi = np.inf if end_ns is None else end_ns
+            ends = self.starts_ns + self.window_ns
+            mask = (ends > lo) & (self.starts_ns < hi)
+            qps = qps[mask]
+        if len(qps) == 0:
+            return float("nan")
+        return float(qps.min())
+
+    def mean_qps(self) -> float:
+        """Average throughput over the whole series."""
+        if len(self.qps) == 0:
+            return float("nan")
+        return float(self.qps.mean())
+
+
+def windowed_throughput(
+    completions_ns: np.ndarray,
+    window_ns: int = DEFAULT_WINDOW_NS,
+    start_ns: float | None = None,
+    end_ns: float | None = None,
+) -> ThroughputSeries:
+    """Bin completion times into fixed windows.
+
+    ``start``/``end`` default to the observed completion range; partial
+    trailing windows are dropped so the last sample is not artificially
+    low.
+    """
+    if len(completions_ns) == 0:
+        return ThroughputSeries(window_ns, np.empty(0), np.empty(0))
+    lo = float(completions_ns.min()) if start_ns is None else float(start_ns)
+    hi = float(completions_ns.max()) if end_ns is None else float(end_ns)
+    n_windows = int((hi - lo) // window_ns)
+    if n_windows <= 0:
+        return ThroughputSeries(window_ns, np.empty(0), np.empty(0))
+    edges = lo + np.arange(n_windows + 1) * window_ns
+    counts, _ = np.histogram(completions_ns, bins=edges)
+    qps = counts * (SEC / window_ns)
+    return ThroughputSeries(window_ns, edges[:-1], qps.astype(float))

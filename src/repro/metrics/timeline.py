@@ -1,0 +1,123 @@
+"""Post-hoc timeline analysis of a simulated run.
+
+Figures 17/18 plot throughput over time; understanding *why* it dips
+needs two more derived series — the server queue depth and where the
+kernel-mode time went.  Everything here is computed vectorized from the
+arrays a :class:`~repro.sim.snapshot_sim.SnapshotSimResult` already
+carries, so it costs nothing in the simulation hot loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import MSEC
+
+
+@dataclass
+class QueueDepthSeries:
+    """Outstanding queries sampled on a fixed grid."""
+
+    times_ns: np.ndarray
+    depth: np.ndarray
+
+    def max_depth(self) -> int:
+        """Deepest backlog observed."""
+        if len(self.depth) == 0:
+            return 0
+        return int(self.depth.max())
+
+    def at(self, t_ns: float) -> int:
+        """Queue depth at (the grid point before) ``t_ns``."""
+        if len(self.times_ns) == 0:
+            return 0
+        idx = int(np.searchsorted(self.times_ns, t_ns, side="right")) - 1
+        if idx < 0:
+            return 0
+        return int(self.depth[idx])
+
+
+def queue_depth(
+    arrivals_ns: np.ndarray,
+    completions_ns: np.ndarray,
+    step_ns: int = 10 * MSEC,
+) -> QueueDepthSeries:
+    """Outstanding (arrived, not completed) queries over time.
+
+    Works for any number of servers: depth(t) = |arrivals <= t| -
+    |completions <= t|.
+    """
+    if len(arrivals_ns) == 0:
+        return QueueDepthSeries(np.empty(0, np.int64), np.empty(0, np.int64))
+    lo = int(arrivals_ns.min())
+    hi = int(completions_ns.max())
+    grid = np.arange(lo, hi + step_ns, step_ns, dtype=np.int64)
+    arrived = np.searchsorted(np.sort(arrivals_ns), grid, side="right")
+    done = np.searchsorted(np.sort(completions_ns), grid, side="right")
+    return QueueDepthSeries(grid, (arrived - done).astype(np.int64))
+
+
+@dataclass
+class KernelTimeBreakdown:
+    """Where the parent's kernel-mode time went during a run."""
+
+    by_reason_ns: dict[str, int]
+
+    @property
+    def total_ns(self) -> int:
+        """All kernel-mode nanoseconds."""
+        return sum(self.by_reason_ns.values())
+
+    def share(self, reason_prefix: str) -> float:
+        """Fraction of kernel time under a reason prefix."""
+        total = self.total_ns
+        if total == 0:
+            return 0.0
+        matching = sum(
+            ns
+            for reason, ns in self.by_reason_ns.items()
+            if reason.startswith(reason_prefix)
+        )
+        return matching / total
+
+    def rows(self) -> list[tuple[str, float]]:
+        """(reason, milliseconds) rows, largest first."""
+        return sorted(
+            ((r, ns / 1e6) for r, ns in self.by_reason_ns.items()),
+            key=lambda item: -item[1],
+        )
+
+
+def kernel_breakdown(interrupts) -> KernelTimeBreakdown:
+    """Aggregate an :class:`~repro.sim.interrupts.InterruptRecorder`."""
+    by_reason: dict[str, int] = {}
+    for reason, duration in zip(
+        interrupts.reasons, interrupts.durations_ns
+    ):
+        by_reason[reason] = by_reason.get(reason, 0) + int(duration)
+    return KernelTimeBreakdown(by_reason)
+
+
+def backlog_drain_time_ns(
+    arrivals_ns: np.ndarray,
+    completions_ns: np.ndarray,
+    after_ns: float,
+    depth_threshold: int = 8,
+    step_ns: int = 10 * MSEC,
+) -> int:
+    """How long after ``after_ns`` the backlog stays above a threshold.
+
+    The recovery-time statistic behind "the throughput increases to the
+    normal level much faster with Async-fork" (Appendix C).
+    """
+    series = queue_depth(arrivals_ns, completions_ns, step_ns)
+    mask = series.times_ns >= after_ns
+    times = series.times_ns[mask]
+    depth = series.depth[mask]
+    above = depth > depth_threshold
+    if not above.any():
+        return 0
+    last = int(np.nonzero(above)[0][-1])
+    return int(times[last] - after_ns) + step_ns

@@ -1,0 +1,29 @@
+"""Discrete-event timing tier.
+
+The functional tier (:mod:`repro.mem`, :mod:`repro.core`) proves the
+algorithms correct; this package measures what they *cost* at paper scale
+(1-64 GiB instances, millions of queries).  The same three fork algorithms
+run here over a compact per-PMD representation — one state slot per
+512-entry PTE table, which is exactly the granularity Async-fork and ODF
+operate at — driven by the calibrated
+:class:`~repro.kernel.costs.CostModel` and an open-loop single/multi-server
+queueing loop.
+"""
+
+from repro.sim.compact import CompactInstance
+from repro.sim.disk import DiskModel
+from repro.sim.interrupts import InterruptRecorder
+from repro.sim.snapshot_sim import (
+    SnapshotSimConfig,
+    SnapshotSimResult,
+    simulate_snapshot,
+)
+
+__all__ = [
+    "CompactInstance",
+    "DiskModel",
+    "InterruptRecorder",
+    "SnapshotSimConfig",
+    "SnapshotSimResult",
+    "simulate_snapshot",
+]

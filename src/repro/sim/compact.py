@@ -1,0 +1,81 @@
+"""Compact page-table geometry for GB-scale instances.
+
+An instance of ``size_gb`` gibibytes of resident values occupies
+``size_gb * 2^18`` pages, i.e. ``size_gb * 512`` PTE leaf tables — the §3.1
+anatomy (8 GiB: 1 PGD entry, 8 PUDs, 2^12 PMDs, 2^21 PTEs) falls out of
+this directly and is asserted in the calibration tests.
+
+The timing tier never materializes the radix tree; it keeps one state slot
+per leaf table (copied / shared / synced) because that is the granularity
+at which both ODF and Async-fork operate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import (
+    ENTRIES_PER_TABLE,
+    GIB,
+    PAGE_SIZE,
+    PAGES_PER_GIB,
+    PMD_TABLE_SPAN,
+    PUD_TABLE_SPAN,
+)
+
+
+@dataclass(frozen=True)
+class CompactInstance:
+    """Geometry of one resident dataset."""
+
+    size_gb: float
+    value_size: int = 1024
+
+    @property
+    def size_bytes(self) -> int:
+        """Resident bytes."""
+        return int(self.size_gb * GIB)
+
+    @property
+    def n_pages(self) -> int:
+        """Resident 4 KiB pages."""
+        return max(1, int(self.size_gb * PAGES_PER_GIB))
+
+    @property
+    def n_tables(self) -> int:
+        """PTE leaf tables (= present PMD entries)."""
+        return max(1, self.n_pages // ENTRIES_PER_TABLE)
+
+    @property
+    def n_keys(self) -> int:
+        """Resident keys at ``value_size`` bytes per value."""
+        return max(1, self.size_bytes // self.value_size)
+
+    @property
+    def values_per_page(self) -> int:
+        """Values packed per page."""
+        return max(1, PAGE_SIZE // self.value_size)
+
+    def level_counts(self) -> dict[str, int]:
+        """Present entries per page-table level (the Fig. 3 cost input)."""
+        span = self.size_bytes
+        return {
+            "pgd": max(1, -(-span // PUD_TABLE_SPAN)),
+            "pud": max(1, -(-span // PMD_TABLE_SPAN)),
+            "pmd": self.n_tables,
+            "pte": self.n_pages,
+        }
+
+    # -- key -> memory mapping ------------------------------------------------
+
+    def pages_of_keys(self, resident_key: np.ndarray) -> np.ndarray:
+        """Map resident key indices to page indices (-1 stays -1)."""
+        pages = resident_key // self.values_per_page
+        return np.where(resident_key >= 0, pages, np.int64(-1))
+
+    def tables_of_pages(self, pages: np.ndarray) -> np.ndarray:
+        """Map page indices to leaf-table indices (-1 stays -1)."""
+        tables = pages >> 9
+        return np.where(pages >= 0, tables, np.int64(-1))

@@ -1,0 +1,40 @@
+"""Persist-phase disk model.
+
+The child serializes the whole dataset to disk; §6.2 pegs the effective
+rate at ~200 MiB/s (8 GiB in ~40 s).  While the child streams, the parent
+pays a small IO/memory-bandwidth interference penalty on every query —
+this is what makes the throughput curves of Figures 17/18 recover
+*gradually* rather than instantly.
+
+``speedup`` lets the quick profile shorten the persist phase while the
+cost model stays calibrated (see :mod:`repro.config`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import MIB, SEC
+
+#: §6.2: persisting 8 GiB takes ~40 s.
+PAPER_PERSIST_BANDWIDTH = 200 * MIB
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Bandwidth and interference of the persist phase."""
+
+    bandwidth: int = PAPER_PERSIST_BANDWIDTH
+    speedup: float = 1.0
+    #: Multiplier on parent service time while the child streams to disk.
+    io_penalty: float = 1.12
+
+    def persist_ns(self, nbytes: int) -> int:
+        """Duration of serializing ``nbytes``."""
+        if nbytes <= 0:
+            return 0
+        return int(nbytes / (self.bandwidth * self.speedup) * SEC)
+
+    def scaled(self, speedup: float) -> "DiskModel":
+        """Same disk with a different speedup factor."""
+        return DiskModel(self.bandwidth, speedup, self.io_penalty)

@@ -1,0 +1,75 @@
+"""Recording the parent's kernel-mode episodes.
+
+The paper measures "interruptions" — invocations of ``copy_pmd_range()``
+in the parent — with the bcc ``funclatency`` tool, whose output is a
+power-of-two histogram; all observed invocations land in the [16,31] µs
+and [32,63] µs buckets (§6.2, Figure 11).  The recorder below reproduces
+that histogram plus the total out-of-service time of Figure 20 (which also
+counts the fork call itself).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.units import USEC
+
+
+def bcc_bucket(duration_ns: int) -> tuple[int, int]:
+    """Power-of-two microsecond bucket, bcc-style: (lo_us, hi_us)."""
+    us_val = max(1, duration_ns // USEC)
+    lo = 1
+    while lo * 2 <= us_val:
+        lo *= 2
+    return (lo, lo * 2 - 1)
+
+
+@dataclass
+class InterruptRecorder:
+    """Kernel-mode episodes of the serving process."""
+
+    reasons: list[str] = field(default_factory=list)
+    durations_ns: list[int] = field(default_factory=list)
+
+    def record(self, reason: str, duration_ns: int) -> None:
+        """Log one episode."""
+        self.reasons.append(reason)
+        self.durations_ns.append(int(duration_ns))
+
+    def count(self, reason_prefix: str = "") -> int:
+        """Episodes whose reason starts with ``reason_prefix``."""
+        if not reason_prefix:
+            return len(self.reasons)
+        return sum(1 for r in self.reasons if r.startswith(reason_prefix))
+
+    def total_ns(self, reason_prefix: str = "") -> int:
+        """Total out-of-service time (Figure 20)."""
+        if not reason_prefix:
+            return sum(self.durations_ns)
+        return sum(
+            d
+            for r, d in zip(self.reasons, self.durations_ns)
+            if r.startswith(reason_prefix)
+        )
+
+    def bcc_histogram(
+        self, exclude_fork_call: bool = True
+    ) -> dict[tuple[int, int], int]:
+        """Figure 11's histogram: bucket (lo_us, hi_us) -> count.
+
+        ``exclude_fork_call`` drops the one-off fork invocation so the
+        histogram counts only the recurrent interruptions (table CoW /
+        proactive synchronization), matching how the paper instruments
+        ``copy_pmd_range``'s recurrent callers.
+        """
+        counter: Counter = Counter()
+        for reason, duration in zip(self.reasons, self.durations_ns):
+            if exclude_fork_call and reason.startswith("fork"):
+                continue
+            counter[bcc_bucket(duration)] += 1
+        return dict(counter)
+
+    def bucket_count(self, lo_us: int, hi_us: int) -> int:
+        """Count of one specific bucket."""
+        return self.bcc_histogram().get((lo_us, hi_us), 0)

@@ -1,0 +1,23 @@
+"""Workload generation: open-loop arrivals + key access patterns.
+
+``redis_benchmark_workload`` and ``memtier_workload`` mirror the two load
+generators of §6.1, both enhanced to open-loop mode (queries are issued
+without waiting for earlier replies), which is what makes queueing delay
+visible in the latency measurements [Schroeder et al.; Treadmill].
+"""
+
+from repro.workload.generators import (
+    Workload,
+    memtier_workload,
+    redis_benchmark_workload,
+)
+from repro.workload.openloop import arrival_times
+from repro.workload.patterns import key_indices
+
+__all__ = [
+    "Workload",
+    "arrival_times",
+    "key_indices",
+    "memtier_workload",
+    "redis_benchmark_workload",
+]

@@ -1,0 +1,57 @@
+"""Open-loop arrival processes.
+
+In open-loop load generation the clients submit at a fixed aggregate rate
+regardless of server progress, so a stalled server accumulates a queue and
+the stall becomes visible as latency — the methodological point of
+[Schroeder'06] and [Treadmill'16] that the paper adopts (§3, §6.1).
+
+The number of clients shapes *burstiness* rather than rate: many clients
+multiplexed over few connections deliver requests in clumps.  Figure 13's
+finding — more clients ⇒ longer interruptions ⇒ higher tail latency — is
+reproduced by modelling arrivals as batches whose size grows with the
+client count while the long-run rate stays fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import SEC
+
+#: One batch per this many clients (50 clients -> batches of 5).
+CLIENTS_PER_BATCH_SLOT = 10
+
+
+def batch_size_for_clients(clients: int) -> int:
+    """How many queries arrive back-to-back for a given client count."""
+    return max(1, round(clients / CLIENTS_PER_BATCH_SLOT))
+
+
+def arrival_times(
+    count: int,
+    rate_per_sec: float,
+    clients: int = 50,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Generate ``count`` arrival instants (int64 ns, sorted).
+
+    Arrivals come in batches of :func:`batch_size_for_clients` queries;
+    batch inter-arrival gaps are exponential with mean chosen so the
+    aggregate rate equals ``rate_per_sec``.  Queries within a batch are
+    spread over a microsecond to keep ordering stable.
+    """
+    if count <= 0:
+        raise ValueError("need a positive query count")
+    if rate_per_sec <= 0:
+        raise ValueError("need a positive rate")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    batch = batch_size_for_clients(clients)
+    n_batches = (count + batch - 1) // batch
+    mean_gap_ns = batch / rate_per_sec * SEC
+    gaps = rng.exponential(mean_gap_ns, size=n_batches)
+    batch_starts = np.cumsum(gaps)
+    # Spread each batch's queries over ~1 us (wire serialization).
+    offsets = np.tile(np.arange(batch) * 1_000, n_batches)[:count]
+    starts = np.repeat(batch_starts, batch)[:count]
+    return np.sort((starts + offsets).astype(np.int64))

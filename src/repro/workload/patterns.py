@@ -1,0 +1,67 @@
+"""Key access patterns: uniform and Gaussian (memtier's two options).
+
+§6.1 fixes the key range at 2·10^8 with 8 B keys and 1 KiB values; §6.3
+varies the access pattern between uniform random and a Gaussian
+distribution, under which "parts of key-value pairs may be accessed
+repeatedly" — i.e. the touched working set shrinks, which is what reduces
+table CoW faults and proactive synchronizations in Figure 12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: memtier's Gaussian pattern concentrates around the middle of the key
+#: range; the standard deviation is range/10.
+GAUSSIAN_SIGMA_FRACTION = 0.1
+
+
+def key_indices(
+    count: int,
+    key_range: int,
+    pattern: str = "uniform",
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw ``count`` key indices in [0, key_range) under ``pattern``."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if key_range <= 0:
+        raise ValueError("key_range must be positive")
+    if pattern == "uniform":
+        return rng.integers(0, key_range, size=count, dtype=np.int64)
+    if pattern == "gaussian":
+        center = key_range / 2.0
+        sigma = key_range * GAUSSIAN_SIGMA_FRACTION
+        keys = rng.normal(center, sigma, size=count)
+        return np.clip(keys, 0, key_range - 1).astype(np.int64)
+    raise ValueError(f"unknown pattern {pattern!r}")
+
+
+def op_mask(
+    count: int,
+    set_ratio: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Boolean mask: True where the query is a SET.
+
+    ``set_ratio`` is the *fraction* of SETs: 1.0 for the write-intensive
+    Figure 9/10 workload, 0.5 for memtier "1:1", 1/11 for "1:10".
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if not 0.0 <= set_ratio <= 1.0:
+        raise ValueError("set_ratio must be in [0, 1]")
+    if set_ratio >= 1.0:
+        return np.ones(count, dtype=bool)
+    if set_ratio <= 0.0:
+        return np.zeros(count, dtype=bool)
+    return rng.random(count) < set_ratio
+
+
+def set_get_ratio(label: str) -> float:
+    """Translate memtier's "S:G" ratio label into a SET fraction."""
+    sets, _, gets = label.partition(":")
+    s, g = float(sets), float(gets)
+    if s < 0 or g < 0 or s + g == 0:
+        raise ValueError(f"bad ratio {label!r}")
+    return s / (s + g)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationProfile
+from repro.kernel.task import Process
+from repro.mem.frames import FrameAllocator
+from repro.units import MIB
+
+
+@pytest.fixture
+def frames() -> FrameAllocator:
+    """A fresh unlimited frame allocator."""
+    return FrameAllocator()
+
+
+@pytest.fixture
+def parent(frames) -> Process:
+    """A process with a 4 MiB VMA and two pages of data.
+
+    The VMA spans two PTE-table ranges (2 MiB each) so fork engines have
+    more than one PMD entry to work with.
+    """
+    process = Process(frames, name="parent")
+    vma = process.mm.mmap(4 * MIB)
+    process.mm.write_memory(vma.start, b"alpha")
+    process.mm.write_memory(vma.start + 2 * MIB, b"beta")
+    return process
+
+
+@pytest.fixture
+def tiny_profile() -> SimulationProfile:
+    """A fast profile for experiment smoke tests."""
+    return SimulationProfile(
+        name="test",
+        query_count=120_000,
+        persist_speedup=32.0,
+        sizes_gb=(1, 8, 64),
+        repeats=1,
+    )

@@ -1,0 +1,187 @@
+"""Property-based snapshot-consistency tests (hypothesis).
+
+The core guarantee of every fork engine: *whatever* the parent does while
+the copy is in flight — writes, reads, madvise, OOM zaps, NUMA poisoning,
+page pinning, page migration — and however the child's copy interleaves
+with it, the child observes exactly the fork-time image, and the parent
+observes its own mutations.
+
+This drives the real functional substrate (page tables, flags, locks,
+checkpoints) through randomized interleavings at PMD granularity.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AsyncForkConfig
+from repro.core.async_fork import AsyncFork
+from repro.kernel.forks.default import DefaultFork
+from repro.kernel.forks.odf import OnDemandFork
+from repro.kernel.task import Process
+from repro.mem.frames import FrameAllocator
+from repro.mem.reclaim import change_prot_numa, migrate_page
+from repro.units import MIB, PAGE_SIZE
+
+#: Eight pages spread over two PTE-table spans.
+PAGE_OFFSETS = tuple(
+    span + i * PAGE_SIZE for span in (0, 2 * MIB) for i in range(4)
+)
+SPANS = ((0, 2 * MIB), (2 * MIB, 4 * MIB))
+
+page_idx = st.integers(0, len(PAGE_OFFSETS) - 1)
+span_idx = st.integers(0, len(SPANS) - 1)
+
+operation = st.one_of(
+    st.tuples(st.just("write"), page_idx, st.integers(1, 255)),
+    st.tuples(st.just("read"), page_idx),
+    st.tuples(st.just("child_step"), st.just(0)),
+    st.tuples(st.just("madvise"), span_idx),
+    st.tuples(st.just("zap"), span_idx),
+    st.tuples(st.just("gup"), page_idx),
+    st.tuples(st.just("numa"), span_idx),
+    st.tuples(st.just("migrate"), page_idx),
+)
+
+
+def build_engine(name: str):
+    if name == "default":
+        return DefaultFork()
+    if name == "odf":
+        return OnDemandFork()
+    if name == "async1":
+        return AsyncFork(config=AsyncForkConfig(copy_threads=1))
+    return AsyncFork(config=AsyncForkConfig(copy_threads=4))
+
+
+def run_scenario(engine_name: str, ops) -> None:
+    frames = FrameAllocator()
+    parent = Process(frames, name="prop")
+    vma = parent.mm.mmap(4 * MIB)
+    base = vma.start
+
+    truth = {}
+    for i, offset in enumerate(PAGE_OFFSETS):
+        value = bytes([i + 1]) * 8
+        parent.mm.write_memory(base + offset, value)
+        truth[offset] = value
+
+    engine = build_engine(engine_name)
+    result = engine.fork(parent)
+    session = result.session
+    child = result.child
+
+    parent_view = dict(truth)
+    shared_tables = engine_name == "odf"
+
+    for op in ops:
+        kind = op[0]
+        if kind == "write":
+            offset = PAGE_OFFSETS[op[1]]
+            value = bytes([op[2]]) * 8
+            parent.mm.write_memory(base + offset, value)
+            parent_view[offset] = value
+        elif kind == "read":
+            offset = PAGE_OFFSETS[op[1]]
+            expected = parent_view.get(offset, b"\x00" * 8)
+            assert parent.mm.read_memory(base + offset, 8) == expected
+        elif kind == "child_step":
+            if session is not None and hasattr(session, "child_step"):
+                session.child_step()
+        elif kind == "madvise":
+            lo, hi = SPANS[op[1]]
+            parent.mm.madvise_dontneed(base + lo, hi - lo)
+            for offset in list(parent_view):
+                if lo <= offset < hi:
+                    parent_view[offset] = b"\x00" * 8
+        elif kind == "zap":
+            lo, hi = SPANS[op[1]]
+            parent.mm.zap_pmd_range(base + lo, base + hi)
+            for offset in list(parent_view):
+                if lo <= offset < hi:
+                    parent_view[offset] = b"\x00" * 8
+        elif kind == "gup":
+            offset = PAGE_OFFSETS[op[1]]
+            parent.mm.follow_page(base + offset)
+        elif kind == "numa":
+            lo, hi = SPANS[op[1]]
+            change_prot_numa(parent.mm, base + lo, base + hi)
+        elif kind == "migrate":
+            if shared_tables:
+                continue  # the known ODF hazard; see tab1-2
+            offset = PAGE_OFFSETS[op[1]]
+            try:
+                migrate_page([parent.mm, child.mm], base + offset, frames)
+            except ValueError:
+                pass  # page currently unmapped — nothing to migrate
+
+    if session is not None and hasattr(session, "run_to_completion"):
+        session.run_to_completion()
+        assert not getattr(session, "failed", False)
+
+    # The child sees the fork-time image...
+    for offset, value in truth.items():
+        assert child.mm.read_memory(base + offset, 8) == value, (
+            f"{engine_name}: child lost snapshot at +{offset:#x}"
+        )
+    # ... and the parent sees its own mutations.
+    for offset, value in parent_view.items():
+        assert parent.mm.read_memory(base + offset, 8) == value
+
+
+@pytest.mark.parametrize(
+    "engine_name", ["default", "odf", "async1", "async4"]
+)
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(operation, max_size=30))
+def test_snapshot_consistency(engine_name, ops):
+    run_scenario(engine_name, ops)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(operation, max_size=20),
+    ops2=st.lists(operation, max_size=20),
+)
+def test_consecutive_snapshots_consistency(ops, ops2):
+    """A second Async-fork mid-copy must not corrupt either child."""
+    frames = FrameAllocator()
+    parent = Process(frames, name="prop2")
+    vma = parent.mm.mmap(4 * MIB)
+    base = vma.start
+    truth = {}
+    for i, offset in enumerate(PAGE_OFFSETS):
+        value = bytes([i + 1]) * 8
+        parent.mm.write_memory(base + offset, value)
+        truth[offset] = value
+
+    engine = AsyncFork(config=AsyncForkConfig(copy_threads=1))
+    first = engine.fork(parent)
+
+    def apply(ops, session):
+        for op in ops:
+            if op[0] == "write":
+                offset = PAGE_OFFSETS[op[1]]
+                parent.mm.write_memory(base + offset, bytes([op[2]]) * 8)
+            elif op[0] == "child_step":
+                session.child_step()
+
+    apply(ops, first.session)
+    second = engine.fork(parent)
+    apply(ops2, second.session)
+    second.session.run_to_completion()
+    assert not second.session.failed
+
+    for offset, value in truth.items():
+        assert first.child.mm.read_memory(base + offset, 8) == value
+
+    # The second child sees the state at *its* fork time: the first-round
+    # writes applied on top of the original image.
+    expected = dict(truth)
+    for op in ops:
+        if op[0] == "write":
+            expected[PAGE_OFFSETS[op[1]]] = bytes([op[2]]) * 8
+    for offset, value in expected.items():
+        assert second.child.mm.read_memory(base + offset, 8) == value

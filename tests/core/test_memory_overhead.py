@@ -1,0 +1,28 @@
+"""§5.2's memory-overhead accounting for the two-way pointer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.async_fork import (
+    TWO_WAY_POINTER_BYTES,
+    memory_overhead_bytes,
+)
+
+
+class TestMemoryOverhead:
+    def test_pointer_is_eight_bytes(self):
+        assert TWO_WAY_POINTER_BYTES == 8
+
+    def test_papers_worked_example(self):
+        # 760,000 VMAs x 8 B ~= 6 MB ("generally negligible").
+        overhead = memory_overhead_bytes(760_000)
+        assert overhead == 6_080_000
+        assert overhead / 2**20 == pytest.approx(5.8, abs=0.1)
+
+    def test_zero_vmas(self):
+        assert memory_overhead_bytes(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            memory_overhead_bytes(-1)

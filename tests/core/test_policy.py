@@ -1,0 +1,89 @@
+"""Tests for the memory-cgroup fork policy (§5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import ForkPolicy
+from repro.errors import ConfigurationError
+from repro.kernel.forks.default import DefaultFork
+from repro.kernel.task import Process
+
+
+class TestCgroups:
+    def test_process_outside_cgroup_uses_default(self, frames):
+        policy = ForkPolicy()
+        p = Process(frames)
+        assert isinstance(policy.engine_for(p), DefaultFork)
+
+    def test_f_zero_uses_default(self, frames):
+        policy = ForkPolicy()
+        policy.create_cgroup("redis", async_fork_threads=0)
+        p = Process(frames)
+        policy.attach(p, "redis")
+        assert isinstance(policy.engine_for(p), DefaultFork)
+
+    def test_positive_f_enables_async_fork(self, frames):
+        from repro.core.async_fork import AsyncFork
+
+        policy = ForkPolicy()
+        policy.create_cgroup("redis", async_fork_threads=8)
+        p = Process(frames)
+        policy.attach(p, "redis")
+        engine = policy.engine_for(p)
+        assert isinstance(engine, AsyncFork)
+        assert engine.config.copy_threads == 8
+
+    def test_engine_cached_per_cgroup(self, frames):
+        policy = ForkPolicy()
+        policy.create_cgroup("redis", async_fork_threads=4)
+        a, b = Process(frames), Process(frames)
+        policy.attach(a, "redis")
+        policy.attach(b, "redis")
+        assert policy.engine_for(a) is policy.engine_for(b)
+
+    def test_moving_cgroups_switches_engine(self, frames):
+        policy = ForkPolicy()
+        policy.create_cgroup("slow", async_fork_threads=0)
+        policy.create_cgroup("fast", async_fork_threads=8)
+        p = Process(frames)
+        policy.attach(p, "slow")
+        assert isinstance(policy.engine_for(p), DefaultFork)
+        policy.attach(p, "fast")
+        assert not isinstance(policy.engine_for(p), DefaultFork)
+
+    def test_duplicate_cgroup_rejected(self):
+        policy = ForkPolicy()
+        policy.create_cgroup("x")
+        with pytest.raises(ValueError):
+            policy.create_cgroup("x")
+
+    def test_unknown_cgroup_rejected(self, frames):
+        policy = ForkPolicy()
+        with pytest.raises(KeyError):
+            policy.attach(Process(frames), "nope")
+
+    def test_huge_pages_conflict(self):
+        policy = ForkPolicy()
+        with pytest.raises(ConfigurationError):
+            policy.create_cgroup("bad", async_fork_threads=8,
+                                 huge_pages=True)
+
+    def test_huge_pages_fine_without_async_fork(self):
+        policy = ForkPolicy()
+        cgroup = policy.create_cgroup("thp", async_fork_threads=0,
+                                      huge_pages=True)
+        assert not cgroup.async_fork_enabled
+
+
+class TestPolicyFork:
+    def test_fork_through_policy_no_source_changes(self, frames, parent):
+        """§5.2: applications switch fork methods with zero code change."""
+        policy = ForkPolicy()
+        policy.create_cgroup("redis", async_fork_threads=8)
+        policy.attach(parent, "redis")
+        result = policy.fork(parent)
+        assert result.session is not None
+        result.session.run_to_completion()
+        vma = next(iter(result.child.mm.vmas))
+        assert result.child.mm.read_memory(vma.start, 5) == b"alpha"

@@ -1,0 +1,75 @@
+"""Tests for the experiment registry and CLI plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments  # noqa: F401 - populates the registry
+from repro.experiments.registry import (
+    all_experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+EXPECTED_IDS = {
+    "fig3",
+    "fig4-5",
+    "fig9-10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14-15",
+    "fig16",
+    "fig17-19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "tab1-2",
+    "ablation",
+    "sec3-thp",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(all_experiment_ids()) == EXPECTED_IDS
+
+    def test_lookup(self):
+        spec = get_experiment("fig3")
+        assert spec.experiment_id == "fig3"
+        assert spec.title
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_experiment("fig99")
+
+    def test_run_fig3_passes_checks(self, tiny_profile):
+        report = run_experiment("fig3", tiny_profile)
+        assert report.all_checks_pass()
+        assert report.tables
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9-10" in out and "tab1-2" in out
+
+    def test_run_single(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["run", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_run_with_csv_export(self, capsys, tmp_path):
+        from repro.experiments.cli import main
+
+        assert main(["run", "fig3", "--out", str(tmp_path)]) == 0
+        files = sorted(p.name for p in tmp_path.glob("*.csv"))
+        assert any("figure-3" in f for f in files)
+        assert any("paper_vs_measured" in f for f in files)
+        content = next(tmp_path.glob("fig3_figure-3*.csv")).read_text()
+        assert content.startswith("size GiB,fork ms")

@@ -1,0 +1,44 @@
+"""Smoke-run every experiment under a reduced profile.
+
+These are the integration tests of the whole stack: workload generation,
+the DES, metrics, and the per-figure analysis — each experiment's own
+shape checks (who wins, how gaps scale) must hold even at reduced scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments  # noqa: F401 - populates the registry
+from repro.experiments.common import clear_cache
+from repro.experiments.registry import all_experiment_ids, run_experiment
+
+# The timeline/sweep experiments share cached points through
+# repro.experiments.common, so running them in one module is cheap.
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.mark.parametrize("experiment_id", sorted(all_experiment_ids()))
+def test_experiment_passes_shape_checks(experiment_id, tiny_profile):
+    report = run_experiment(experiment_id, tiny_profile)
+    failed = [n for n, ok in report.shape_checks.items() if not ok]
+    assert not failed, (
+        f"{experiment_id} failed shape checks: {failed}\n{report.render()}"
+    )
+
+
+def test_reports_carry_paper_comparisons(tiny_profile):
+    report = run_experiment("fig22", tiny_profile)
+    assert any(c.paper is not None for c in report.comparisons)
+
+
+def test_reports_render(tiny_profile):
+    report = run_experiment("tab1-2", tiny_profile)
+    text = report.render()
+    assert "Table 1" in text and "Table 2" in text

@@ -1,0 +1,55 @@
+"""Tests for the Table 3/4 checkpoint inventory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import checkpoints as kcp
+from repro.mem import checkpoints as mcp
+
+
+class TestInventory:
+    def test_every_checkpoint_has_metadata(self):
+        documented = {info.name for info in kcp.CHECKPOINT_TABLE}
+        assert documented == set(mcp.ALL_CHECKPOINTS)
+
+    def test_scope_classification_consistent(self):
+        for info in kcp.CHECKPOINT_TABLE:
+            assert mcp.classify(info.name) == info.scope
+
+    def test_vma_wide_count_matches_table3(self):
+        # Table 3 lists ten VMA-wide checkpoint functions.
+        assert len(mcp.VMA_WIDE_CHECKPOINTS) == 10
+
+    def test_pmd_wide_count_matches_table3(self):
+        # ... and three PMD-wide ones.
+        assert len(mcp.PMD_WIDE_CHECKPOINTS) == 3
+
+    def test_lookup(self):
+        info = kcp.checkpoint_info(mcp.HANDLE_MM_FAULT)
+        assert info.location == "mm/memory.c"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            kcp.checkpoint_info("made_up")
+
+    def test_classify_unknown(self):
+        with pytest.raises(ValueError):
+            mcp.classify("made_up")
+
+    def test_table4_lifecycles_present(self):
+        # Table 4: every hooked function exists across a broad kernel
+        # range, demonstrating the stability argument of Appendix B.
+        for info in kcp.CHECKPOINT_TABLE:
+            assert "-" in info.lifecycle
+
+
+class TestEvents:
+    def test_event_scope_property(self, frames):
+        from repro.mem.address_space import AddressSpace
+
+        mm = AddressSpace(frames)
+        event = mcp.CheckpointEvent(mcp.DETACH_VMAS, mm, 0, 4096)
+        assert event.is_vma_wide
+        event = mcp.CheckpointEvent(mcp.ZAP_PMD_RANGE, mm, 0, 4096)
+        assert not event.is_vma_wide

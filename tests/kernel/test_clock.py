@@ -1,0 +1,69 @@
+"""Tests for the simulated clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.clock import Clock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_advance(self):
+        clock = Clock()
+        assert clock.advance(100) == 100
+        assert clock.now == 100
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1)
+
+    def test_advance_to(self):
+        clock = Clock(50)
+        clock.advance_to(200)
+        assert clock.now == 200
+        clock.advance_to(100)  # no going back
+        assert clock.now == 200
+
+    def test_kernel_section_fixed_cost(self):
+        clock = Clock()
+        with clock.kernel_section("fork", cost_ns=500):
+            pass
+        assert clock.now == 500
+
+    def test_kernel_section_body_advances(self):
+        clock = Clock()
+        with clock.kernel_section("sync"):
+            clock.advance(123)
+        assert clock.now == 123
+
+    def test_observer_sees_episode(self):
+        clock = Clock()
+        seen = []
+        clock.observe_kernel_sections(
+            lambda reason, start, end: seen.append((reason, start, end))
+        )
+        with clock.kernel_section("fork", cost_ns=10):
+            pass
+        assert seen == [("fork", 0, 10)]
+
+    def test_observer_removal(self):
+        clock = Clock()
+        seen = []
+        fn = lambda *a: seen.append(a)  # noqa: E731
+        clock.observe_kernel_sections(fn)
+        clock.unobserve_kernel_sections(fn)
+        with clock.kernel_section("x", cost_ns=1):
+            pass
+        assert seen == []
+
+    def test_observer_fires_even_on_exception(self):
+        clock = Clock()
+        seen = []
+        clock.observe_kernel_sections(lambda *a: seen.append(a))
+        with pytest.raises(RuntimeError):
+            with clock.kernel_section("boom", cost_ns=5):
+                raise RuntimeError("x")
+        assert len(seen) == 1

@@ -1,0 +1,98 @@
+"""Calibration tests: the cost model must hit the paper's anchors."""
+
+from __future__ import annotations
+
+from repro.kernel.costs import DEFAULT_COSTS
+from repro.sim.compact import CompactInstance
+from repro.units import GIB, MSEC, USEC
+
+
+def counts(size_gb: int) -> dict:
+    return CompactInstance(size_gb).level_counts()
+
+
+class TestFig3Anchors:
+    def test_1gib_fork_under_10ms(self):
+        assert DEFAULT_COSTS.default_fork_ns(counts(1)) < 10 * MSEC
+
+    def test_64gib_fork_over_500ms(self):
+        assert DEFAULT_COSTS.default_fork_ns(counts(64)) > 500 * MSEC
+
+    def test_copy_share_dominates(self):
+        for size in (1, 8, 64):
+            total = DEFAULT_COSTS.default_fork_ns(counts(size))
+            copy = DEFAULT_COSTS.page_table_copy_ns(counts(size))
+            assert copy / total > 0.97
+
+    def test_roughly_linear_scaling(self):
+        t8 = DEFAULT_COSTS.default_fork_ns(counts(8))
+        t64 = DEFAULT_COSTS.default_fork_ns(counts(64))
+        assert 6 < t64 / t8 < 10
+
+
+class TestSection31Anchors:
+    def test_8gib_pmd_copy_about_2ms(self):
+        pmd_ns = counts(8)["pmd"] * DEFAULT_COSTS.dir_entry_copy_ns
+        assert 1.5 * MSEC < pmd_ns < 2.5 * MSEC
+
+    def test_8gib_pte_copy_about_70ms(self):
+        pte_ns = counts(8)["pte"] * DEFAULT_COSTS.pte_entry_copy_ns
+        assert 60 * MSEC < pte_ns < 80 * MSEC
+
+    def test_dir_entry_cost_is_500ns(self):
+        assert DEFAULT_COSTS.dir_entry_copy_ns == 500
+
+
+class TestFig22Anchors:
+    def test_async_call_64gib_near_0_61ms(self):
+        ns = DEFAULT_COSTS.async_fork_ns(counts(64))
+        assert 0.45 * MSEC < ns < 0.85 * MSEC
+
+    def test_odf_call_64gib_near_1_1ms(self):
+        ns = DEFAULT_COSTS.odf_fork_ns(counts(64))
+        assert 0.9 * MSEC < ns < 1.3 * MSEC
+
+    def test_async_call_faster_than_odf_everywhere(self):
+        for size in (1, 2, 4, 8, 16, 32, 64):
+            c = counts(size)
+            assert DEFAULT_COSTS.async_fork_ns(c) < DEFAULT_COSTS.odf_fork_ns(c)
+
+
+class TestFig11Anchors:
+    def test_table_fault_lands_in_bcc_bucket(self):
+        # One interruption must fall in [16, 63] us (Figure 11).
+        ns = DEFAULT_COSTS.table_fault_ns()
+        assert 16 * USEC <= ns <= 63 * USEC
+
+
+class TestPersist:
+    def test_8gib_persist_about_40s(self):
+        ns = DEFAULT_COSTS.persist_ns(8 * GIB)
+        assert 35e9 < ns < 45e9
+
+    def test_speedup_scales(self):
+        full = DEFAULT_COSTS.persist_ns(8 * GIB)
+        quick = DEFAULT_COSTS.persist_ns(8 * GIB, speedup=16)
+        assert abs(full / quick - 16) < 0.1
+
+    def test_zero_bytes(self):
+        assert DEFAULT_COSTS.persist_ns(0) == 0
+
+
+class TestChildCopy:
+    def test_near_linear_thread_scaling(self):
+        c = counts(8)
+        t1 = DEFAULT_COSTS.child_copy_ns(c, 1)
+        t8 = DEFAULT_COSTS.child_copy_ns(c, 8)
+        assert 7.5 < t1 / t8 < 8.5
+
+    def test_8gib_single_thread_about_72ms(self):
+        ns = DEFAULT_COSTS.child_copy_ns(counts(8), 1)
+        assert 60 * MSEC < ns < 85 * MSEC
+
+
+class TestScaled:
+    def test_scaled_replaces(self):
+        scaled = DEFAULT_COSTS.scaled(pte_entry_copy_ns=66)
+        assert scaled.pte_entry_copy_ns == 66
+        assert DEFAULT_COSTS.pte_entry_copy_ns == 33

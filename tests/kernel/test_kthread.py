@@ -1,0 +1,85 @@
+"""Tests for the kernel copy-thread model (§5.1)."""
+
+from __future__ import annotations
+
+from repro.config import AsyncForkConfig
+from repro.core.async_fork import AsyncFork
+from repro.kernel.kthread import (
+    RESCHED_INTERVAL,
+    CopyWorker,
+    pool_stats,
+    shard_round_robin,
+)
+from repro.kernel.task import Process
+from repro.units import MIB
+
+
+class TestCopyWorker:
+    def test_starts_idle(self):
+        assert CopyWorker(0).idle
+
+    def test_note_copy_counts(self):
+        worker = CopyWorker(0)
+        worker.note_copy()
+        worker.note_skip()
+        assert worker.tables_copied == 1
+        assert worker.slots_skipped == 1
+
+    def test_cond_resched_fires_periodically(self):
+        worker = CopyWorker(0)
+        for _ in range(RESCHED_INTERVAL * 3):
+            worker.note_copy()
+        assert worker.resched_yields == 3
+
+    def test_explicit_resched_resets_interval(self):
+        worker = CopyWorker(0)
+        for _ in range(RESCHED_INTERVAL - 1):
+            worker.note_copy()
+        worker.cond_resched()
+        worker.note_copy()  # must not trigger another yield yet
+        assert worker.resched_yields == 1
+
+
+class TestSharding:
+    def test_round_robin(self):
+        workers = [CopyWorker(i) for i in range(3)]
+        shard_round_robin(list(range(7)), workers, lambda x: x)
+        assert list(workers[0].cursors) == [0, 3, 6]
+        assert list(workers[1].cursors) == [1, 4]
+        assert list(workers[2].cursors) == [2, 5]
+
+    def test_pool_stats(self):
+        workers = [CopyWorker(0), CopyWorker(1)]
+        workers[0].note_copy()
+        workers[1].note_skip()
+        stats = pool_stats(workers)
+        assert stats == {
+            "threads": 2,
+            "tables_copied": 1,
+            "slots_skipped": 1,
+            "resched_yields": 0,
+        }
+
+
+class TestSessionIntegration:
+    def test_worker_stats_after_copy(self, frames):
+        p = Process(frames, name="kt")
+        for i in range(3):
+            vma = p.mm.mmap(2 * MIB, fixed_at=(0x600 + i) * 0x1_0000_0000)
+            p.mm.write_memory(vma.start, b"x")
+        engine = AsyncFork(config=AsyncForkConfig(copy_threads=2))
+        result = engine.fork(p)
+        result.session.run_to_completion()
+        stats = result.session.worker_stats()
+        assert stats["threads"] == 2
+        assert stats["tables_copied"] == 3
+
+    def test_skips_counted_for_synced_tables(self, parent):
+        engine = AsyncFork(config=AsyncForkConfig(copy_threads=1))
+        result = engine.fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        parent.mm.write_memory(vma.start, b"x")  # proactive sync
+        result.session.run_to_completion()
+        stats = result.session.worker_stats()
+        assert stats["tables_copied"] == 1
+        assert stats["slots_skipped"] >= 1

@@ -1,0 +1,141 @@
+"""Tests for On-Demand-Fork: sharing, table CoW, and its known hazards."""
+
+from __future__ import annotations
+
+from repro.kernel.forks.odf import OnDemandFork
+from repro.units import MIB
+
+
+def fork(parent):
+    return OnDemandFork().fork(parent)
+
+
+class TestSharing:
+    def test_tables_shared_after_fork(self, parent):
+        result = fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        parent_leaf = parent.mm.page_table.walk_pte_table(vma.start)
+        child_leaf = result.child.mm.page_table.walk_pte_table(vma.start)
+        assert parent_leaf is child_leaf
+        assert parent_leaf.page.share_count == 1
+
+    def test_pmds_write_protected_both_sides(self, parent):
+        result = fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        p = parent.mm.page_table.walk_pmd(vma.start)
+        c = result.child.mm.page_table.walk_pmd(vma.start)
+        assert p[0].is_write_protected(p[1])
+        assert c[0].is_write_protected(c[1])
+
+    def test_child_reads_without_copying(self, parent):
+        result = fork(parent)
+        vma = next(iter(result.child.mm.vmas))
+        assert result.child.mm.read_memory(vma.start, 5) == b"alpha"
+        leaf = result.child.mm.page_table.walk_pte_table(vma.start)
+        assert leaf.page.share_count == 1  # still shared
+
+    def test_fork_call_does_not_copy_ptes(self, parent):
+        result = fork(parent)
+        assert result.stats.parent_pte_entries == 0
+        assert result.stats.pmd_marked == 2
+
+
+class TestTableCow:
+    def test_parent_write_unshares_one_table(self, parent):
+        result = fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        parent.mm.write_memory(vma.start, b"WRITE")
+        p_leaf = parent.mm.page_table.walk_pte_table(vma.start)
+        c_leaf = result.child.mm.page_table.walk_pte_table(vma.start)
+        assert p_leaf is not c_leaf
+        # The second span (untouched) stays shared.
+        p2 = parent.mm.page_table.walk_pte_table(vma.start + 2 * MIB)
+        c2 = result.child.mm.page_table.walk_pte_table(vma.start + 2 * MIB)
+        assert p2 is c2
+
+    def test_snapshot_preserved_across_write(self, parent):
+        result = fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        parent.mm.write_memory(vma.start, b"WRITE")
+        child_vma = next(iter(result.child.mm.vmas))
+        assert result.child.mm.read_memory(child_vma.start, 5) == b"alpha"
+        assert parent.mm.read_memory(vma.start, 5) == b"WRITE"
+
+    def test_fault_count_recorded(self, parent):
+        result = fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        parent.mm.write_memory(vma.start, b"x")
+        parent.mm.write_memory(vma.start + 2 * MIB, b"y")
+        assert result.stats.table_faults == 2
+
+    def test_second_write_same_table_no_fault(self, parent):
+        result = fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        parent.mm.write_memory(vma.start, b"x")
+        faults = result.stats.table_faults
+        parent.mm.write_memory(vma.start + 4096, b"y")
+        assert result.stats.table_faults == faults
+
+    def test_parent_interrupted_in_kernel_mode(self, parent):
+        engine = OnDemandFork()
+        episodes = []
+        engine.clock.observe_kernel_sections(
+            lambda r, s, e: episodes.append((r, e - s))
+        )
+        engine.fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        parent.mm.write_memory(vma.start, b"x")
+        cow = [d for r, d in episodes if r == "odf:table-cow"]
+        assert len(cow) == 1
+        assert cow[0] == engine.costs.table_fault_ns()
+
+
+class TestVmaWideUnshare:
+    def test_munmap_does_not_destroy_child_snapshot(self, parent):
+        result = fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        start = vma.start
+        parent.mm.munmap(start, 2 * MIB)
+        child_vma = next(iter(result.child.mm.vmas))
+        assert result.child.mm.read_memory(child_vma.start, 5) == b"alpha"
+
+    def test_oom_zap_unshares_first(self, parent):
+        result = fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        parent.mm.zap_pmd_range(vma.start, vma.start + 2 * MIB)
+        child_vma = next(iter(result.child.mm.vmas))
+        assert result.child.mm.read_memory(child_vma.start, 5) == b"alpha"
+
+
+class TestLifecycle:
+    def test_child_exit_releases_shares(self, parent, frames):
+        result = fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        leaf = parent.mm.page_table.walk_pte_table(vma.start)
+        result.session.finish()
+        result.child.exit()
+        assert leaf.page.share_count == 0
+        # The parent still reads its data.
+        assert parent.mm.read_memory(vma.start, 5) == b"alpha"
+
+    def test_write_after_child_exit_takes_ownership(self, parent):
+        result = fork(parent)
+        result.session.finish()
+        result.child.exit()
+        vma = next(iter(parent.mm.vmas))
+        parent.mm.write_memory(vma.start, b"OWNED")
+        assert parent.mm.read_memory(vma.start, 5) == b"OWNED"
+
+    def test_all_frames_freed_after_both_exit(self, parent, frames):
+        result = fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        parent.mm.write_memory(vma.start, b"x")  # force one unshare
+        result.session.finish()
+        result.child.exit()
+        parent.exit()
+        assert frames.allocated == 0
+
+    def test_session_finish_idempotent(self, parent):
+        result = fork(parent)
+        result.session.finish()
+        result.session.finish()

@@ -1,0 +1,86 @@
+"""Tests for process lifecycle and address-space teardown."""
+
+from __future__ import annotations
+
+from repro.kernel.task import SIGKILL, Process, ProcessState
+from repro.units import MIB
+
+
+class TestLifecycle:
+    def test_unique_pids(self, frames):
+        a = Process(frames)
+        b = Process(frames)
+        assert a.pid != b.pid
+
+    def test_parent_child_links(self, frames):
+        parent = Process(frames, name="p")
+        child = Process(frames, name="c", parent=parent)
+        assert child in parent.children
+        assert child.parent is parent
+
+    def test_exit_reparents(self, frames):
+        parent = Process(frames)
+        child = Process(frames, parent=parent)
+        child.exit()
+        assert child not in parent.children
+        assert child.state is ProcessState.DEAD
+
+    def test_exit_idempotent(self, frames):
+        p = Process(frames)
+        p.exit()
+        p.exit()
+
+
+class TestSignals:
+    def test_sigkill_kills_on_delivery(self, frames):
+        p = Process(frames)
+        p.signal(SIGKILL)
+        assert p.alive
+        assert p.deliver_signals()
+        assert not p.alive
+        assert p.exit_code == -SIGKILL
+
+    def test_signal_to_dead_process_ignored(self, frames):
+        p = Process(frames)
+        p.exit()
+        p.signal(SIGKILL)
+        assert p.pending_signals == []
+
+    def test_no_signals_no_death(self, frames):
+        p = Process(frames)
+        assert not p.deliver_signals()
+        assert p.alive
+
+
+class TestTeardown:
+    def test_exit_frees_everything(self, frames):
+        p = Process(frames)
+        vma = p.mm.mmap(MIB)
+        for offset in range(0, 10 * 4096, 4096):
+            p.mm.write_memory(vma.start + offset, b"x")
+        p.exit()
+        assert frames.allocated == 0
+
+    def test_exit_after_default_fork_keeps_parent_data(self, frames, parent):
+        from repro.kernel.forks.default import DefaultFork
+
+        result = DefaultFork().fork(parent)
+        vma = next(iter(parent.mm.vmas))
+        result.child.exit()
+        assert parent.mm.read_memory(vma.start, 5) == b"alpha"
+
+    def test_parent_exit_after_fork_keeps_child_data(self, frames, parent):
+        from repro.kernel.forks.default import DefaultFork
+
+        result = DefaultFork().fork(parent)
+        vma = next(iter(result.child.mm.vmas))
+        parent.exit()
+        assert result.child.mm.read_memory(vma.start, 5) == b"alpha"
+
+    def test_both_exits_free_all_frames(self, frames, parent):
+        from repro.kernel.forks.default import DefaultFork
+
+        result = DefaultFork().fork(parent)
+        result.child.exit()
+        parent.exit()
+        assert frames.allocated == 0

@@ -1,0 +1,149 @@
+"""Tests for the jemalloc-like arena allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.task import Process
+from repro.kvs.allocator import JemallocArena, size_class
+from repro.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def mm(frames):
+    return Process(frames, name="alloc").mm
+
+
+class TestSizeClasses:
+    def test_small_rounds_to_quantum(self):
+        assert size_class(1) == 64
+        assert size_class(64) == 64
+        assert size_class(65) == 128
+
+    def test_large_rounds_to_pages(self):
+        assert size_class(4097) == 2 * PAGE_SIZE
+        assert size_class(2 * PAGE_SIZE) == 2 * PAGE_SIZE
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            size_class(0)
+
+
+class TestAllocation:
+    def test_distinct_addresses(self, mm):
+        arena = JemallocArena(mm)
+        a = arena.zmalloc(100)
+        b = arena.zmalloc(100)
+        assert a != b
+
+    def test_memory_is_usable(self, mm):
+        arena = JemallocArena(mm)
+        vaddr = arena.zmalloc(1024)
+        mm.write_memory(vaddr, b"value")
+        assert mm.read_memory(vaddr, 5) == b"value"
+
+    def test_free_list_reuse(self, mm):
+        arena = JemallocArena(mm)
+        arena.zmalloc(500)  # keeps the chunk non-empty across the free
+        a = arena.zmalloc(1024)
+        arena.zfree(a)
+        b = arena.zmalloc(1024)
+        assert b == a  # same class comes off the free list
+
+    def test_usable_size(self, mm):
+        arena = JemallocArena(mm)
+        vaddr = arena.zmalloc(100)
+        assert arena.usable_size(vaddr) == 128
+
+    def test_double_free_rejected(self, mm):
+        arena = JemallocArena(mm)
+        vaddr = arena.zmalloc(64)
+        arena.zfree(vaddr)
+        with pytest.raises(KeyError):
+            arena.zfree(vaddr)
+
+    def test_oversize_rejected(self, mm):
+        arena = JemallocArena(mm, chunk_size=MIB)
+        with pytest.raises(ValueError):
+            arena.zmalloc(2 * MIB)
+
+    def test_unaligned_chunk_size_rejected(self, mm):
+        with pytest.raises(ValueError):
+            JemallocArena(mm, chunk_size=MIB + 1)
+
+    def test_grows_new_chunks(self, mm):
+        arena = JemallocArena(mm, chunk_size=MIB)
+        for _ in range(3):
+            arena.zmalloc(512 * 1024)
+        assert arena.stats["mmap_calls"] >= 2
+
+
+class TestRetain:
+    """The Appendix C tuning advice: retain empty chunks, avoid munmap."""
+
+    def test_retain_avoids_munmap(self, mm):
+        arena = JemallocArena(mm, chunk_size=MIB, retain=True)
+        vaddr = arena.zmalloc(1024)
+        arena.zfree(vaddr)
+        assert arena.stats["munmap_calls"] == 0
+
+    def test_retained_chunk_reused(self, mm):
+        arena = JemallocArena(mm, chunk_size=MIB, retain=True)
+        vaddr = arena.zmalloc(1024)
+        arena.zfree(vaddr)
+        arena.zmalloc(1024)
+        assert arena.stats["reused_chunks"] == 1
+        assert arena.stats["mmap_calls"] == 1
+
+    def test_no_retain_unmaps(self, mm):
+        arena = JemallocArena(mm, chunk_size=MIB, retain=False)
+        vaddr = arena.zmalloc(1024)
+        arena.zfree(vaddr)
+        assert arena.stats["munmap_calls"] == 1
+
+    def test_retain_reduces_vma_churn_checkpoints(self, mm):
+        # The reason retain matters for Async-fork: munmap is a VMA-wide
+        # PTE modification the parent must synchronize.
+        events = []
+        mm.subscribe(events.append)
+        arena = JemallocArena(mm, chunk_size=MIB, retain=True)
+        vaddr = arena.zmalloc(1024)
+        arena.zfree(vaddr)
+        from repro.mem import checkpoints as cp
+
+        assert not any(e.name == cp.DETACH_VMAS for e in events)
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("alloc"), st.integers(1, 8192)),
+                st.tuples(st.just("free"), st.integers(0, 30)),
+            ),
+            max_size=60,
+        )
+    )
+    def test_alloc_free_invariants(self, ops):
+        """No two live blocks overlap; live count is always consistent."""
+        from repro.mem.frames import FrameAllocator
+
+        mm = Process(FrameAllocator(), name="prop").mm
+        arena = JemallocArena(mm, chunk_size=MIB)
+        live: dict[int, int] = {}
+        for op in ops:
+            if op[0] == "alloc":
+                vaddr = arena.zmalloc(op[1])
+                klass = size_class(op[1])
+                for other, osize in live.items():
+                    assert vaddr + klass <= other or other + osize <= vaddr
+                live[vaddr] = klass
+            elif live:
+                keys = sorted(live)
+                vaddr = keys[op[1] % len(keys)]
+                arena.zfree(vaddr)
+                del live[vaddr]
+        assert arena.live_blocks() == len(live)

@@ -1,0 +1,135 @@
+"""Tests for the append-only file and the rewrite protocol."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvs.aof import (
+    AofRecord,
+    AppendOnlyFile,
+    compact_commands,
+    replay,
+)
+
+
+class TestLog:
+    def test_append_and_len(self):
+        log = AppendOnlyFile()
+        log.append(AofRecord("SET", b"k", b"v"))
+        assert len(log) == 1
+
+    def test_size_grows(self):
+        log = AppendOnlyFile()
+        before = log.size
+        log.append(AofRecord("SET", b"k", b"v" * 100))
+        assert log.size > before + 100
+
+
+class TestReplay:
+    def test_set_then_del(self):
+        records = [
+            AofRecord("SET", b"a", b"1"),
+            AofRecord("SET", b"b", b"2"),
+            AofRecord("DEL", b"a"),
+        ]
+        assert replay(records) == {b"b": b"2"}
+
+    def test_overwrite(self):
+        records = [
+            AofRecord("SET", b"a", b"1"),
+            AofRecord("SET", b"a", b"2"),
+        ]
+        assert replay(records) == {b"a": b"2"}
+
+    def test_del_missing_ok(self):
+        assert replay([AofRecord("DEL", b"ghost")]) == {}
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            replay([AofRecord("FLUSH", b"x")])
+
+
+class TestRewriteProtocol:
+    def test_rewrite_compacts(self):
+        log = AppendOnlyFile()
+        for i in range(10):
+            log.append(AofRecord("SET", b"k", str(i).encode()))
+        log.begin_rewrite()
+        compact = compact_commands([(b"k", b"9")])
+        log.complete_rewrite(compact)
+        assert len(log) == 1
+        assert replay(log.records) == {b"k": b"9"}
+
+    def test_buffered_tail_preserved(self):
+        log = AppendOnlyFile()
+        log.append(AofRecord("SET", b"a", b"1"))
+        log.begin_rewrite()
+        log.append(AofRecord("SET", b"b", b"2"))  # during the rewrite
+        log.complete_rewrite(compact_commands([(b"a", b"1")]))
+        assert replay(log.records) == {b"a": b"1", b"b": b"2"}
+
+    def test_double_begin_rejected(self):
+        log = AppendOnlyFile()
+        log.begin_rewrite()
+        with pytest.raises(RuntimeError):
+            log.begin_rewrite()
+
+    def test_complete_without_begin_rejected(self):
+        with pytest.raises(RuntimeError):
+            AppendOnlyFile().complete_rewrite([])
+
+    def test_abort_resets(self):
+        log = AppendOnlyFile()
+        log.begin_rewrite()
+        log.append(AofRecord("SET", b"x", b"1"))
+        log.abort_rewrite()
+        assert not log.rewriting
+        assert log.rewrite_buffer == []
+        # The record is still in the main log (it was appended there too).
+        assert len(log) == 1
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("SET"), st.binary(min_size=1, max_size=8),
+                  st.binary(max_size=16)),
+        st.tuples(st.just("DEL"), st.binary(min_size=1, max_size=8)),
+    ),
+    max_size=40,
+)
+
+
+class TestRewriteEquivalence:
+    @settings(max_examples=50, deadline=None)
+    @given(before=ops, during=ops)
+    def test_rewrite_preserves_final_state(self, before, during):
+        """replay(rewritten log) == replay(original log + tail)."""
+        log = AppendOnlyFile()
+
+        def apply(op):
+            if op[0] == "SET":
+                log.append(AofRecord("SET", op[1], op[2]))
+            else:
+                log.append(AofRecord("DEL", op[1]))
+
+        for op in before:
+            apply(op)
+        state_at_fork = replay(log.records)
+        log.begin_rewrite()
+        for op in during:
+            apply(op)
+        log.complete_rewrite(compact_commands(state_at_fork.items()))
+        expected = replay(
+            [AofRecord("SET", k, v) for k, v in state_at_fork.items()]
+            + log.rewrite_buffer
+        )
+        # rewrite_buffer was consumed; recompute expectation directly:
+        expected = dict(state_at_fork)
+        for op in during:
+            if op[0] == "SET":
+                expected[op[1]] = op[2]
+            else:
+                expected.pop(op[1], None)
+        assert replay(log.records) == expected

@@ -1,0 +1,54 @@
+"""Tests for the KeyDB engine variant."""
+
+from __future__ import annotations
+
+from repro.config import EngineConfig
+from repro.core.async_fork import AsyncFork
+from repro.kvs.keydb import KEYDB_DEFAULT_THREADS, KeyDbEngine
+
+
+class TestKeyDbConfig:
+    def test_four_threads_by_default(self):
+        assert KeyDbEngine().server_threads == KEYDB_DEFAULT_THREADS == 4
+
+    def test_explicit_thread_count_respected(self):
+        engine = KeyDbEngine(config=EngineConfig(threads=8))
+        assert engine.server_threads == 8
+
+    def test_other_config_fields_preserved_on_promotion(self):
+        engine = KeyDbEngine(
+            config=EngineConfig(threads=1, value_size=2048,
+                                aof_enabled=True)
+        )
+        assert engine.server_threads == 4
+        assert engine.config.value_size == 2048
+        assert engine.aof is not None
+
+    def test_name_defaults_to_keydb(self):
+        assert KeyDbEngine().process.name == "keydb"
+
+
+class TestKeyDbBehaviour:
+    def test_full_snapshot_cycle(self):
+        from repro.kvs import rdb
+
+        engine = KeyDbEngine(fork_engine=AsyncFork())
+        for i in range(10):
+            engine.set(f"k{i}", f"v{i}".encode())
+        job = engine.bgsave()
+        engine.set("k0", b"post-fork")
+        report = job.finish()
+        data = dict(rdb.load(report.file))
+        assert data[b"k0"] == b"v0"
+        assert engine.get("k0") == b"post-fork"
+
+    def test_aof_supported(self):
+        engine = KeyDbEngine(
+            fork_engine=AsyncFork(),
+            config=EngineConfig(threads=4, aof_enabled=True),
+        )
+        engine.set("k", b"v")
+        log = engine.bgrewriteaof().finish()
+        from repro.kvs.aof import replay
+
+        assert replay(log.records) == {b"k": b"v"}

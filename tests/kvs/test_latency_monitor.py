@@ -1,0 +1,126 @@
+"""Tests for the Redis-style latency monitoring framework."""
+
+from __future__ import annotations
+
+from repro.kvs.latency_monitor import LatencyMonitor
+from repro.kvs.resp import RespError
+from repro.units import ms, us
+
+
+class TestMonitor:
+    def test_below_threshold_ignored(self):
+        monitor = LatencyMonitor(threshold_ms=1.0)
+        assert not monitor.record("fork", us(500))
+        assert monitor.history("fork") == []
+
+    def test_above_threshold_recorded(self):
+        monitor = LatencyMonitor(threshold_ms=1.0)
+        assert monitor.record("fork", ms(5), at_ns=123)
+        history = monitor.history("fork")
+        assert len(history) == 1
+        assert history[0].duration_ms == 5.0
+        assert history[0].at_ns == 123
+
+    def test_disabled_when_threshold_zero(self):
+        monitor = LatencyMonitor(threshold_ms=0)
+        assert not monitor.record("fork", ms(100))
+
+    def test_history_bounded(self):
+        monitor = LatencyMonitor(threshold_ms=0.001, max_samples_per_event=5)
+        for i in range(10):
+            monitor.record("fork", ms(1 + i))
+        history = monitor.history("fork")
+        assert len(history) == 5
+        assert history[-1].duration_ms == 10.0
+
+    def test_latest_per_event(self):
+        monitor = LatencyMonitor(threshold_ms=0.001)
+        monitor.record("fork", ms(2), at_ns=1)
+        monitor.record("fork", ms(3), at_ns=2)
+        monitor.record("command", ms(4), at_ns=3)
+        latest = monitor.latest()
+        assert latest["fork"].duration_ms == 3.0
+        assert latest["command"].duration_ms == 4.0
+
+    def test_worst(self):
+        monitor = LatencyMonitor(threshold_ms=0.001)
+        monitor.record("fork", ms(2))
+        monitor.record("fork", ms(9))
+        assert monitor.worst("fork") == 9.0
+        assert monitor.worst("nothing") == 0.0
+
+    def test_reset_all(self):
+        monitor = LatencyMonitor(threshold_ms=0.001)
+        monitor.record("fork", ms(2))
+        monitor.record("command", ms(2))
+        assert monitor.reset() == 2
+        assert monitor.latest() == {}
+
+    def test_reset_selected(self):
+        monitor = LatencyMonitor(threshold_ms=0.001)
+        monitor.record("fork", ms(2))
+        monitor.record("command", ms(2))
+        assert monitor.reset("fork", "ghost") == 1
+        assert "command" in monitor.latest()
+
+    def test_doctor_quiet(self):
+        assert "no worthy latency event" in LatencyMonitor().doctor()
+
+    def test_doctor_blames_fork(self):
+        monitor = LatencyMonitor(threshold_ms=0.001)
+        monitor.record("fork", ms(500))
+        monitor.record("command", ms(2))
+        text = monitor.doctor()
+        assert "fork" in text
+        assert "Async-fork" in text
+
+
+class TestServerIntegration:
+    def _server(self):
+        from repro.core.async_fork import AsyncFork
+        from repro.kvs.engine import KvEngine
+        from repro.kvs.server import CommandServer
+
+        return CommandServer(KvEngine(fork_engine=AsyncFork()))
+
+    def _send(self, server, *args):
+        from repro.kvs import resp as resp_mod
+        from repro.kvs.resp import encode_command
+
+        parser = resp_mod.Parser()
+        parser.feed(server.feed(encode_command(*args)))
+        return list(parser)[0]
+
+    def test_bgsave_records_fork_event(self):
+        server = self._server()
+        self._send(server, "SET", "k", "v")
+        self._send(server, "BGSAVE")
+        server.finish_background_job()
+        latest = self._send(server, "LATENCY", "LATEST")
+        assert latest and latest[0][0] == b"fork"
+
+    def test_latency_history_roundtrip(self):
+        server = self._server()
+        self._send(server, "SET", "k", "v")
+        self._send(server, "BGSAVE")
+        server.finish_background_job()
+        history = self._send(server, "LATENCY", "HISTORY", "fork")
+        assert len(history) == 1
+
+    def test_latency_reset(self):
+        server = self._server()
+        self._send(server, "SET", "k", "v")
+        self._send(server, "BGSAVE")
+        server.finish_background_job()
+        assert self._send(server, "LATENCY", "RESET") == 1
+        assert self._send(server, "LATENCY", "LATEST") == []
+
+    def test_latency_doctor_over_wire(self):
+        server = self._server()
+        text = self._send(server, "LATENCY", "DOCTOR")
+        assert b"Dave" in text
+
+    def test_unknown_subcommand(self):
+        server = self._server()
+        reply = self._send(server, "LATENCY", "FROBNICATE")
+        assert isinstance(reply, RespError)

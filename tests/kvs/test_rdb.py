@@ -1,0 +1,51 @@
+"""Tests for the snapshot (RDB-like) serialization."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvs import rdb
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        snapshot = rdb.dump([])
+        assert snapshot.entry_count == 0
+        assert list(rdb.load(snapshot)) == []
+
+    def test_simple(self):
+        entries = [(b"k1", b"v1"), (b"k2", b"v2")]
+        snapshot = rdb.dump(entries)
+        assert snapshot.entry_count == 2
+        assert list(rdb.load(snapshot)) == entries
+
+    def test_binary_safe(self):
+        entries = [(b"\x00\xff", b"\x00" * 100), (b"", b"")]
+        assert list(rdb.load(rdb.dump(entries))) == entries
+
+    def test_size_reflects_payload(self):
+        small = rdb.dump([(b"k", b"v")])
+        large = rdb.dump([(b"k", b"v" * 10_000)])
+        assert large.size > small.size + 9_000
+
+    def test_bad_magic_rejected(self):
+        snapshot = rdb.SnapshotFile(payload=b"XXXX....")
+        try:
+            list(rdb.load(snapshot))
+        except ValueError:
+            return
+        raise AssertionError("bad magic accepted")
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.binary(max_size=40),
+                st.binary(max_size=200),
+            ),
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, entries):
+        assert list(rdb.load(rdb.dump(entries))) == entries

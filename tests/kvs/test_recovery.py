@@ -1,0 +1,130 @@
+"""Tests for the reboot/recovery path."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig
+from repro.core.async_fork import AsyncFork
+from repro.kvs.engine import KvEngine
+from repro.kvs.recovery import load_aof, load_snapshot, recover
+
+
+def build_engine(aof: bool = False) -> KvEngine:
+    return KvEngine(
+        fork_engine=AsyncFork(), config=EngineConfig(aof_enabled=aof)
+    )
+
+
+class TestSnapshotRecovery:
+    def test_roundtrip(self):
+        engine = build_engine()
+        for i in range(25):
+            engine.set(f"k{i}", f"v{i}".encode())
+        report = engine.save_now()
+
+        reborn = recover(snapshot=report.file)
+        assert len(reborn.store) == 25
+        assert reborn.get("k7") == b"v7"
+
+    def test_post_fork_writes_not_recovered(self):
+        engine = build_engine()
+        engine.set("k", b"before")
+        job = engine.bgsave()
+        engine.set("k", b"after")
+        report = job.finish()
+        reborn = recover(snapshot=report.file)
+        assert reborn.get("k") == b"before"
+
+    def test_load_returns_count(self):
+        engine = build_engine()
+        engine.set("a", b"1")
+        report = engine.save_now()
+        target = build_engine()
+        assert load_snapshot(target, report.file) == 1
+
+    def test_recovered_engine_can_snapshot_again(self):
+        engine = build_engine()
+        engine.set("k", b"v")
+        report = engine.save_now()
+        reborn = recover(snapshot=report.file, fork_engine=AsyncFork())
+        reborn.set("k2", b"v2")
+        second = reborn.save_now()
+        assert second.file.entry_count == 2
+
+
+class TestAofRecovery:
+    def test_replay_reconstructs(self):
+        engine = build_engine(aof=True)
+        engine.set("a", b"1")
+        engine.set("a", b"2")
+        engine.set("b", b"x")
+        engine.delete("b")
+        reborn = recover(aof=engine.aof)
+        assert reborn.get("a") == b"2"
+        assert reborn.get("b") is None
+
+    def test_aof_preferred_over_snapshot(self):
+        engine = build_engine(aof=True)
+        engine.set("k", b"old")
+        report = engine.save_now()
+        engine.set("k", b"newer")  # only in the AOF
+        reborn = recover(snapshot=report.file, aof=engine.aof)
+        assert reborn.get("k") == b"newer"
+
+    def test_recovered_log_is_compact(self):
+        engine = build_engine(aof=True)
+        for i in range(20):
+            engine.set("hot", str(i).encode())
+        reborn = recover(aof=engine.aof)
+        assert reborn.aof is not None
+        assert len(reborn.aof) == 1
+
+    def test_load_aof_returns_key_count(self):
+        engine = build_engine(aof=True)
+        engine.set("a", b"1")
+        engine.set("b", b"2")
+        target = build_engine(aof=True)
+        assert load_aof(target, engine.aof) == 2
+
+
+class TestEmptyRecovery:
+    def test_nothing_to_recover(self):
+        reborn = recover()
+        assert len(reborn.store) == 0
+
+
+class TestFullCycleProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("SET"),
+                    st.sampled_from([b"a", b"b", b"c", b"d"]),
+                    st.binary(min_size=1, max_size=32),
+                ),
+                st.tuples(
+                    st.just("DEL"),
+                    st.sampled_from([b"a", b"b", b"c", b"d"]),
+                ),
+            ),
+            max_size=30,
+        )
+    )
+    def test_serve_snapshot_crash_recover(self, ops):
+        """The final state survives a snapshot + reboot, always."""
+        engine = build_engine()
+        expected = {}
+        for op in ops:
+            if op[0] == "SET":
+                engine.set(op[1], op[2])
+                expected[op[1]] = op[2]
+            else:
+                engine.delete(op[1])
+                expected.pop(op[1], None)
+        report = engine.save_now()
+        reborn = recover(snapshot=report.file)
+        for key in (b"a", b"b", b"c", b"d"):
+            assert reborn.get(key) == expected.get(key)

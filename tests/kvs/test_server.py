@@ -1,0 +1,181 @@
+"""Tests for the RESP command server and the save-point policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.async_fork import AsyncFork
+from repro.kvs import resp
+from repro.kvs.engine import KvEngine
+from repro.kvs.resp import RespError, SimpleString, encode_command
+from repro.kvs.server import DEFAULT_SAVE_POINTS, CommandServer, SavePoint
+from repro.units import SEC
+
+
+@pytest.fixture
+def server() -> CommandServer:
+    engine = KvEngine(fork_engine=AsyncFork())
+    return CommandServer(engine)
+
+
+def send(server: CommandServer, *args):
+    """Send one command, parse the single reply value back."""
+    reply_bytes = server.feed(encode_command(*args))
+    parser = resp.Parser()
+    parser.feed(reply_bytes)
+    values = list(parser)
+    assert len(values) == 1
+    return values[0]
+
+
+class TestCommands:
+    def test_ping(self, server):
+        assert send(server, "PING") == b"PONG"
+
+    def test_ping_with_payload(self, server):
+        assert send(server, "PING", "hello") == b"hello"
+
+    def test_echo(self, server):
+        assert send(server, "ECHO", "x") == b"x"
+
+    def test_set_get(self, server):
+        assert send(server, "SET", "k", "v") == b"OK"
+        assert send(server, "GET", "k") == b"v"
+
+    def test_get_missing_is_null(self, server):
+        assert send(server, "GET", "nope") is None
+
+    def test_del_multiple(self, server):
+        send(server, "SET", "a", "1")
+        send(server, "SET", "b", "2")
+        assert send(server, "DEL", "a", "b", "ghost") == 2
+
+    def test_exists(self, server):
+        send(server, "SET", "a", "1")
+        assert send(server, "EXISTS", "a", "a", "b") == 2
+
+    def test_dbsize(self, server):
+        send(server, "SET", "a", "1")
+        assert send(server, "DBSIZE") == 1
+
+    def test_flushall(self, server):
+        send(server, "SET", "a", "1")
+        assert send(server, "FLUSHALL") == b"OK"
+        assert send(server, "DBSIZE") == 0
+
+    def test_unknown_command(self, server):
+        reply = send(server, "HGETALL", "x")
+        assert isinstance(reply, RespError)
+        assert "unknown command" in reply.message
+
+    def test_wrong_arity(self, server):
+        reply = send(server, "SET", "only-key")
+        assert isinstance(reply, RespError)
+        assert "wrong number of arguments" in reply.message
+
+    def test_case_insensitive(self, server):
+        assert send(server, "set", "k", "v") == b"OK"
+
+    def test_info_fields(self, server):
+        send(server, "SET", "k", "v")
+        info = send(server, "INFO")
+        assert b"fork_engine:async" in info
+        assert b"db_keys:1" in info
+
+    def test_inline_commands_work(self, server):
+        reply = server.feed(b"PING\r\n")
+        assert reply == b"+PONG\r\n"
+
+    def test_pipelined_commands(self, server):
+        payload = encode_command("SET", "a", "1") + encode_command("GET", "a")
+        replies = server.feed(payload)
+        parser = resp.Parser()
+        parser.feed(replies)
+        assert list(parser) == [SimpleString(b"OK"), b"1"]
+
+
+class TestBackgroundJobs:
+    def test_bgsave_via_protocol(self, server):
+        send(server, "SET", "k", "v")
+        reply = send(server, "BGSAVE")
+        assert b"Background saving started" in bytes(reply)
+        send(server, "SET", "k", "mutated")
+        report = server.finish_background_job()
+        from repro.kvs import rdb
+
+        assert dict(rdb.load(report.file)) == {b"k": b"v"}
+
+    def test_double_bgsave_rejected(self, server):
+        send(server, "SET", "k", "v")
+        send(server, "BGSAVE")
+        reply = send(server, "BGSAVE")
+        assert isinstance(reply, RespError)
+        server.finish_background_job()
+
+    def test_commands_step_the_child_copy(self, server):
+        for i in range(20):
+            send(server, "SET", f"k{i}", "x" * 600)
+        send(server, "BGSAVE")
+        # Each subsequent command advances the Async-fork child.
+        for _ in range(30):
+            send(server, "PING")
+        job = server._active_job
+        assert job is not None
+        session = job.result.session
+        assert session.done or session.stats.child_tables_copied > 0
+        server.finish_background_job()
+
+    def test_bgrewriteaof_requires_aof(self, server):
+        reply = send(server, "BGREWRITEAOF")
+        assert isinstance(reply, RespError)
+
+    def test_bgrewriteaof_with_aof(self):
+        engine = KvEngine(
+            fork_engine=AsyncFork(),
+            config=EngineConfig(aof_enabled=True),
+        )
+        server = CommandServer(engine)
+        for i in range(5):
+            send(server, "SET", "k", str(i))
+        reply = send(server, "BGREWRITEAOF")
+        assert b"rewriting started" in bytes(reply)
+        log = server.finish_background_job()
+        assert len(log) < 5 + 1
+
+
+class TestSavePolicy:
+    def test_default_rules_match_redis_conf(self):
+        assert SavePoint(60, 10_000) in DEFAULT_SAVE_POINTS
+
+    def test_savepoint_due(self):
+        rule = SavePoint(60, 10)
+        assert rule.due(61 * SEC, 10)
+        assert not rule.due(59 * SEC, 1000)
+        assert not rule.due(3600 * SEC, 9)
+
+    def test_policy_triggers_bgsave(self):
+        engine = KvEngine(fork_engine=AsyncFork())
+        server = CommandServer(
+            engine, save_points=(SavePoint(1, 5),)
+        )
+        for i in range(6):
+            send(server, "SET", f"k{i}", "v")
+        # Less than a second of simulated time has passed: not yet due.
+        assert server._active_job is None
+        engine.clock.advance(2 * SEC)
+        send(server, "PING")  # serverCron runs on command handling
+        assert server._active_job is not None
+        report = server.finish_background_job()
+        assert report.file.entry_count == 6
+        assert engine.store.dirty_since_save == 0
+
+    def test_lastsave_updates(self):
+        engine = KvEngine(fork_engine=AsyncFork())
+        server = CommandServer(engine, save_points=())
+        t0 = send(server, "LASTSAVE")
+        engine.clock.advance(5 * SEC)
+        send(server, "SET", "k", "v")
+        send(server, "BGSAVE")
+        server.finish_background_job()
+        assert send(server, "LASTSAVE") >= t0 + 5

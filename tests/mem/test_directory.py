@@ -1,0 +1,112 @@
+"""Tests for PGD/PUD/PMD directory tables and the PMD R/W flag."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.directory import (
+    PGD,
+    PMD,
+    PUD,
+    DirectoryTable,
+    require_directory,
+    require_pte_table,
+)
+from repro.mem.page_struct import PageStruct
+from repro.mem.pte_table import PteTable
+
+
+def _dir(level: str) -> DirectoryTable:
+    return DirectoryTable(level, PageStruct(frame=1))
+
+
+class TestLevels:
+    def test_child_levels(self):
+        assert _dir(PGD).child_level == PUD
+        assert _dir(PUD).child_level == PMD
+        assert _dir(PMD).child_level == "pte"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            _dir("p4d")
+
+
+class TestSlots:
+    def test_initially_empty(self):
+        pmd = _dir(PMD)
+        assert not pmd.is_present(0)
+        assert pmd.present_count() == 0
+
+    def test_set_get(self):
+        pmd = _dir(PMD)
+        leaf = PteTable(PageStruct(frame=2))
+        pmd.set(5, leaf)
+        assert pmd.get(5) is leaf
+        assert pmd.is_present(5)
+
+    def test_clear_returns_child(self):
+        pmd = _dir(PMD)
+        leaf = PteTable(PageStruct(frame=2))
+        pmd.set(5, leaf)
+        assert pmd.clear(5) is leaf
+        assert not pmd.is_present(5)
+
+    def test_clear_resets_wp_flag(self):
+        pmd = _dir(PMD)
+        pmd.set(5, PteTable(PageStruct(frame=2)))
+        pmd.set_write_protected(5)
+        pmd.clear(5)
+        assert not pmd.is_write_protected(5)
+
+    def test_present_slots_iteration(self):
+        pmd = _dir(PMD)
+        a = PteTable(PageStruct(frame=2))
+        b = PteTable(PageStruct(frame=3))
+        pmd.set(1, a)
+        pmd.set(400, b)
+        assert list(pmd.present_slots()) == [(1, a), (400, b)]
+
+    def test_len(self):
+        assert len(_dir(PMD)) == 512
+
+
+class TestRwFlag:
+    """The PMD R/W bit is Async-fork's 'copied' marker (§4.2)."""
+
+    def test_default_writable(self):
+        pmd = _dir(PMD)
+        assert not pmd.is_write_protected(0)
+
+    def test_protect_and_release(self):
+        pmd = _dir(PMD)
+        pmd.set_write_protected(3)
+        assert pmd.is_write_protected(3)
+        pmd.set_write_protected(3, False)
+        assert not pmd.is_write_protected(3)
+
+    def test_write_protect_present_skips_empty(self):
+        pmd = _dir(PMD)
+        pmd.set(1, PteTable(PageStruct(frame=2)))
+        pmd.set(2, PteTable(PageStruct(frame=3)))
+        assert pmd.write_protect_present() == 2
+        assert pmd.is_write_protected(1)
+        assert pmd.is_write_protected(2)
+        assert not pmd.is_write_protected(0)
+
+
+class TestDowncasts:
+    def test_require_pte_table(self):
+        leaf = PteTable(PageStruct(frame=2))
+        assert require_pte_table(leaf) is leaf
+
+    def test_require_pte_table_rejects_directory(self):
+        with pytest.raises(TypeError):
+            require_pte_table(_dir(PMD))
+
+    def test_require_directory(self):
+        pud = _dir(PUD)
+        assert require_directory(pud, PUD) is pud
+
+    def test_require_directory_wrong_level(self):
+        with pytest.raises(TypeError):
+            require_directory(_dir(PUD), PMD)

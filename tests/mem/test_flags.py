@@ -1,0 +1,71 @@
+"""Tests for PTE bit encoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.flags import (
+    PteFlags,
+    make_pte,
+    pte_clear_flags,
+    pte_flags,
+    pte_frame,
+    pte_present,
+    pte_set_flags,
+    pte_writable,
+)
+
+
+class TestEncoding:
+    def test_roundtrip_frame(self):
+        pte = make_pte(1234, PteFlags.PRESENT)
+        assert pte_frame(pte) == 1234
+
+    def test_roundtrip_flags(self):
+        flags = PteFlags.PRESENT | PteFlags.RW | PteFlags.DIRTY
+        pte = make_pte(7, flags)
+        assert pte_flags(pte) == flags
+
+    def test_negative_frame_rejected(self):
+        with pytest.raises(ValueError):
+            make_pte(-1, PteFlags.PRESENT)
+
+    def test_large_frame_preserved(self):
+        pte = make_pte(2**40, PteFlags.PRESENT)
+        assert pte_frame(pte) == 2**40
+
+    def test_zero_value_not_present(self):
+        assert not pte_present(0)
+
+
+class TestPredicates:
+    def test_present(self):
+        assert pte_present(make_pte(1, PteFlags.PRESENT))
+        assert not pte_present(make_pte(1, PteFlags.RW))
+
+    def test_writable(self):
+        assert pte_writable(make_pte(1, PteFlags.PRESENT | PteFlags.RW))
+        assert not pte_writable(make_pte(1, PteFlags.PRESENT))
+
+
+class TestFlagMutation:
+    def test_set_flags(self):
+        pte = make_pte(5, PteFlags.PRESENT)
+        pte = pte_set_flags(pte, PteFlags.DIRTY)
+        assert pte_flags(pte) & PteFlags.DIRTY
+        assert pte_frame(pte) == 5
+
+    def test_clear_flags(self):
+        pte = make_pte(5, PteFlags.PRESENT | PteFlags.RW)
+        pte = pte_clear_flags(pte, PteFlags.RW)
+        assert not pte_writable(pte)
+        assert pte_present(pte)
+        assert pte_frame(pte) == 5
+
+    def test_write_protect_is_clear_rw(self):
+        # The CoW arm of fork is exactly "clear RW, keep everything else".
+        pte = make_pte(9, PteFlags.PRESENT | PteFlags.RW | PteFlags.DIRTY)
+        armed = pte_clear_flags(pte, PteFlags.RW)
+        assert pte_present(armed)
+        assert pte_flags(armed) & PteFlags.DIRTY
+        assert not pte_writable(armed)

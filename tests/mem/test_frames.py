@@ -1,0 +1,148 @@
+"""Tests for the physical frame allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.mem.frames import FrameAllocator
+from repro.units import PAGE_SIZE
+
+
+class TestAllocation:
+    def test_alloc_returns_distinct_frames(self, frames):
+        a = frames.alloc()
+        b = frames.alloc()
+        assert a.frame != b.frame
+
+    def test_frame_zero_reserved(self, frames):
+        assert frames.alloc().frame != 0
+
+    def test_allocated_count(self, frames):
+        frames.alloc()
+        frames.alloc()
+        assert frames.allocated == 2
+
+    def test_free_releases(self, frames):
+        page = frames.alloc()
+        frames.free(page.frame)
+        assert frames.allocated == 0
+        assert not frames.is_allocated(page.frame)
+
+    def test_double_free_rejected(self, frames):
+        page = frames.alloc()
+        frames.free(page.frame)
+        with pytest.raises(KeyError):
+            frames.free(page.frame)
+
+    def test_free_locked_frame_rejected(self, frames):
+        page = frames.alloc()
+        assert page.trylock()
+        with pytest.raises(RuntimeError):
+            frames.free(page.frame)
+
+    def test_capacity_limit(self):
+        frames = FrameAllocator(capacity=2)
+        frames.alloc()
+        frames.alloc()
+        with pytest.raises(OutOfMemoryError):
+            frames.alloc()
+
+    def test_capacity_frees_make_room(self):
+        frames = FrameAllocator(capacity=1)
+        page = frames.alloc()
+        frames.free(page.frame)
+        frames.alloc()  # must not raise
+
+    def test_purpose_tags(self, frames):
+        page = frames.alloc("pte-table")
+        assert "pte-table" in page.tags
+
+
+class TestReuse:
+    def test_no_reuse_by_default(self, frames):
+        page = frames.alloc()
+        frames.free(page.frame)
+        assert frames.alloc().frame != page.frame
+
+    def test_reuse_freed(self):
+        frames = FrameAllocator(reuse_freed=True)
+        page = frames.alloc()
+        old = page.frame
+        frames.free(old)
+        assert frames.alloc().frame == old
+
+
+class TestFailureInjection:
+    def test_fail_immediately(self, frames):
+        frames.fail_after(0)
+        with pytest.raises(OutOfMemoryError):
+            frames.alloc()
+
+    def test_fail_after_n(self, frames):
+        frames.fail_after(2)
+        frames.alloc()
+        frames.alloc()
+        with pytest.raises(OutOfMemoryError):
+            frames.alloc()
+
+    def test_fail_filter_by_purpose(self, frames):
+        frames.fail_after(0, only=lambda p: p == "pte-table")
+        frames.alloc("data")  # unaffected
+        with pytest.raises(OutOfMemoryError):
+            frames.alloc("pte-table")
+
+    def test_disarm(self, frames):
+        frames.fail_after(0)
+        frames.fail_after(None)
+        frames.alloc()  # must not raise
+
+
+class TestContents:
+    def test_unwritten_reads_zero(self, frames):
+        page = frames.alloc()
+        assert frames.read(page.frame, 0, 8) == b"\x00" * 8
+
+    def test_write_read_roundtrip(self, frames):
+        page = frames.alloc()
+        frames.write(page.frame, 100, b"hello")
+        assert frames.read(page.frame, 100, 5) == b"hello"
+
+    def test_zero_page_readable(self, frames):
+        assert frames.read(0, 0, 4) == b"\x00" * 4
+
+    def test_zero_page_immutable(self, frames):
+        with pytest.raises(ValueError):
+            frames.write(0, 0, b"x")
+
+    def test_write_beyond_page_rejected(self, frames):
+        page = frames.alloc()
+        with pytest.raises(ValueError):
+            frames.write(page.frame, PAGE_SIZE - 2, b"xyz")
+
+    def test_write_unallocated_rejected(self, frames):
+        with pytest.raises(KeyError):
+            frames.write(424242, 0, b"x")
+
+    def test_copy_contents(self, frames):
+        src = frames.alloc()
+        dst = frames.alloc()
+        frames.write(src.frame, 0, b"payload")
+        frames.copy_contents(src.frame, dst.frame)
+        assert frames.read(dst.frame, 0, 7) == b"payload"
+
+    def test_copy_unwritten_source_clears_destination(self, frames):
+        src = frames.alloc()
+        dst = frames.alloc()
+        frames.write(dst.frame, 0, b"stale")
+        frames.copy_contents(src.frame, dst.frame)
+        assert frames.read(dst.frame, 0, 5) == b"\x00" * 5
+
+    def test_free_drops_contents(self):
+        frames = FrameAllocator(reuse_freed=True)
+        page = frames.alloc()
+        frames.write(page.frame, 0, b"secret")
+        frames.free(page.frame)
+        fresh = frames.alloc()
+        assert fresh.frame == page.frame
+        assert frames.read(fresh.frame, 0, 6) == b"\x00" * 6

@@ -1,0 +1,184 @@
+"""Tests for transparent huge pages and why the paper rules them out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.async_fork import AsyncFork
+from repro.errors import ConfigurationError
+from repro.kernel.forks.default import DefaultFork
+from repro.kernel.forks.odf import OnDemandFork
+from repro.kernel.task import Process
+from repro.mem.hugepage import (
+    HUGE_PAGE_SIZE,
+    HugePage,
+    count_huge_mappings,
+    huge_base,
+    is_huge_slot,
+)
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture
+def thp_proc(frames) -> Process:
+    p = Process(frames, name="thp")
+    p.vma = p.mm.mmap_huge(2 * HUGE_PAGE_SIZE)
+    return p
+
+
+class TestHugePageObject:
+    def test_zero_filled(self):
+        hp = HugePage()
+        assert hp.read(100, 4) == b"\x00" * 4
+
+    def test_write_read(self):
+        hp = HugePage()
+        hp.write(4096, b"data")
+        assert hp.read(4096, 4) == b"data"
+
+    def test_bounds_checked(self):
+        hp = HugePage()
+        with pytest.raises(ValueError):
+            hp.write(HUGE_PAGE_SIZE - 1, b"xy")
+
+    def test_copy_is_deep(self):
+        hp = HugePage()
+        hp.write(0, b"orig")
+        clone = hp.copy()
+        hp.write(0, b"mut!")
+        assert clone.read(0, 4) == b"orig"
+
+    def test_all_or_nothing_residency(self):
+        """One touched byte pins the whole 2 MiB (the §3.2 bloat)."""
+        hp = HugePage()
+        assert hp.resident_bytes == 0
+        hp.write(0, b"x")
+        assert hp.resident_bytes == HUGE_PAGE_SIZE
+
+    def test_huge_base(self):
+        assert huge_base(HUGE_PAGE_SIZE + 5) == HUGE_PAGE_SIZE
+
+
+class TestThpMappings:
+    def test_mmap_huge_requires_alignment(self, frames):
+        p = Process(frames)
+        with pytest.raises(ValueError):
+            p.mm.mmap_huge(PAGE_SIZE)
+
+    def test_write_read_roundtrip(self, thp_proc):
+        mm = thp_proc.mm
+        mm.write_memory(thp_proc.vma.start + 12345, b"hello")
+        assert mm.read_memory(thp_proc.vma.start + 12345, 5) == b"hello"
+
+    def test_spanning_two_huge_pages(self, thp_proc):
+        mm = thp_proc.mm
+        at = thp_proc.vma.start + HUGE_PAGE_SIZE - 2
+        mm.write_memory(at, b"abcd")
+        assert mm.read_memory(at, 4) == b"abcd"
+
+    def test_one_pmd_entry_no_ptes(self, thp_proc):
+        mm = thp_proc.mm
+        mm.write_memory(thp_proc.vma.start, b"x")
+        counts = mm.page_table.level_counts()
+        assert counts["huge"] == 1
+        assert counts["pte"] == 0
+
+    def test_rss_counts_whole_huge_page(self, thp_proc):
+        mm = thp_proc.mm
+        mm.write_memory(thp_proc.vma.start, b"x")  # one byte ...
+        assert mm.rss == HUGE_PAGE_SIZE // PAGE_SIZE  # ... 512 pages
+
+    def test_is_huge_slot(self, thp_proc):
+        mm = thp_proc.mm
+        mm.write_memory(thp_proc.vma.start, b"x")
+        pmd, idx = mm.page_table.walk_pmd(thp_proc.vma.start)
+        assert is_huge_slot(pmd, idx)
+
+    def test_count_huge_mappings(self, thp_proc):
+        mm = thp_proc.mm
+        assert count_huge_mappings(mm) == 0
+        mm.write_memory(thp_proc.vma.start, b"x")
+        mm.write_memory(thp_proc.vma.start + HUGE_PAGE_SIZE, b"y")
+        assert count_huge_mappings(mm) == 2
+
+    def test_munmap_releases(self, thp_proc):
+        mm = thp_proc.mm
+        mm.write_memory(thp_proc.vma.start, b"x")
+        mm.munmap(thp_proc.vma.start, 2 * HUGE_PAGE_SIZE)
+        assert mm.rss == 0
+        assert count_huge_mappings(mm) == 0
+
+
+class TestThpFork:
+    """The §3.2 story: cheap fork, expensive CoW, and snapshot safety."""
+
+    def test_fork_shares_huge_pages(self, thp_proc):
+        thp_proc.mm.write_memory(thp_proc.vma.start, b"snap")
+        result = DefaultFork().fork(thp_proc)
+        child_vma = next(iter(result.child.mm.vmas))
+        assert result.child.mm.read_memory(child_vma.start, 4) == b"snap"
+
+    def test_fork_copies_tiny_page_table(self, thp_proc):
+        thp_proc.mm.write_memory(thp_proc.vma.start, b"x")
+        result = DefaultFork().fork(thp_proc)
+        # THP page table: zero PTEs to copy, which is why THP makes fork
+        # cheap — §3.2's starting point.
+        assert result.stats.parent_pte_entries == 0
+
+    def test_cow_amplification(self, thp_proc):
+        """One byte written after the fork copies a whole 2 MiB page."""
+        mm = thp_proc.mm
+        mm.write_memory(thp_proc.vma.start, b"snapshot-data")
+        result = DefaultFork().fork(thp_proc)
+        before = mm.stats["cow_copies"]
+        mm.write_memory(thp_proc.vma.start, b"X")  # one byte ...
+        assert mm.stats["cow_copies"] == before + 1
+        child_vma = next(iter(result.child.mm.vmas))
+        # ... yet the child's whole huge page stays at the snapshot.
+        assert (
+            result.child.mm.read_memory(child_vma.start, 13)
+            == b"snapshot-data"
+        )
+        assert mm.read_memory(thp_proc.vma.start, 13) == b"Xnapshot-data"
+
+    def test_child_write_isolated(self, thp_proc):
+        thp_proc.mm.write_memory(thp_proc.vma.start, b"parent")
+        result = DefaultFork().fork(thp_proc)
+        child_vma = next(iter(result.child.mm.vmas))
+        result.child.mm.write_memory(child_vma.start, b"child!")
+        assert thp_proc.mm.read_memory(thp_proc.vma.start, 6) == b"parent"
+
+    def test_odf_shares_huge_pages_too(self, thp_proc):
+        thp_proc.mm.write_memory(thp_proc.vma.start, b"snap")
+        result = OnDemandFork().fork(thp_proc)
+        thp_proc.mm.write_memory(thp_proc.vma.start, b"MUT!")
+        child_vma = next(iter(result.child.mm.vmas))
+        assert result.child.mm.read_memory(child_vma.start, 4) == b"snap"
+        result.session.finish()
+
+    def test_exit_releases_mapcounts(self, thp_proc):
+        thp_proc.mm.write_memory(thp_proc.vma.start, b"x")
+        pmd, idx = thp_proc.mm.page_table.walk_pmd(thp_proc.vma.start)
+        hp = pmd.get(idx)
+        result = DefaultFork().fork(thp_proc)
+        assert hp.mapcount == 2
+        result.child.exit()
+        assert hp.mapcount == 1
+
+
+class TestAsyncForkConflict:
+    def test_async_fork_refuses_thp_process(self, thp_proc):
+        """§4.2: the PMD R/W bit is taken — Async-fork must refuse."""
+        thp_proc.mm.write_memory(thp_proc.vma.start, b"x")
+        with pytest.raises(ConfigurationError, match="huge"):
+            AsyncFork().fork(thp_proc)
+
+    def test_async_fork_fine_without_thp_mappings(self, frames):
+        p = Process(frames)
+        p.mm.mmap_huge(HUGE_PAGE_SIZE)  # mapped but never touched
+        vma = p.mm.mmap(1 << 20)
+        p.mm.write_memory(vma.start, b"ok")
+        result = AsyncFork().fork(p)  # no huge PMD entries yet: allowed
+        result.session.run_to_completion()
+        child_vma = result.child.mm.vmas.find(vma.start)
+        assert result.child.mm.read_memory(child_vma.start, 2) == b"ok"

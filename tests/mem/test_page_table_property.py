@@ -1,0 +1,77 @@
+"""Property test: the radix page table against a dict reference model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.flags import PteFlags
+from repro.mem.frames import FrameAllocator
+from repro.mem.page_table import PageTable
+from repro.units import MIB, PAGE_SIZE
+
+#: A small universe of page-aligned addresses spanning several PMD slots
+#: and two PUD entries, so every tree level gets exercised.
+ADDRESSES = tuple(
+    base + i * PAGE_SIZE
+    for base in (0, 2 * MIB, 1 << 30)
+    for i in range(6)
+)
+
+operation = st.one_of(
+    st.tuples(
+        st.just("map"),
+        st.integers(0, len(ADDRESSES) - 1),
+        st.integers(1, 1 << 20),
+    ),
+    st.tuples(st.just("unmap"), st.integers(0, len(ADDRESSES) - 1)),
+    st.tuples(st.just("protect"), st.integers(0, len(ADDRESSES) - 1)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(operation, max_size=60))
+def test_page_table_matches_reference_model(ops):
+    pt = PageTable(FrameAllocator())
+    reference: dict[int, int] = {}
+
+    for op in ops:
+        vaddr = ADDRESSES[op[1]]
+        if op[0] == "map":
+            pt.map(vaddr, op[2], PteFlags.RW)
+            reference[vaddr] = op[2]
+        elif op[0] == "unmap":
+            pt.clear_pte(vaddr)
+            reference.pop(vaddr, None)
+        elif op[0] == "protect":
+            pt.write_protect_range(vaddr, vaddr + PAGE_SIZE)
+
+    # Translations agree everywhere.
+    for vaddr in ADDRESSES:
+        assert pt.translate(vaddr) == reference.get(vaddr)
+
+    # The level counts agree with the reference's geometry.
+    counts = pt.level_counts()
+    assert counts["pte"] == len(reference)
+    # Leaf tables are never freed by clear_pte, so the PMD count is at
+    # least the number of 2 MiB spans still holding a mapping.
+    expected_tables = {v // (2 * MIB) for v in reference}
+    assert counts["pmd"] >= len(expected_tables)
+    # Iteration yields exactly the mapped addresses.
+    lo, hi = 0, max(ADDRESSES) + PAGE_SIZE
+    seen = {v for v, _ in pt.iter_present_ptes(lo, hi)}
+    assert seen == set(reference)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(operation, max_size=40))
+def test_write_protect_never_changes_translations(ops):
+    pt = PageTable(FrameAllocator())
+    for op in ops:
+        vaddr = ADDRESSES[op[1]]
+        if op[0] == "map":
+            pt.map(vaddr, op[2], PteFlags.RW)
+    before = {v: pt.translate(v) for v in ADDRESSES}
+    pt.write_protect_range(0, max(ADDRESSES) + PAGE_SIZE)
+    after = {v: pt.translate(v) for v in ADDRESSES}
+    assert before == after

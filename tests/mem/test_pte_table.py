@@ -1,0 +1,119 @@
+"""Tests for the 512-entry PTE leaf table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.flags import PteFlags, make_pte, pte_writable
+from repro.mem.page_struct import PageStruct
+from repro.mem.pte_table import PteTable
+
+
+@pytest.fixture
+def table() -> PteTable:
+    return PteTable(PageStruct(frame=99))
+
+
+def _pte(frame: int, *extra: PteFlags) -> int:
+    flags = PteFlags.PRESENT
+    for f in extra:
+        flags |= f
+    return make_pte(frame, flags)
+
+
+class TestEntryAccess:
+    def test_initially_empty(self, table):
+        assert table.get(0) == 0
+        assert table.present_count == 0
+
+    def test_set_get(self, table):
+        table.set(7, _pte(42))
+        assert table.get(7) == _pte(42)
+
+    def test_present_count_tracks_sets(self, table):
+        table.set(0, _pte(1))
+        table.set(1, _pte(2))
+        assert table.present_count == 2
+
+    def test_overwrite_does_not_double_count(self, table):
+        table.set(0, _pte(1))
+        table.set(0, _pte(2))
+        assert table.present_count == 1
+
+    def test_clear_returns_old(self, table):
+        table.set(3, _pte(5))
+        assert table.clear(3) == _pte(5)
+        assert table.get(3) == 0
+        assert table.present_count == 0
+
+    def test_clear_empty_is_zero(self, table):
+        assert table.clear(3) == 0
+
+    def test_non_present_value_not_counted(self, table):
+        table.set(0, make_pte(9, PteFlags.SPECIAL))
+        assert table.present_count == 0
+
+    def test_len_is_512(self, table):
+        assert len(table) == 512
+
+    def test_flag_helpers(self, table):
+        table.set(1, _pte(5))
+        table.add_flags(1, PteFlags.DIRTY)
+        assert table.get(1) & int(PteFlags.DIRTY)
+        table.remove_flags(1, PteFlags.DIRTY)
+        assert not table.get(1) & int(PteFlags.DIRTY)
+
+
+class TestPresentIndices:
+    def test_empty(self, table):
+        assert table.present_indices() == []
+
+    def test_sparse(self, table):
+        table.set(3, _pte(1))
+        table.set(500, _pte(2))
+        assert table.present_indices() == [3, 500]
+
+
+class TestWriteProtectAll:
+    def test_clears_rw_on_present(self, table):
+        table.set(0, _pte(1, PteFlags.RW))
+        table.set(1, _pte(2, PteFlags.RW))
+        assert table.write_protect_all() == 2
+        assert not pte_writable(table.get(0))
+        assert not pte_writable(table.get(1))
+
+    def test_counts_only_previously_writable(self, table):
+        table.set(0, _pte(1, PteFlags.RW))
+        table.set(1, _pte(2))  # already write-protected
+        assert table.write_protect_all() == 1
+
+    def test_empty_table_is_noop(self, table):
+        assert table.write_protect_all() == 0
+
+    def test_keeps_other_flags(self, table):
+        table.set(0, _pte(1, PteFlags.RW, PteFlags.DIRTY))
+        table.write_protect_all()
+        assert table.get(0) & int(PteFlags.DIRTY)
+
+
+class TestCopyEntries:
+    def test_copy_duplicates(self, table):
+        table.set(0, _pte(1))
+        other = PteTable(PageStruct(frame=100))
+        other.copy_entries_from(table)
+        assert other.get(0) == table.get(0)
+        assert other.present_count == 1
+
+    def test_copy_is_deep(self, table):
+        table.set(0, _pte(1))
+        other = PteTable(PageStruct(frame=100))
+        other.copy_entries_from(table)
+        table.set(0, _pte(2))
+        assert other.get(0) == _pte(1)
+
+    def test_copy_of_empty_source(self, table):
+        other = PteTable(PageStruct(frame=100))
+        other.set(0, _pte(1))
+        other.copy_entries_from(table)
+        assert other.present_count == 0
+        assert other.get(0) == 0

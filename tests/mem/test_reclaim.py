@@ -1,0 +1,104 @@
+"""Tests for OS-inherent PTE modifiers: migration, NUMA balance, OOM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.task import Process
+from repro.mem import checkpoints as cp
+from repro.mem.reclaim import (
+    change_prot_numa,
+    migrate_page,
+    oom_reclaim,
+    restore_numa_pte,
+)
+from repro.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def proc(frames):
+    p = Process(frames, name="victim")
+    vma = p.mm.mmap(MIB)
+    p.mm.write_memory(vma.start, b"payload")
+    p.vma = vma
+    return p
+
+
+class TestMigration:
+    def test_contents_preserved(self, frames, proc):
+        vaddr = proc.vma.start
+        old = proc.mm.page_table.translate(vaddr)
+        report = migrate_page([proc.mm], vaddr, frames)
+        assert report.old_frame == old
+        assert report.new_frame != old
+        assert proc.mm.read_memory(vaddr, 7) == b"payload"
+
+    def test_old_frame_freed(self, frames, proc):
+        vaddr = proc.vma.start
+        report = migrate_page([proc.mm], vaddr, frames)
+        assert not frames.is_allocated(report.old_frame)
+
+    def test_tlb_flushed_for_updated_process(self, frames, proc):
+        vaddr = proc.vma.start
+        proc.mm.read_memory(vaddr, 1)  # warm the TLB
+        assert proc.mm.tlb.cached(vaddr) is not None
+        migrate_page([proc.mm], vaddr, frames)
+        assert proc.mm.tlb.cached(vaddr) is None
+
+    def test_unmigratable_address_rejected(self, frames, proc):
+        with pytest.raises(ValueError):
+            migrate_page([proc.mm], proc.vma.start + 64 * PAGE_SIZE, frames)
+
+    def test_two_private_processes_both_updated(self, frames, proc):
+        # A second process with its own page table mapping the same frame
+        # (post-CoW-arm fork) gets updated too, unlike the shared case.
+        from repro.kernel.forks.default import DefaultFork
+
+        result = DefaultFork().fork(proc)
+        child = result.child
+        vaddr = proc.vma.start
+        report = migrate_page([proc.mm, child.mm], vaddr, frames)
+        assert set(report.updated) == {proc.mm.name, child.mm.name}
+        assert report.skipped == []
+        assert proc.mm.page_table.translate(vaddr) == report.new_frame
+        assert child.mm.page_table.translate(vaddr) == report.new_frame
+
+
+class TestNumaBalance:
+    def test_poison_and_restore(self, frames, proc):
+        vaddr = proc.vma.start
+        poisoned = change_prot_numa(proc.mm, vaddr, vaddr + PAGE_SIZE)
+        assert poisoned == 1
+        assert proc.mm.page_table.translate(vaddr) is None
+        frame = restore_numa_pte(proc.mm, vaddr)
+        assert frame is not None
+        assert proc.mm.page_table.translate(vaddr) == frame
+
+    def test_fault_path_restores_hint(self, frames, proc):
+        vaddr = proc.vma.start
+        change_prot_numa(proc.mm, vaddr, vaddr + PAGE_SIZE)
+        # A plain access faults and transparently restores the mapping.
+        assert proc.mm.read_memory(vaddr, 7) == b"payload"
+
+    def test_fires_checkpoint(self, frames, proc):
+        events = []
+        proc.mm.subscribe(events.append)
+        change_prot_numa(proc.mm, proc.vma.start, proc.vma.end)
+        assert any(e.name == cp.CHANGE_PROT_NUMA for e in events)
+
+    def test_restore_none_for_healthy_pte(self, frames, proc):
+        assert restore_numa_pte(proc.mm, proc.vma.start) is None
+
+
+class TestOomReclaim:
+    def test_zaps_pages(self, frames, proc):
+        vaddr = proc.vma.start
+        reclaimed = oom_reclaim(proc.mm, vaddr, vaddr + MIB)
+        assert reclaimed == 1
+        assert proc.mm.page_table.translate(vaddr) is None
+
+    def test_fires_pmd_wide_checkpoint(self, frames, proc):
+        events = []
+        proc.mm.subscribe(events.append)
+        oom_reclaim(proc.mm, proc.vma.start, proc.vma.end)
+        assert any(e.name == cp.ZAP_PMD_RANGE for e in events)

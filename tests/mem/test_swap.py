@@ -1,0 +1,110 @@
+"""Tests for swap: the PTE modifier §4.3 deliberately leaves unhooked."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.async_fork import AsyncFork
+from repro.kernel.forks.default import DefaultFork
+from repro.kernel.task import Process
+from repro.mem import checkpoints as cp
+from repro.mem.reclaim import swap_out
+from repro.units import MIB
+
+
+@pytest.fixture
+def proc(frames) -> Process:
+    p = Process(frames, name="swapper")
+    p.vma = p.mm.mmap(4 * MIB)
+    p.mm.write_memory(p.vma.start, b"swapped-payload")
+    return p
+
+
+class TestSwapBasics:
+    def test_swap_out_unmaps(self, frames, proc):
+        swap_out([proc.mm], proc.vma.start, frames)
+        assert proc.mm.page_table.translate(proc.vma.start) is None
+        assert len(frames.swap) == 1
+
+    def test_swap_out_frees_the_frame(self, frames, proc):
+        frame = proc.mm.page_table.translate(proc.vma.start)
+        swap_out([proc.mm], proc.vma.start, frames)
+        assert not frames.is_allocated(frame)
+
+    def test_swap_in_on_access(self, frames, proc):
+        swap_out([proc.mm], proc.vma.start, frames)
+        assert (
+            proc.mm.read_memory(proc.vma.start, 15) == b"swapped-payload"
+        )
+        assert proc.mm.page_table.translate(proc.vma.start) is not None
+
+    def test_write_after_swap_in(self, frames, proc):
+        swap_out([proc.mm], proc.vma.start, frames)
+        proc.mm.write_memory(proc.vma.start, b"UPDATED")
+        assert proc.mm.read_memory(proc.vma.start, 7) == b"UPDATED"
+
+    def test_rss_accounting(self, frames, proc):
+        rss = proc.mm.rss
+        swap_out([proc.mm], proc.vma.start, frames)
+        assert proc.mm.rss == rss - 1
+        proc.mm.read_memory(proc.vma.start, 1)
+        assert proc.mm.rss == rss
+
+    def test_unswappable_address_rejected(self, frames, proc):
+        with pytest.raises(ValueError):
+            swap_out([proc.mm], proc.vma.start + MIB, frames)
+
+    def test_tlb_flushed(self, frames, proc):
+        proc.mm.read_memory(proc.vma.start, 1)
+        assert proc.mm.tlb.cached(proc.vma.start) is not None
+        swap_out([proc.mm], proc.vma.start, frames)
+        assert proc.mm.tlb.cached(proc.vma.start) is None
+
+
+class TestSection43Claim:
+    """Swap changes PTEs but not data, so Async-fork must NOT sync."""
+
+    def test_swap_fires_no_checkpoint(self, frames, proc):
+        events = []
+        proc.mm.subscribe(events.append)
+        swap_out([proc.mm], proc.vma.start, frames)
+        assert events == []
+
+    def test_no_proactive_sync_on_swap(self, frames, proc):
+        result = AsyncFork().fork(proc)
+        swap_out([proc.mm, result.child.mm], proc.vma.start, frames)
+        assert result.stats.proactive_syncs == 0
+        result.session.run_to_completion()
+
+    def test_child_copies_swap_entry_and_recovers_data(self, frames, proc):
+        """The scenario justifying the exclusion: the child copies a
+        swap-entry PTE and swap-in reproduces the fork-time bytes."""
+        result = AsyncFork().fork(proc)
+        swap_out([proc.mm, result.child.mm], proc.vma.start, frames)
+        result.session.run_to_completion()
+        child_vma = next(iter(result.child.mm.vmas))
+        assert (
+            result.child.mm.read_memory(child_vma.start, 15)
+            == b"swapped-payload"
+        )
+        # ... and the parent recovers its copy independently.
+        assert (
+            proc.mm.read_memory(proc.vma.start, 15) == b"swapped-payload"
+        )
+
+    def test_post_swap_divergence_stays_private(self, frames, proc):
+        result = DefaultFork().fork(proc)
+        swap_out([proc.mm, result.child.mm], proc.vma.start, frames)
+        proc.mm.write_memory(proc.vma.start, b"PARENT!")
+        child_vma = next(iter(result.child.mm.vmas))
+        assert (
+            result.child.mm.read_memory(child_vma.start, 15)
+            == b"swapped-payload"
+        )
+
+    def test_zap_checkpoints_still_fire_for_oom(self, frames, proc):
+        # Control: the OOM path *is* hooked (contrast with swap).
+        events = []
+        proc.mm.subscribe(events.append)
+        proc.mm.zap_pmd_range(proc.vma.start, proc.vma.start + 2 * MIB)
+        assert any(e.name == cp.ZAP_PMD_RANGE for e in events)

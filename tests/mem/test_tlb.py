@@ -1,0 +1,58 @@
+"""Tests for the TLB model."""
+
+from __future__ import annotations
+
+from repro.mem.tlb import Tlb
+from repro.units import PAGE_SIZE
+
+
+class TestTlb:
+    def test_miss_on_empty(self):
+        tlb = Tlb()
+        assert tlb.lookup(0x1000) is None
+        assert tlb.misses == 1
+
+    def test_hit_after_insert(self):
+        tlb = Tlb()
+        tlb.insert(0x1000, 42)
+        assert tlb.lookup(0x1000) == 42
+        assert tlb.hits == 1
+
+    def test_sub_page_offsets_share_entry(self):
+        tlb = Tlb()
+        tlb.insert(0x1000, 42)
+        assert tlb.lookup(0x1234) == 42
+
+    def test_flush_page(self):
+        tlb = Tlb()
+        tlb.insert(0x1000, 42)
+        tlb.insert(0x2000, 43)
+        tlb.flush_page(0x1000)
+        assert tlb.lookup(0x1000) is None
+        assert tlb.lookup(0x2000) == 43
+
+    def test_flush_all(self):
+        tlb = Tlb()
+        tlb.insert(0x1000, 42)
+        tlb.flush_all()
+        assert len(tlb) == 0
+
+    def test_cached_does_not_count(self):
+        tlb = Tlb()
+        tlb.insert(0x1000, 42)
+        assert tlb.cached(0x1000) == 42
+        assert tlb.cached(0x9000) is None
+        assert tlb.hits == 0 and tlb.misses == 0
+
+    def test_flush_counter(self):
+        tlb = Tlb()
+        tlb.flush_page(0)
+        tlb.flush_all()
+        assert tlb.flushes == 2
+
+    def test_stale_entry_persists_without_flush(self):
+        # The crux of Table 1: nobody flushed, so the stale mapping stays.
+        tlb = Tlb()
+        tlb.insert(PAGE_SIZE, 7)
+        # The "page table" moved the page to frame 9, but no flush came.
+        assert tlb.lookup(PAGE_SIZE) == 7

@@ -1,0 +1,169 @@
+"""Tests for VMAs, merging/splitting, and the two-way pointer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.vma import TwoWayPointer, Vma, VmaList, VmaProt, aligned_range
+from repro.units import MIB, PAGE_SIZE
+
+RW = VmaProt.READ | VmaProt.WRITE
+
+
+class TestVma:
+    def test_basic_properties(self):
+        vma = Vma(0, 4 * PAGE_SIZE, RW)
+        assert vma.size == 4 * PAGE_SIZE
+        assert vma.pages == 4
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            Vma(1, PAGE_SIZE, RW)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Vma(PAGE_SIZE, PAGE_SIZE, RW)
+
+    def test_contains(self):
+        vma = Vma(PAGE_SIZE, 2 * PAGE_SIZE, RW)
+        assert vma.contains(PAGE_SIZE)
+        assert not vma.contains(2 * PAGE_SIZE)
+
+    def test_overlaps(self):
+        vma = Vma(PAGE_SIZE, 3 * PAGE_SIZE, RW)
+        assert vma.overlaps(0, 2 * PAGE_SIZE)
+        assert not vma.overlaps(3 * PAGE_SIZE, 4 * PAGE_SIZE)
+
+
+class TestMerging:
+    def test_adjacent_same_prot_merge(self):
+        vmas = VmaList()
+        vmas.insert(Vma(0, PAGE_SIZE, RW))
+        merged = vmas.insert(Vma(PAGE_SIZE, 2 * PAGE_SIZE, RW))
+        assert len(vmas) == 1
+        assert merged.start == 0 and merged.end == 2 * PAGE_SIZE
+
+    def test_different_prot_do_not_merge(self):
+        vmas = VmaList()
+        vmas.insert(Vma(0, PAGE_SIZE, RW))
+        vmas.insert(Vma(PAGE_SIZE, 2 * PAGE_SIZE, VmaProt.READ))
+        assert len(vmas) == 2
+
+    def test_different_tag_do_not_merge(self):
+        vmas = VmaList()
+        vmas.insert(Vma(0, PAGE_SIZE, RW, tag="heap"))
+        vmas.insert(Vma(PAGE_SIZE, 2 * PAGE_SIZE, RW, tag="stack"))
+        assert len(vmas) == 2
+
+    def test_merge_both_sides(self):
+        vmas = VmaList()
+        vmas.insert(Vma(0, PAGE_SIZE, RW))
+        vmas.insert(Vma(2 * PAGE_SIZE, 3 * PAGE_SIZE, RW))
+        vmas.insert(Vma(PAGE_SIZE, 2 * PAGE_SIZE, RW))
+        assert len(vmas) == 1
+
+    def test_open_pointer_blocks_merge(self):
+        # An in-flight Async-fork copy pins the VMA identity (§4.3).
+        vmas = VmaList()
+        a = vmas.insert(Vma(0, PAGE_SIZE, RW))
+        peer = Vma(0, PAGE_SIZE, RW)
+        pointer = TwoWayPointer(a, peer)
+        a.peer = pointer
+        b = vmas.insert(Vma(PAGE_SIZE, 2 * PAGE_SIZE, RW))
+        assert len(vmas) == 2
+        assert b is not a
+
+    def test_overlap_rejected(self):
+        vmas = VmaList()
+        vmas.insert(Vma(0, 2 * PAGE_SIZE, RW))
+        with pytest.raises(ValueError):
+            vmas.insert(Vma(PAGE_SIZE, 3 * PAGE_SIZE, RW))
+
+
+class TestSplit:
+    def test_split_preserves_total(self):
+        vmas = VmaList()
+        vma = vmas.insert(Vma(0, 4 * PAGE_SIZE, RW))
+        low, high = vmas.split(vma, 2 * PAGE_SIZE)
+        assert low.end == high.start == 2 * PAGE_SIZE
+        assert len(vmas) == 2
+
+    def test_split_keeps_original_object_low(self):
+        # The kernel reuses the original vm_area_struct for the low half,
+        # which is what keeps the two-way pointer attached to it.
+        vmas = VmaList()
+        vma = vmas.insert(Vma(0, 4 * PAGE_SIZE, RW))
+        low, _ = vmas.split(vma, 2 * PAGE_SIZE)
+        assert low is vma
+
+    def test_split_at_boundary_rejected(self):
+        vmas = VmaList()
+        vma = vmas.insert(Vma(0, 4 * PAGE_SIZE, RW))
+        with pytest.raises(ValueError):
+            vmas.split(vma, 0)
+
+    def test_find(self):
+        vmas = VmaList()
+        vma = vmas.insert(Vma(PAGE_SIZE, 2 * PAGE_SIZE, RW))
+        assert vmas.find(PAGE_SIZE) is vma
+        assert vmas.find(0) is None
+
+    def test_overlapping(self):
+        vmas = VmaList()
+        a = vmas.insert(Vma(0, PAGE_SIZE, RW, tag="a"))
+        b = vmas.insert(Vma(2 * PAGE_SIZE, 3 * PAGE_SIZE, RW, tag="b"))
+        assert vmas.overlapping(0, 3 * PAGE_SIZE) == [a, b]
+        assert vmas.overlapping(PAGE_SIZE, 2 * PAGE_SIZE) == []
+
+    def test_total_pages(self):
+        vmas = VmaList()
+        vmas.insert(Vma(0, 2 * PAGE_SIZE, RW, tag="a"))
+        vmas.insert(Vma(1 * MIB, 1 * MIB + PAGE_SIZE, RW, tag="b"))
+        assert vmas.total_pages() == 3
+
+
+class TestTwoWayPointer:
+    def _pair(self):
+        parent = Vma(0, PAGE_SIZE, RW)
+        child = Vma(0, PAGE_SIZE, RW)
+        pointer = TwoWayPointer(parent, child)
+        parent.peer = pointer
+        child.peer = pointer
+        return parent, child, pointer
+
+    def test_open_until_closed(self):
+        parent, child, pointer = self._pair()
+        assert pointer.open
+        pointer.close()
+        assert not pointer.open
+        assert parent.peer is None
+        assert child.peer is None
+
+    def test_close_is_idempotent(self):
+        _, _, pointer = self._pair()
+        pointer.close()
+        pointer.close()
+
+    def test_error_channel(self):
+        _, child, pointer = self._pair()
+        pointer.error = "ENOMEM"
+        assert child.peer.error == "ENOMEM"
+
+    def test_lock_not_reentrant(self):
+        _, _, pointer = self._pair()
+        pointer.lock()
+        with pytest.raises(RuntimeError):
+            pointer.lock()
+        pointer.unlock()
+
+    def test_unlock_requires_lock(self):
+        _, _, pointer = self._pair()
+        with pytest.raises(RuntimeError):
+            pointer.unlock()
+
+
+class TestAlignedRange:
+    def test_aligns_both_ends(self):
+        lo, hi = aligned_range(100, 5000)
+        assert lo == 0
+        assert hi == 2 * PAGE_SIZE

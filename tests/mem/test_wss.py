@@ -1,0 +1,100 @@
+"""Tests for the WSS estimator and the Appendix A distortion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.async_fork import AsyncFork
+from repro.kernel.forks.odf import OnDemandFork
+from repro.kernel.task import Process
+from repro.mem.wss import WssEstimator, overestimation_factor
+from repro.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def proc(frames) -> Process:
+    p = Process(frames, name="wss")
+    p.vma = p.mm.mmap(4 * MIB)  # spans two PTE tables
+    for i in range(32):
+        p.mm.write_memory(p.vma.start + i * PAGE_SIZE, b"seed")
+    # One page in the second table, which the parent keeps touching.
+    p.mm.write_memory(p.vma.start + 2 * MIB, b"own")
+    return p
+
+
+class TestEstimator:
+    def test_counts_touched_pages(self, proc):
+        estimator = WssEstimator(proc.mm)
+        sample = estimator.measure_interval(
+            lambda: proc.mm.write_memory(proc.vma.start, b"x")
+        )
+        assert sample.accessed_pages == 1
+
+    def test_idle_interval_is_zero(self, proc):
+        estimator = WssEstimator(proc.mm)
+        assert estimator.measure_interval(lambda: None).accessed_pages == 0
+
+    def test_reads_count(self, proc):
+        estimator = WssEstimator(proc.mm)
+        sample = estimator.measure_interval(
+            lambda: proc.mm.read_memory(proc.vma.start + PAGE_SIZE, 1)
+        )
+        assert sample.accessed_pages == 1
+
+    def test_history_and_peak(self, proc):
+        estimator = WssEstimator(proc.mm)
+        estimator.measure_interval(
+            lambda: proc.mm.write_memory(proc.vma.start, b"x"), at_ns=1
+        )
+        estimator.measure_interval(
+            lambda: [
+                proc.mm.write_memory(
+                    proc.vma.start + i * PAGE_SIZE, b"y"
+                )
+                for i in range(5)
+            ],
+            at_ns=2,
+        )
+        assert estimator.latest() == 5
+        assert estimator.peak() == 5
+        assert len(estimator.history) == 2
+
+    def test_overestimation_factor(self):
+        assert overestimation_factor(10, 10) == 1.0
+        assert overestimation_factor(30, 10) == 3.0
+        assert overestimation_factor(5, 0) == float("inf")
+        assert overestimation_factor(0, 0) == 1.0
+
+
+class TestAppendixADistortion:
+    def _parent_estimate_during_persist(self, engine_cls, proc) -> int:
+        result = engine_cls().fork(proc)
+        session = result.session
+        if hasattr(session, "run_to_completion"):
+            session.run_to_completion()
+        estimator = WssEstimator(proc.mm)
+
+        def child_persist_scan():
+            # The parent touches one page under the *second* table (so
+            # the first table stays shared under ODF); the child scans
+            # the 32 pages of the first table for the RDB write.
+            proc.mm.write_memory(proc.vma.start + 2 * MIB, b"p")
+            for i in range(32):
+                result.child.mm.read_memory(
+                    proc.vma.start + i * PAGE_SIZE, 1
+                )
+
+        sample = estimator.measure_interval(child_persist_scan)
+        if hasattr(session, "finish"):
+            session.finish()
+        return sample.accessed_pages
+
+    def test_odf_inflates_parent_wss(self, proc):
+        estimate = self._parent_estimate_during_persist(OnDemandFork, proc)
+        # 1 page truly touched by the parent; the shared tables attribute
+        # the child's whole scan to it.
+        assert overestimation_factor(estimate, 1) >= 30
+
+    def test_async_fork_keeps_wss_accurate(self, proc):
+        estimate = self._parent_estimate_during_persist(AsyncFork, proc)
+        assert estimate == 1

@@ -1,0 +1,85 @@
+"""Tests for latency samples and percentiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.latency import LatencySample, merge, percentile
+
+
+def sample(latencies, arrivals=None) -> LatencySample:
+    latencies = np.asarray(latencies, dtype=np.int64)
+    if arrivals is None:
+        arrivals = np.arange(len(latencies), dtype=np.int64)
+    return LatencySample(latencies, np.asarray(arrivals, dtype=np.int64))
+
+
+class TestPercentile:
+    def test_lower_convention(self):
+        values = np.arange(1, 101)
+        assert percentile(values, 99.0) == 99
+
+    def test_empty_is_nan(self):
+        assert np.isnan(percentile(np.empty(0), 99))
+
+    def test_single_value(self):
+        assert percentile(np.array([7]), 99) == 7
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 10**9), min_size=1, max_size=500))
+    def test_percentile_is_an_observed_sample(self, values):
+        arr = np.asarray(values)
+        p = percentile(arr, 99)
+        assert p in arr
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 10**9), min_size=1, max_size=500))
+    def test_p99_at_most_max(self, values):
+        s = sample(values)
+        assert s.p99_ns() <= s.max_ns()
+        assert s.p999_ns() >= s.p99_ns()
+
+
+class TestWindows:
+    def test_window_selects_by_arrival(self):
+        s = sample([10, 20, 30, 40], arrivals=[0, 100, 200, 300])
+        inside = s.window(100, 300)
+        assert list(inside.latencies_ns) == [20, 30]
+
+    def test_outside_is_complement(self):
+        s = sample([10, 20, 30, 40], arrivals=[0, 100, 200, 300])
+        outside = s.outside(100, 300)
+        assert list(outside.latencies_ns) == [10, 40]
+        assert len(s.window(100, 300)) + len(outside) == len(s)
+
+    def test_empty_window(self):
+        s = sample([10], arrivals=[0])
+        assert len(s.window(100, 200)) == 0
+        assert np.isnan(s.window(100, 200).p99_ns())
+
+
+class TestStats:
+    def test_summary_keys(self):
+        s = sample([1_000_000, 2_000_000])
+        summary = s.summary()
+        assert summary["count"] == 2
+        assert summary["max_ms"] == 2.0
+
+    def test_mean(self):
+        assert sample([10, 20]).mean_ns() == 15
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySample(np.zeros(3), np.zeros(2))
+
+
+class TestMerge:
+    def test_merge_concatenates(self):
+        merged = merge([sample([1, 2]), sample([3])])
+        assert len(merged) == 3
+
+    def test_merge_empty_list(self):
+        assert len(merge([])) == 0

@@ -1,0 +1,66 @@
+"""Tests for the report tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.report import Comparison, ExperimentReport, Table
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2.5)
+        text = table.render()
+        assert "t" in text and "a" in text and "2.50" in text
+
+    def test_wrong_arity_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_nan_rendered_as_dash(self):
+        table = Table("t", ["a"])
+        table.add_row(float("nan"))
+        assert "-" in table.render().splitlines()[-1]
+
+    def test_column_alignment(self):
+        table = Table("t", ["col"])
+        table.add_row("looooooooong")
+        header, sep, row = table.render().splitlines()[1:]
+        assert len(header) == len(sep) == len(row)
+
+
+class TestComparison:
+    def test_ratio(self):
+        assert Comparison("x", 2.0, 4.0).ratio() == 2.0
+
+    def test_ratio_without_paper_value(self):
+        assert Comparison("x", None, 4.0).ratio() is None
+
+    def test_row_shapes(self):
+        row = Comparison("x", 2.0, 4.0, "ms", "note").row()
+        assert row[0] == "x"
+        assert row[-1] == "note"
+        assert "2.00x" in row
+
+
+class TestExperimentReport:
+    def test_checks_recorded(self):
+        report = ExperimentReport("e1", "desc")
+        report.check("good", True)
+        report.check("bad", False)
+        assert not report.all_checks_pass()
+        text = report.render()
+        assert "[ok] good" in text
+        assert "[FAIL] bad" in text
+
+    def test_all_pass(self):
+        report = ExperimentReport("e1", "desc")
+        report.check("a", True)
+        assert report.all_checks_pass()
+
+    def test_render_includes_comparisons(self):
+        report = ExperimentReport("e1", "desc")
+        report.comparisons.append(Comparison("point", 1.0, 2.0))
+        assert "paper vs measured" in report.render()

@@ -1,0 +1,56 @@
+"""Tests for windowed throughput."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.throughput import windowed_throughput
+from repro.units import MSEC, SEC
+
+
+class TestWindowedThroughput:
+    def test_uniform_stream(self):
+        # One completion per ms for a second -> 1000 qps everywhere.
+        completions = np.arange(0, SEC, MSEC, dtype=np.int64)
+        series = windowed_throughput(completions, 50 * MSEC)
+        assert len(series) == 19 or len(series) == 20
+        assert np.allclose(series.qps, 1000, rtol=0.05)
+
+    def test_empty(self):
+        series = windowed_throughput(np.empty(0, dtype=np.int64))
+        assert len(series) == 0
+        assert np.isnan(series.min_qps())
+
+    def test_gap_shows_as_zero_window(self):
+        completions = np.concatenate(
+            [
+                np.arange(0, 100 * MSEC, MSEC),
+                np.arange(300 * MSEC, 400 * MSEC, MSEC),
+            ]
+        ).astype(np.int64)
+        series = windowed_throughput(completions, 50 * MSEC)
+        assert series.min_qps() == 0.0
+
+    def test_min_restricted_to_range(self):
+        completions = np.concatenate(
+            [
+                np.arange(0, 100 * MSEC, MSEC),          # busy
+                np.arange(300 * MSEC, 400 * MSEC, 10 * MSEC),  # slow
+            ]
+        ).astype(np.int64)
+        series = windowed_throughput(completions, 50 * MSEC)
+        busy_min = series.min_qps(0, 100 * MSEC)
+        slow_min = series.min_qps(250 * MSEC, 400 * MSEC)
+        assert busy_min > slow_min
+
+    def test_mean(self):
+        completions = np.arange(0, SEC, MSEC, dtype=np.int64)
+        series = windowed_throughput(completions, 100 * MSEC)
+        assert abs(series.mean_qps() - 1000) < 50
+
+    def test_explicit_bounds(self):
+        completions = np.arange(0, SEC, MSEC, dtype=np.int64)
+        series = windowed_throughput(
+            completions, 100 * MSEC, start_ns=0, end_ns=SEC
+        )
+        assert len(series) == 10

@@ -1,0 +1,111 @@
+"""Tests for the timeline analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.timeline import (
+    backlog_drain_time_ns,
+    kernel_breakdown,
+    queue_depth,
+)
+from repro.sim.interrupts import InterruptRecorder
+from repro.units import MSEC, SEC, us
+
+
+class TestQueueDepth:
+    def test_empty(self):
+        series = queue_depth(np.empty(0, np.int64), np.empty(0, np.int64))
+        assert series.max_depth() == 0
+
+    def test_steady_state_depth_one(self):
+        # Arrive every ms, complete 0.5ms later: depth alternates 0/1.
+        arrivals = np.arange(0, SEC, MSEC, dtype=np.int64)
+        completions = arrivals + MSEC // 2
+        series = queue_depth(arrivals, completions, step_ns=MSEC // 4)
+        assert series.max_depth() == 1
+
+    def test_blocked_server_builds_backlog(self):
+        arrivals = np.arange(0, 100 * MSEC, MSEC, dtype=np.int64)
+        # Nothing completes until t=100ms, then everything at once.
+        completions = np.full(100, 100 * MSEC, dtype=np.int64)
+        series = queue_depth(arrivals, completions, step_ns=MSEC)
+        assert series.max_depth() >= 99
+        assert series.at(50 * MSEC) >= 49
+
+    def test_at_before_start(self):
+        arrivals = np.array([MSEC], dtype=np.int64)
+        completions = np.array([2 * MSEC], dtype=np.int64)
+        series = queue_depth(arrivals, completions)
+        assert series.at(-1) == 0
+
+
+class TestKernelBreakdown:
+    def test_aggregation(self):
+        rec = InterruptRecorder()
+        rec.record("fork:default", us(500))
+        rec.record("odf:table-cow", us(20))
+        rec.record("odf:table-cow", us(30))
+        breakdown = kernel_breakdown(rec)
+        assert breakdown.total_ns == us(550)
+        assert breakdown.by_reason_ns["odf:table-cow"] == us(50)
+
+    def test_share(self):
+        rec = InterruptRecorder()
+        rec.record("fork:async", us(60))
+        rec.record("async:proactive-sync", us(40))
+        breakdown = kernel_breakdown(rec)
+        assert breakdown.share("fork") == 0.6
+        assert breakdown.share("async:") == 0.4
+
+    def test_rows_sorted(self):
+        rec = InterruptRecorder()
+        rec.record("a", us(10))
+        rec.record("b", us(90))
+        rows = kernel_breakdown(rec).rows()
+        assert rows[0][0] == "b"
+
+    def test_empty_share(self):
+        assert kernel_breakdown(InterruptRecorder()).share("x") == 0.0
+
+
+class TestDrainTime:
+    def test_instant_recovery(self):
+        arrivals = np.arange(0, SEC, MSEC, dtype=np.int64)
+        completions = arrivals + 10_000
+        assert backlog_drain_time_ns(arrivals, completions, 0) == 0
+
+    def test_slow_drain_detected(self):
+        arrivals = np.arange(0, 200 * MSEC, MSEC, dtype=np.int64)
+        # Server stalls 100ms, then drains slowly (2ms per query).
+        completions = np.maximum(
+            arrivals + 10_000,
+            100 * MSEC + np.arange(200, dtype=np.int64) * 2 * MSEC,
+        )
+        drain = backlog_drain_time_ns(
+            arrivals, completions, after_ns=0, depth_threshold=8
+        )
+        assert drain > 100 * MSEC
+
+
+class TestOnSimulatedRuns:
+    def test_default_fork_backlog_visible(self):
+        from repro.sim.disk import DiskModel
+        from repro.sim.snapshot_sim import (
+            SnapshotSimConfig,
+            simulate_snapshot,
+        )
+        from repro.workload.generators import redis_benchmark_workload
+
+        workload = redis_benchmark_workload(60_000, 8, seed=2)
+        res = simulate_snapshot(
+            SnapshotSimConfig(
+                size_gb=8, method="default", workload=workload,
+                disk=DiskModel(speedup=64.0), seed=3,
+            )
+        )
+        series = queue_depth(res.sample.arrivals_ns, res.completions_ns)
+        # The ~71ms fork block at 50k qps piles up thousands of queries.
+        assert series.max_depth() > 2_000
+        breakdown = kernel_breakdown(res.interrupts)
+        assert breakdown.share("fork") > 0.9

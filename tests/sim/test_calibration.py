@@ -1,0 +1,110 @@
+"""End-to-end calibration: the DES against the paper's own measurements.
+
+tests/kernel/test_costs.py pins the cost-model constants; these tests
+check that the *simulated experiments* land on the paper's anchors — the
+numbers that should be right regardless of profile scaling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.disk import DiskModel
+from repro.sim.snapshot_sim import SnapshotSimConfig, simulate_snapshot
+from repro.units import MSEC, USEC
+from repro.workload.generators import redis_benchmark_workload
+
+DISK = DiskModel(speedup=32.0)
+
+
+def run(method: str, size_gb: int, **kw):
+    workload = redis_benchmark_workload(100_000, size_gb, seed=5)
+    return simulate_snapshot(
+        SnapshotSimConfig(
+            size_gb=size_gb, method=method, workload=workload,
+            disk=DISK, seed=11, **kw,
+        )
+    )
+
+
+class TestForkCallAnchors:
+    """Figure 22: 0.61 ms (Async) / 1.1 ms (ODF) at 64 GiB."""
+
+    def test_async_call(self):
+        res = run("async", 64)
+        assert 0.45 * MSEC < res.fork_call_ns < 0.85 * MSEC
+
+    def test_odf_call(self):
+        res = run("odf", 64)
+        assert 0.9 * MSEC < res.fork_call_ns < 1.3 * MSEC
+
+    def test_default_call(self):
+        res = run("default", 64)
+        assert 500 * MSEC < res.fork_call_ns < 650 * MSEC
+
+
+class TestChildCopyAnchor:
+    """Figure 15a: ~72 ms single-thread copy at 8 GiB."""
+
+    def test_single_thread(self):
+        res = run("async", 8, copy_threads=1)
+        assert 60 * MSEC < res.child_copy_ns < 85 * MSEC
+
+    def test_eight_threads(self):
+        res = run("async", 8, copy_threads=8)
+        assert res.child_copy_ns == pytest.approx(
+            run("async", 8, copy_threads=1).child_copy_ns / 8, rel=0.01
+        )
+
+
+class TestInterruptionAnchors:
+    """Figure 11: counts track tables; durations in [16,63] us."""
+
+    def test_odf_interruption_durations(self):
+        res = run("odf", 8)
+        durations = [
+            d
+            for r, d in zip(
+                res.interrupts.reasons, res.interrupts.durations_ns
+            )
+            if r == "odf:table-cow"
+        ]
+        assert durations
+        in_bucket = sum(
+            1 for d in durations if 16 * USEC <= d <= 63 * USEC
+        )
+        assert in_bucket / len(durations) >= 0.9
+
+    def test_odf_interruptions_bounded_by_tables(self):
+        res = run("odf", 1)
+        assert res.counts["table_faults"] <= res.instance.n_tables
+
+
+class TestWindowArithmetic:
+    """The snapshot window: fork start -> persist end."""
+
+    def test_async_window_includes_copy_and_persist(self):
+        res = run("async", 8)
+        expected = (
+            res.fork_call_ns
+            + res.child_copy_ns
+            + res.counts["persist_ns"]
+        )
+        measured = res.snapshot_end_ns - res.snapshot_start_ns
+        assert measured == pytest.approx(expected, rel=0.001)
+
+    def test_persist_duration_scales_with_size(self):
+        small = run("odf", 1)
+        large = run("odf", 8)
+        assert large.counts["persist_ns"] == pytest.approx(
+            8 * small.counts["persist_ns"], rel=0.01
+        )
+
+
+class TestNormalLatencyFloor:
+    """Fig. 4's flat bottom line: normal p99 stays sub-ms at any size."""
+
+    @pytest.mark.parametrize("size", [1, 16, 64])
+    def test_normal_p99(self, size):
+        res = run("none", size)
+        assert res.normal_queries().p99_ms() < 1.0

@@ -1,0 +1,62 @@
+"""Tests for the compact instance geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.compact import CompactInstance
+from repro.units import GIB
+
+
+class TestGeometry:
+    def test_paper_anatomy_8gib(self):
+        counts = CompactInstance(8).level_counts()
+        assert counts == {
+            "pgd": 1,
+            "pud": 8,
+            "pmd": 2**12,
+            "pte": 2**21,
+        }
+
+    def test_64gib(self):
+        inst = CompactInstance(64)
+        assert inst.n_tables == 2**15
+        assert inst.n_pages == 2**24
+        assert inst.level_counts()["pud"] == 64
+
+    def test_1gib(self):
+        inst = CompactInstance(1)
+        assert inst.n_tables == 512
+        assert inst.size_bytes == GIB
+
+    def test_fractional_size(self):
+        inst = CompactInstance(0.5)
+        assert inst.n_pages == 2**17
+        assert inst.level_counts()["pud"] == 1
+
+    def test_keys_per_value_size(self):
+        inst = CompactInstance(1, value_size=1024)
+        assert inst.n_keys == GIB // 1024
+        assert inst.values_per_page == 4
+
+
+class TestKeyMapping:
+    def test_pages_of_keys(self):
+        inst = CompactInstance(1)
+        keys = np.array([0, 3, 4, 7, -1], dtype=np.int64)
+        pages = inst.pages_of_keys(keys)
+        assert list(pages) == [0, 0, 1, 1, -1]
+
+    def test_tables_of_pages(self):
+        inst = CompactInstance(1)
+        pages = np.array([0, 511, 512, 1023, -1], dtype=np.int64)
+        tables = inst.tables_of_pages(pages)
+        assert list(tables) == [0, 0, 1, 1, -1]
+
+    def test_all_keys_map_within_bounds(self):
+        inst = CompactInstance(2)
+        keys = np.arange(0, inst.n_keys, 1000, dtype=np.int64)
+        pages = inst.pages_of_keys(keys)
+        tables = inst.tables_of_pages(pages)
+        assert pages.max() < inst.n_pages
+        assert tables.max() < inst.n_tables

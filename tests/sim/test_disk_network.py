@@ -1,0 +1,42 @@
+"""Tests for the disk and production-environment models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.disk import DiskModel
+from repro.sim.network import PRODUCTION_ENVIRONMENT, ProductionEnvironment
+from repro.units import GIB, SEC
+
+
+class TestDisk:
+    def test_paper_anchor_8gib_40s(self):
+        ns = DiskModel().persist_ns(8 * GIB)
+        assert 35 * SEC < ns < 45 * SEC
+
+    def test_speedup(self):
+        full = DiskModel().persist_ns(GIB)
+        quick = DiskModel(speedup=16).persist_ns(GIB)
+        assert quick == pytest.approx(full / 16, rel=0.01)
+
+    def test_scaled_helper(self):
+        disk = DiskModel().scaled(4.0)
+        assert disk.speedup == 4.0
+        assert disk.bandwidth == DiskModel().bandwidth
+
+    def test_zero_bytes(self):
+        assert DiskModel().persist_ns(0) == 0
+
+    def test_io_penalty_is_modest(self):
+        assert 1.0 < DiskModel().io_penalty < 1.5
+
+
+class TestProductionEnvironment:
+    def test_default_instance(self):
+        env = PRODUCTION_ENVIRONMENT
+        assert env.rtt_ns > 0
+        assert env.service_inflation > 1.0
+
+    def test_describe(self):
+        text = ProductionEnvironment().describe()
+        assert "cloud" in text

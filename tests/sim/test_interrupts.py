@@ -1,0 +1,62 @@
+"""Tests for the interruption recorder and bcc bucketing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.interrupts import InterruptRecorder, bcc_bucket
+from repro.units import us
+
+
+class TestBccBucket:
+    @pytest.mark.parametrize(
+        "duration_us, expected",
+        [
+            (1, (1, 1)),
+            (2, (2, 3)),
+            (3, (2, 3)),
+            (17, (16, 31)),
+            (31, (16, 31)),
+            (32, (32, 63)),
+            (63, (32, 63)),
+            (64, (64, 127)),
+        ],
+    )
+    def test_power_of_two_buckets(self, duration_us, expected):
+        assert bcc_bucket(us(duration_us)) == expected
+
+    def test_sub_microsecond_clamps_to_one(self):
+        assert bcc_bucket(500) == (1, 1)
+
+
+class TestRecorder:
+    def test_count_and_total(self):
+        rec = InterruptRecorder()
+        rec.record("odf:table-cow", us(20))
+        rec.record("odf:table-cow", us(25))
+        rec.record("fork:odf", us(100))
+        assert rec.count() == 3
+        assert rec.count("odf:table-cow") == 2
+        assert rec.total_ns() == us(145)
+        assert rec.total_ns("fork") == us(100)
+
+    def test_histogram_excludes_fork_by_default(self):
+        rec = InterruptRecorder()
+        rec.record("fork:async", us(600))
+        rec.record("async:proactive-sync", us(20))
+        hist = rec.bcc_histogram()
+        assert hist == {(16, 31): 1}
+
+    def test_histogram_with_fork(self):
+        rec = InterruptRecorder()
+        rec.record("fork:async", us(600))
+        hist = rec.bcc_histogram(exclude_fork_call=False)
+        assert (512, 1023) in hist
+
+    def test_bucket_count_helper(self):
+        rec = InterruptRecorder()
+        rec.record("x", us(20))
+        rec.record("x", us(40))
+        assert rec.bucket_count(16, 31) == 1
+        assert rec.bucket_count(32, 63) == 1
+        assert rec.bucket_count(64, 127) == 0

@@ -1,0 +1,109 @@
+"""Property-based invariants of the discrete-event simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.disk import DiskModel
+from repro.sim.snapshot_sim import SnapshotSimConfig, simulate_snapshot
+from repro.workload.generators import redis_benchmark_workload
+
+methods = st.sampled_from(["none", "default", "odf", "async"])
+
+
+def simulate(method, size_gb, seed, **kw):
+    workload = redis_benchmark_workload(20_000, size_gb, seed=seed)
+    return simulate_snapshot(
+        SnapshotSimConfig(
+            size_gb=size_gb,
+            method=method,
+            workload=workload,
+            disk=DiskModel(speedup=64.0),
+            seed=seed + 1,
+            **kw,
+        )
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    method=methods,
+    size_gb=st.sampled_from([1, 4, 16]),
+    seed=st.integers(0, 10_000),
+)
+def test_conservation_and_causality(method, size_gb, seed):
+    """Every query completes, after it arrived, exactly once."""
+    res = simulate(method, size_gb, seed)
+    n = len(res.config.workload)
+    assert len(res.sample) == n
+    assert len(res.completions_ns) == n
+    arrivals = res.sample.arrivals_ns
+    assert np.all(res.completions_ns > arrivals)
+    assert np.all(res.sample.latencies_ns == res.completions_ns - arrivals)
+    assert res.sample.latencies_ns.min() > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    method=methods,
+    size_gb=st.sampled_from([1, 8]),
+    seed=st.integers(0, 10_000),
+)
+def test_single_server_never_overlaps(method, size_gb, seed):
+    """With one engine thread, service intervals are disjoint: each
+    completion is at least the (positive) service time after the later
+    of its arrival and the previous completion."""
+    res = simulate(method, size_gb, seed)
+    completions = res.completions_ns
+    assert np.all(np.diff(completions) >= 0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    size_gb=st.sampled_from([1, 8]),
+    seed=st.integers(0, 10_000),
+)
+def test_snapshot_partition(size_gb, seed):
+    """Snapshot + normal queries partition the stream exactly."""
+    res = simulate("async", size_gb, seed)
+    snap = res.snapshot_queries()
+    norm = res.normal_queries()
+    assert len(snap) + len(norm) == len(res.sample)
+    assert np.all(snap.arrivals_ns >= res.snapshot_start_ns)
+    assert np.all(snap.arrivals_ns < res.snapshot_end_ns)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    size_gb=st.sampled_from([1, 8, 32]),
+    seed=st.integers(0, 10_000),
+)
+def test_method_dominance(size_gb, seed):
+    """For any seed and size, the p99 ordering async <= odf <= default
+    holds once any fork disturbance exists at all."""
+    p99 = {}
+    for method in ("async", "odf", "default"):
+        res = simulate(method, size_gb, seed)
+        p99[method] = res.snapshot_queries().p99_ns()
+    assert p99["async"] <= p99["odf"] * 1.05 + 50_000
+    assert p99["odf"] <= p99["default"] * 1.05 + 50_000
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_fault_counters_match_interrupt_log(seed):
+    res = simulate("odf", 8, seed)
+    logged = res.interrupts.count("odf:table-cow")
+    assert logged == res.counts["table_faults"]
+    res = simulate("async", 8, seed)
+    logged = res.interrupts.count("async:proactive-sync")
+    assert logged == res.counts["proactive_syncs"]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_async_syncs_bounded_by_tables(seed):
+    res = simulate("async", 4, seed)
+    assert res.counts["proactive_syncs"] <= res.instance.n_tables

@@ -1,0 +1,272 @@
+"""Tests for the discrete-event snapshot simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.disk import DiskModel
+from repro.sim.snapshot_sim import SnapshotSimConfig, simulate_snapshot
+from repro.workload.generators import redis_benchmark_workload
+
+N = 120_000
+DISK = DiskModel(speedup=32.0)
+
+
+def run(method: str, size_gb: float = 8, n: int = N, **kw):
+    wl_kw = {}
+    for key in ("clients", "rate_per_sec", "resident_hit"):
+        if key in kw:
+            wl_kw[key] = kw.pop(key)
+    workload = redis_benchmark_workload(n, size_gb, seed=13, **wl_kw)
+    config = SnapshotSimConfig(
+        size_gb=size_gb,
+        method=method,
+        workload=workload,
+        disk=DISK,
+        seed=21,
+        **kw,
+    )
+    return simulate_snapshot(config)
+
+
+class TestBasics:
+    def test_all_queries_complete(self):
+        res = run("async")
+        assert len(res.sample) == N
+        assert np.all(res.completions_ns >= res.sample.arrivals_ns)
+
+    def test_latency_nonnegative(self):
+        res = run("odf")
+        assert res.sample.latencies_ns.min() >= 0
+
+    def test_completions_monotonic_single_server(self):
+        res = run("default", engine_threads=1)
+        assert np.all(np.diff(res.completions_ns) >= 0)
+
+    def test_none_method_has_no_window(self):
+        res = run("none")
+        assert res.snapshot_start_ns == float("inf")
+        assert len(res.snapshot_queries()) == 0
+        assert len(res.normal_queries()) == N
+
+    def test_snapshot_window_bounds(self):
+        res = run("async")
+        assert res.snapshot_start_ns < res.snapshot_end_ns
+        window = res.snapshot_queries()
+        assert 0 < len(window) < N
+
+    def test_deterministic_given_seed(self):
+        a = run("async")
+        b = run("async")
+        assert np.array_equal(a.sample.latencies_ns, b.sample.latencies_ns)
+
+    def test_invalid_method_rejected(self):
+        workload = redis_benchmark_workload(100, 1)
+        with pytest.raises(ValueError):
+            SnapshotSimConfig(size_gb=1, method="magic", workload=workload)
+
+    def test_rewrite_requires_aof(self):
+        workload = redis_benchmark_workload(100, 1)
+        with pytest.raises(ValueError):
+            SnapshotSimConfig(
+                size_gb=1, method="async", workload=workload, rewrite=True
+            )
+
+
+class TestForkBlocking:
+    def test_default_fork_blocks_for_calibrated_time(self):
+        res = run("default", size_gb=8)
+        assert 60e6 < res.fork_call_ns < 85e6  # ~71 ms at 8 GiB
+
+    def test_default_fork_shows_in_max_latency(self):
+        res = run("default", size_gb=8)
+        assert res.snapshot_queries().max_ns() >= res.fork_call_ns
+
+    def test_async_fork_call_microseconds(self):
+        res = run("async", size_gb=8)
+        assert res.fork_call_ns < 1e6
+
+    def test_ordering_async_odf_default(self):
+        results = {m: run(m, size_gb=16) for m in ("async", "odf", "default")}
+        p99 = {m: r.snapshot_queries().p99_ns() for m, r in results.items()}
+        assert p99["async"] < p99["odf"] < p99["default"]
+
+
+class TestTableFaultMechanics:
+    def test_odf_faults_bounded_by_tables(self):
+        res = run("odf", size_gb=1, resident_hit=1.0)
+        assert res.counts["table_faults"] <= res.instance.n_tables
+
+    def test_odf_faults_zero_without_writes(self):
+        workload = redis_benchmark_workload(N, 8, seed=13)
+        workload.is_set[:] = False
+        config = SnapshotSimConfig(
+            size_gb=8, method="odf", workload=workload, disk=DISK, seed=21,
+            allocator_purge=False,
+        )
+        res = simulate_snapshot(config)
+        assert res.counts["table_faults"] == 0
+
+    def test_async_syncs_only_during_copy_window(self):
+        res = run("async", size_gb=8, resident_hit=1.0)
+        syncs = [
+            (r, d)
+            for r, d in zip(
+                res.interrupts.reasons, res.interrupts.durations_ns
+            )
+            if r.startswith("async:")
+        ]
+        assert len(syncs) == res.counts["proactive_syncs"]
+        assert res.counts["proactive_syncs"] > 0
+
+    def test_async_fewer_interruptions_than_odf(self):
+        odf = run("odf", size_gb=8, resident_hit=1.0)
+        asy = run("async", size_gb=8, resident_hit=1.0)
+        assert (
+            asy.counts["proactive_syncs"] < 0.5 * odf.counts["table_faults"]
+        )
+
+    def test_more_copy_threads_fewer_syncs(self):
+        one = run("async", size_gb=8, copy_threads=1, resident_hit=1.0)
+        eight = run("async", size_gb=8, copy_threads=8, resident_hit=1.0)
+        assert eight.counts["proactive_syncs"] < one.counts["proactive_syncs"]
+        assert eight.child_copy_ns < one.child_copy_ns
+
+    def test_data_cow_happens_for_all_methods(self):
+        for method in ("default", "odf", "async"):
+            res = run(method, size_gb=1, resident_hit=1.0)
+            assert res.counts["data_cow"] > 0
+
+
+class TestBccBuckets:
+    def test_interruptions_in_16_63us(self):
+        res = run("odf", size_gb=8, resident_hit=1.0)
+        hist = res.interrupts.bcc_histogram()
+        total = sum(hist.values())
+        in_range = hist.get((16, 31), 0) + hist.get((32, 63), 0)
+        assert in_range / total >= 0.9
+
+
+class TestThroughputAndOos:
+    def test_out_of_service_includes_fork(self):
+        res = run("default", size_gb=8)
+        assert res.out_of_service_ns() >= res.fork_call_ns
+
+    def test_odf_oos_exceeds_async(self):
+        odf = run("odf", size_gb=8, resident_hit=1.0)
+        asy = run("async", size_gb=8, resident_hit=1.0)
+        assert asy.out_of_service_ns() < odf.out_of_service_ns()
+
+    def test_default_min_throughput_collapses(self):
+        res = run("default", size_gb=16)
+        assert res.min_snapshot_qps() < 10_000
+
+    def test_throughput_series_nonempty(self):
+        res = run("async")
+        assert len(res.throughput()) > 10
+
+
+class TestKeyDbPath:
+    def test_four_threads_raise_capacity(self):
+        slow = run("none", engine_threads=1, rate_per_sec=150_000)
+        fast = run("none", engine_threads=4, rate_per_sec=150_000)
+        assert (
+            fast.normal_queries().p99_ns()
+            < slow.normal_queries().p99_ns()
+        )
+
+    def test_fault_serialization_still_hurts_odf(self):
+        odf = run(
+            "odf", engine_threads=4, rate_per_sec=150_000,
+            resident_hit=1.0,
+        )
+        asy = run(
+            "async", engine_threads=4, rate_per_sec=150_000,
+            resident_hit=1.0,
+        )
+        assert (
+            asy.snapshot_queries().p99_ns()
+            < odf.snapshot_queries().p99_ns()
+        )
+
+
+class TestAof:
+    def test_aof_raises_normal_latency(self):
+        plain = run("async", size_gb=8)
+        aof = run("async", size_gb=8, aof=True)
+        assert (
+            aof.normal_queries().p99_ns() > plain.normal_queries().p99_ns()
+        )
+
+    def test_rewrite_window_exists(self):
+        res = run("async", size_gb=8, aof=True, rewrite=True)
+        assert len(res.snapshot_queries()) > 0
+
+
+class TestAblationKnobs:
+    def test_pte_granularity_more_interruptions(self):
+        table = run(
+            "async", size_gb=8, copy_threads=1, resident_hit=1.0,
+            sync_granularity="table",
+        )
+        pte = run(
+            "async", size_gb=8, copy_threads=1, resident_hit=1.0,
+            sync_granularity="pte",
+        )
+        assert pte.counts["proactive_syncs"] >= table.counts[
+            "proactive_syncs"
+        ]
+
+    def test_handshake_raises_oos(self):
+        plain = run("async", size_gb=8, resident_hit=1.0)
+        notify = run(
+            "async", size_gb=8, resident_hit=1.0, sync_handshake_ns=8000
+        )
+        assert notify.out_of_service_ns() > plain.out_of_service_ns()
+
+    def test_bad_granularity_rejected(self):
+        workload = redis_benchmark_workload(100, 1)
+        with pytest.raises(ValueError):
+            SnapshotSimConfig(
+                size_gb=1, method="async", workload=workload,
+                sync_granularity="vma",
+            )
+
+
+class TestPurges:
+    def test_purges_add_odf_faults(self):
+        with_purge = run("odf", size_gb=8, allocator_purge=True)
+        without = run("odf", size_gb=8, allocator_purge=False)
+        assert (
+            with_purge.counts["table_faults"] >= without.counts["table_faults"]
+        )
+
+    def test_purge_free_methods_unaffected_much(self):
+        res = run("default", size_gb=1, allocator_purge=True)
+        # Purges cost the default-fork run only the zap itself.
+        assert res.counts["table_faults"] == 0
+
+
+class TestBackpressure:
+    def test_inflight_cap_bounds_latency(self):
+        open_loop = run("default", size_gb=64, inflight_per_client=0)
+        capped = run("default", size_gb=64, inflight_per_client=16)
+        assert (
+            capped.snapshot_queries().p99_ns()
+            < open_loop.snapshot_queries().p99_ns()
+        )
+
+
+class TestProduction:
+    def test_rtt_added(self):
+        local = run("async", size_gb=8)
+        from repro.sim.network import PRODUCTION_ENVIRONMENT
+
+        cloud = run("async", size_gb=8, environment=PRODUCTION_ENVIRONMENT)
+        rtt = PRODUCTION_ENVIRONMENT.rtt_ns
+        assert cloud.sample.latencies_ns.min() >= rtt
+        assert (
+            cloud.sample.latencies_ns.mean()
+            > local.sample.latencies_ns.mean() + 0.9 * rtt
+        )

@@ -1,0 +1,82 @@
+"""Tests for configuration profiles and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    AsyncForkConfig,
+    EngineConfig,
+    WorkloadConfig,
+    active_profile,
+)
+
+
+class TestProfiles:
+    def test_quick_is_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert active_profile() is QUICK_PROFILE
+
+    def test_full_selectable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        assert active_profile() is FULL_PROFILE
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "warp-speed")
+        with pytest.raises(ValueError, match="REPRO_PROFILE"):
+            active_profile()
+
+    def test_full_profile_matches_paper_protocol(self):
+        assert FULL_PROFILE.query_count == 5_000_000
+        assert FULL_PROFILE.persist_speedup == 1.0
+        assert FULL_PROFILE.repeats == 5
+        assert FULL_PROFILE.set_rate_per_sec == 50_000
+
+    def test_paper_size_sweep(self):
+        assert FULL_PROFILE.sizes_gb == (1, 2, 4, 8, 16, 32, 64)
+
+    def test_scaled_copies(self):
+        scaled = QUICK_PROFILE.scaled(repeats=7)
+        assert scaled.repeats == 7
+        assert scaled.query_count == QUICK_PROFILE.query_count
+        assert QUICK_PROFILE.repeats != 7
+
+
+class TestEngineConfig:
+    def test_defaults_match_paper(self):
+        config = EngineConfig()
+        assert config.value_size == 1024
+        assert config.key_range == 200_000_000
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            EngineConfig(threads=0)
+
+    def test_rejects_bad_value_size(self):
+        with pytest.raises(ValueError):
+            EngineConfig(value_size=0)
+
+
+class TestAsyncForkConfig:
+    def test_default_copy_threads_match_paper(self):
+        assert AsyncForkConfig().copy_threads == 8
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            AsyncForkConfig(copy_threads=0)
+
+
+class TestWorkloadConfig:
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(set_ratio=1.5)
+
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(pattern="zipf")
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(clients=0)

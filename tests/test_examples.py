@@ -1,0 +1,58 @@
+"""Every example script must run cleanly end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable floor; we ship six
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda p: p.name
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_quickstart_shows_consistency():
+    script = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert "child snapshot intact: True" in result.stdout
+
+
+def test_leakage_demo_reports_the_leak():
+    script = next(p for p in EXAMPLES if p.name == "data_leakage_demo.py")
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert "data leakage" in result.stdout
+    assert "consistent: True" in result.stdout

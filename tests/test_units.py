@@ -1,0 +1,137 @@
+"""Tests for repro.units: geometry, address decomposition, formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestGeometry:
+    def test_page_size(self):
+        assert units.PAGE_SIZE == 4096
+
+    def test_entries_per_table(self):
+        assert units.ENTRIES_PER_TABLE == 512
+
+    def test_pte_table_span_is_2mib(self):
+        assert units.PTE_TABLE_SPAN == 2 * units.MIB
+
+    def test_pmd_table_span_is_1gib(self):
+        assert units.PMD_TABLE_SPAN == units.GIB
+
+    def test_pud_table_span_is_512gib(self):
+        assert units.PUD_TABLE_SPAN == 512 * units.GIB
+
+    def test_pages_per_gib(self):
+        assert units.PAGES_PER_GIB == 2**18
+
+    def test_pte_tables_per_gib(self):
+        assert units.PTE_TABLES_PER_GIB == 512
+
+    def test_address_space_is_48_bits(self):
+        assert units.ADDRESS_SPACE_SIZE == 1 << 48
+
+
+class TestIndexDecomposition:
+    def test_zero_address(self):
+        assert units.pgd_index(0) == 0
+        assert units.pud_index(0) == 0
+        assert units.pmd_index(0) == 0
+        assert units.pte_index(0) == 0
+
+    def test_second_page(self):
+        assert units.pte_index(units.PAGE_SIZE) == 1
+        assert units.pmd_index(units.PAGE_SIZE) == 0
+
+    def test_second_pte_table(self):
+        vaddr = units.PTE_TABLE_SPAN
+        assert units.pte_index(vaddr) == 0
+        assert units.pmd_index(vaddr) == 1
+
+    def test_second_pmd_table(self):
+        vaddr = units.PMD_TABLE_SPAN
+        assert units.pmd_index(vaddr) == 0
+        assert units.pud_index(vaddr) == 1
+
+    def test_second_pud_table(self):
+        vaddr = units.PUD_TABLE_SPAN
+        assert units.pud_index(vaddr) == 0
+        assert units.pgd_index(vaddr) == 1
+
+    def test_indices_wrap_at_512(self):
+        vaddr = 511 * units.PAGE_SIZE
+        assert units.pte_index(vaddr) == 511
+        assert units.pte_index(vaddr + units.PAGE_SIZE) == 0
+
+    def test_full_decomposition_roundtrip(self):
+        vaddr = (
+            3 * units.PUD_TABLE_SPAN
+            + 7 * units.PMD_TABLE_SPAN
+            + 11 * units.PTE_TABLE_SPAN
+            + 13 * units.PAGE_SIZE
+        )
+        assert units.pgd_index(vaddr) == 3
+        assert units.pud_index(vaddr) == 7
+        assert units.pmd_index(vaddr) == 11
+        assert units.pte_index(vaddr) == 13
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert units.page_align_down(4097) == 4096
+        assert units.page_align_down(4096) == 4096
+        assert units.page_align_down(4095) == 0
+
+    def test_align_up(self):
+        assert units.page_align_up(4097) == 8192
+        assert units.page_align_up(4096) == 4096
+        assert units.page_align_up(1) == 4096
+
+    def test_pages_in_range(self):
+        assert units.pages_in_range(0, 4096) == 1
+        assert units.pages_in_range(0, 4097) == 2
+        assert units.pages_in_range(100, 200) == 1
+
+
+class TestTimeConversions:
+    def test_ms(self):
+        assert units.ms(1.5) == 1_500_000
+
+    def test_us(self):
+        assert units.us(2) == 2_000
+
+    def test_sec(self):
+        assert units.sec(0.5) == 500_000_000
+
+    def test_ns_to_ms(self):
+        assert units.ns_to_ms(1_000_000) == 1.0
+
+    def test_ns_to_us(self):
+        assert units.ns_to_us(1_000) == 1.0
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "ns, expected",
+        [
+            (500, "500ns"),
+            (1_500, "1.50us"),
+            (2_500_000, "2.50ms"),
+            (3_000_000_000, "3.00s"),
+        ],
+    )
+    def test_fmt_ns(self, ns, expected):
+        assert units.fmt_ns(ns) == expected
+
+    @pytest.mark.parametrize(
+        "n, expected",
+        [
+            (512, "512B"),
+            (2048, "2.0KiB"),
+            (3 * units.MIB, "3.0MiB"),
+            (5 * units.GIB, "5.0GiB"),
+        ],
+    )
+    def test_fmt_bytes(self, n, expected):
+        assert units.fmt_bytes(n) == expected

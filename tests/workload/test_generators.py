@@ -1,0 +1,74 @@
+"""Tests for the benchmark front-ends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.generators import (
+    memtier_workload,
+    redis_benchmark_workload,
+    resident_fraction,
+)
+
+
+class TestResidentFraction:
+    def test_scales_with_size(self):
+        assert resident_fraction(1, 200_000_000, 1024) == pytest.approx(
+            1 * 2**30 / 1024 / 200_000_000
+        )
+        f8 = resident_fraction(8, 200_000_000, 1024)
+        f64 = resident_fraction(64, 200_000_000, 1024)
+        assert f64 == pytest.approx(8 * f8)
+
+    def test_capped_at_one(self):
+        assert resident_fraction(1024, 200_000_000, 1024) == 1.0
+
+
+class TestRedisBenchmark:
+    def test_set_only(self):
+        wl = redis_benchmark_workload(1000, 8)
+        assert wl.is_set.all()
+
+    def test_resident_hit_probability(self):
+        wl = redis_benchmark_workload(100_000, 8, seed=1)
+        measured = np.count_nonzero(wl.resident_key >= 0) / len(wl)
+        assert abs(measured - wl.meta["resident_hit_p"]) < 0.01
+
+    def test_explicit_resident_hit(self):
+        wl = redis_benchmark_workload(1000, 8, resident_hit=1.0)
+        assert (wl.resident_key >= 0).all()
+
+    def test_resident_keys_in_range(self):
+        wl = redis_benchmark_workload(10_000, 1, resident_hit=1.0)
+        assert wl.resident_key.max() < wl.resident_keys
+
+    def test_deterministic(self):
+        a = redis_benchmark_workload(1000, 8, seed=5)
+        b = redis_benchmark_workload(1000, 8, seed=5)
+        assert np.array_equal(a.arrivals_ns, b.arrivals_ns)
+        assert np.array_equal(a.resident_key, b.resident_key)
+
+    def test_duration_property(self):
+        wl = redis_benchmark_workload(50_000, 8)
+        assert wl.duration_ns == wl.arrivals_ns[-1] - wl.arrivals_ns[0]
+
+
+class TestMemtier:
+    def test_ratio_controls_sets(self):
+        wl = memtier_workload(50_000, 8, ratio="1:10", seed=2)
+        assert 0.06 < wl.is_set.mean() < 0.13
+
+    def test_gaussian_pattern_propagates(self):
+        wl = memtier_workload(
+            50_000, 8, pattern="gaussian", resident_hit=1.0, seed=2
+        )
+        keys = wl.resident_key[wl.resident_key >= 0]
+        middle = np.count_nonzero(
+            (keys > wl.resident_keys * 0.4) & (keys < wl.resident_keys * 0.6)
+        )
+        assert middle / len(keys) > 0.5
+
+    def test_meta_includes_ratio(self):
+        wl = memtier_workload(100, 8, ratio="1:1")
+        assert wl.meta["ratio"] == "1:1"

@@ -1,0 +1,59 @@
+"""Tests for the open-loop arrival process."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.units import SEC
+from repro.workload.openloop import arrival_times, batch_size_for_clients
+
+
+class TestArrivals:
+    def test_sorted(self):
+        arrivals = arrival_times(10_000, 50_000)
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_count(self):
+        assert len(arrival_times(12_345, 50_000)) == 12_345
+
+    def test_rate_approximately_honoured(self):
+        rng = np.random.default_rng(1)
+        arrivals = arrival_times(100_000, 50_000, rng=rng)
+        duration_s = (arrivals[-1] - arrivals[0]) / SEC
+        rate = len(arrivals) / duration_s
+        assert 45_000 < rate < 55_000
+
+    def test_deterministic_with_seed(self):
+        a = arrival_times(1000, 50_000, rng=np.random.default_rng(3))
+        b = arrival_times(1000, 50_000, rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            arrival_times(0, 50_000)
+        with pytest.raises(ValueError):
+            arrival_times(100, 0)
+
+
+class TestBurstiness:
+    def test_batch_size_scales_with_clients(self):
+        assert batch_size_for_clients(10) == 1
+        assert batch_size_for_clients(50) == 5
+        assert batch_size_for_clients(500) == 50
+
+    def test_more_clients_means_burstier(self):
+        """Figure 13's mechanism: same rate, clumpier arrivals."""
+
+        def max_batch(clients: int) -> int:
+            rng = np.random.default_rng(5)
+            arrivals = arrival_times(50_000, 50_000, clients, rng)
+            # Count arrivals landing within 20 us of each other.
+            gaps = np.diff(arrivals)
+            burst, longest = 1, 1
+            for gap in gaps:
+                burst = burst + 1 if gap < 20_000 else 1
+                longest = max(longest, burst)
+            return longest
+
+        assert max_batch(500) > max_batch(10)

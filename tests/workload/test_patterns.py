@@ -1,0 +1,70 @@
+"""Tests for key access patterns and op mixes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.patterns import key_indices, op_mask, set_get_ratio
+
+
+class TestKeyIndices:
+    def test_uniform_in_range(self):
+        keys = key_indices(10_000, 1000, "uniform",
+                           np.random.default_rng(1))
+        assert keys.min() >= 0 and keys.max() < 1000
+
+    def test_gaussian_in_range(self):
+        keys = key_indices(10_000, 1000, "gaussian",
+                          np.random.default_rng(1))
+        assert keys.min() >= 0 and keys.max() < 1000
+
+    def test_gaussian_concentrates_in_middle(self):
+        rng = np.random.default_rng(2)
+        keys = key_indices(50_000, 10_000, "gaussian", rng)
+        middle = np.count_nonzero((keys > 4000) & (keys < 6000))
+        assert middle / len(keys) > 0.5
+
+    def test_gaussian_touches_fewer_distinct_keys(self):
+        # The Figure 12 mechanism: repeated accesses, smaller touched set.
+        rng = np.random.default_rng(3)
+        uni = key_indices(20_000, 20_000, "uniform", rng)
+        gau = key_indices(20_000, 20_000, "gaussian", rng)
+        assert len(np.unique(gau)) < len(np.unique(uni))
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            key_indices(10, 10, "zipf")
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            key_indices(10, 0)
+
+
+class TestOpMask:
+    def test_all_sets(self):
+        assert op_mask(100, 1.0).all()
+
+    def test_no_sets(self):
+        assert not op_mask(100, 0.0).any()
+
+    def test_ratio_approximate(self):
+        mask = op_mask(100_000, 0.5, np.random.default_rng(4))
+        assert 0.48 < mask.mean() < 0.52
+
+    def test_bad_ratio(self):
+        with pytest.raises(ValueError):
+            op_mask(10, 1.2)
+
+
+class TestRatioLabels:
+    @pytest.mark.parametrize(
+        "label, expected",
+        [("1:1", 0.5), ("1:10", 1 / 11), ("1:0", 1.0), ("0:1", 0.0)],
+    )
+    def test_parse(self, label, expected):
+        assert set_get_ratio(label) == pytest.approx(expected)
+
+    def test_bad_label(self):
+        with pytest.raises(ValueError):
+            set_get_ratio("0:0")
