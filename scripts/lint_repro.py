@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Determinism/error-hygiene lint for the repro library.
+
+Runs :mod:`repro.analysis.lint` over ``src/repro`` (or the paths given
+on the command line) and exits non-zero on any finding.  Part of the
+tier-1 flow via ``tests/test_lint_clean.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.lint import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:] or [str(SRC / "repro")]
+    raise SystemExit(main(argv))

@@ -1,0 +1,46 @@
+"""Correctness tooling for the fork simulator.
+
+Three coordinated checkers plus a determinism lint:
+
+* :mod:`repro.analysis.mmsan` — MMSAN, a runtime invariant auditor for
+  the memory-management substrate (mapcounts, CoW write protection, the
+  async-fork PMD copied-marker state machine, frame leaks, stale TLB
+  entries);
+* :mod:`repro.analysis.oracle` — the snapshot-consistency oracle that
+  fingerprints a parent at fork-call time and diffs the child's
+  materialized snapshot against it;
+* :mod:`repro.analysis.lockdep` — lockdep-lite, an acquisition-order
+  tracker for the simulated locks;
+* :mod:`repro.analysis.lint` — an AST lint forbidding wall-clock reads,
+  unseeded randomness and generic exceptions inside the library.
+
+:mod:`repro.analysis.runtime` wires the runtime checkers into the fork
+engines behind the ``REPRO_MMSAN=1`` environment flag (or the pytest
+``--mmsan`` option).  This package's import stays lazy so the low-level
+``mem``/``kernel`` modules can import :mod:`repro.analysis.hooks`
+without cycles.
+"""
+
+from __future__ import annotations
+
+_LAZY = {
+    "Mmsan": "repro.analysis.mmsan",
+    "MmsanViolation": "repro.analysis.mmsan",
+    "SnapshotOracle": "repro.analysis.oracle",
+    "SnapshotMismatch": "repro.analysis.oracle",
+    "LockDep": "repro.analysis.lockdep",
+    "LockOrderViolation": "repro.analysis.lockdep",
+    "LintFinding": "repro.analysis.lint",
+    "lint_paths": "repro.analysis.lint",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

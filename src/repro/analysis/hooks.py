@@ -1,0 +1,45 @@
+"""Zero-dependency instrumentation hooks for the simulated kernel.
+
+The low-level substrate (:mod:`repro.mem.page_struct`,
+:mod:`repro.mem.vma`, :mod:`repro.kernel.clock`,
+:mod:`repro.mem.address_space`) notifies these registries on lock
+traffic and address-space creation.  The registries are empty by
+default and every call site guards on truthiness, so the instrumented
+paths cost one attribute read when no checker is installed.
+
+This module must not import anything from :mod:`repro` — it sits below
+the whole dependency graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: Lock classes reported through :data:`LOCK_HOOKS`.
+PAGE_LOCK = "page"
+KERNEL_SECTION = "kernel-section"
+TWO_WAY_POINTER = "two-way-pointer"
+
+#: ``fn(event, lock_class, key)`` with ``event`` in {'acquire','release'}.
+LOCK_HOOKS: list[Callable[[str, str, object], None]] = []
+
+#: ``fn(mm)`` called from ``AddressSpace.__init__``.
+MM_HOOKS: list[Callable[[object], None]] = []
+
+
+def notify_lock(event: str, lock_class: str, key: object) -> None:
+    """Report a lock acquisition or release to installed trackers."""
+    for fn in list(LOCK_HOOKS):
+        fn(event, lock_class, key)
+
+
+def notify_mm_created(mm: object) -> None:
+    """Report a freshly created address space to installed trackers."""
+    for fn in list(MM_HOOKS):
+        fn(mm)
+
+
+def clear() -> None:
+    """Remove every installed hook (test isolation)."""
+    LOCK_HOOKS.clear()
+    MM_HOOKS.clear()

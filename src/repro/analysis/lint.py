@@ -1,0 +1,317 @@
+"""AST lint enforcing determinism and error hygiene in ``src/repro``.
+
+Rules
+-----
+``wall-clock``
+    Calls that read the host clock (``time.time``, ``perf_counter``,
+    ``monotonic`` and friends, ``datetime.now`` …).  Simulated time must
+    come from :class:`repro.kernel.clock.Clock`.
+``global-random``
+    Calls into the process-global RNGs (``random.random()``,
+    ``np.random.rand()`` …).  Their hidden state makes runs depend on
+    import order and earlier tests.
+``rng-construction``
+    Direct generator construction (``np.random.default_rng``,
+    ``random.Random``) anywhere outside :mod:`repro.determinism`, which
+    is the blessed construction site and requires an explicit seed.
+``generic-raise``
+    ``raise Exception(...)`` / ``raise BaseException(...)`` — library
+    errors must be :class:`repro.errors.ReproError` subclasses (or the
+    specific stdlib types tests already rely on).
+``builtin-shadow``
+    A class or function whose name collides with a Python builtin
+    exception once trailing underscores are stripped (e.g. the old
+    ``MemoryError_``), which invites confusing ``except`` clauses.
+
+A finding on a line containing ``# lint: allow(<rule>)`` is suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Functions in the ``time`` module that read the host clock.
+_WALL_CLOCK_TIME_FUNCS = frozenset(
+    name + suffix
+    for name in ("time", "perf_counter", "monotonic", "process_time", "thread_time")
+    for suffix in ("", "_ns")
+)
+
+#: ``datetime`` attributes that read the host clock.
+_WALL_CLOCK_DATETIME = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``np.random`` attributes that are fine to *call* anywhere: seeding
+#: machinery rather than draws from the global generator.  The
+#: generator constructors themselves fall under ``rng-construction``.
+_NP_RANDOM_OK = frozenset(
+    {"Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+)
+
+#: Builtin exception names for the shadow rule.
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+#: Modules whose sources may construct RNGs (with an allow pragma too,
+#: but listing them here keeps the lint's self-test honest).
+_RNG_BLESSED_MODULES = frozenset({"determinism"})
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+class _ImportTracker:
+    """Map local names to the dotted module paths they alias."""
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    def visit_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+
+    def visit_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return  # relative imports never reach stdlib/numpy
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve_call(self, func: ast.expr) -> str | None:
+        """Dotted path of a call target, alias-resolved, else ``None``."""
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: Sequence[str], module_name: str) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.module_name = module_name
+        self.imports = _ImportTracker()
+        self.findings: list[LintFinding] = []
+
+    # -- helpers ---------------------------------------------------------
+
+    def _allowed(self, line: int, rule: str) -> bool:
+        if 1 <= line <= len(self.lines):
+            return f"# lint: allow({rule})" in self.lines[line - 1]
+        return False
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if self._allowed(line, rule):
+            return
+        self.findings.append(
+            LintFinding(self.path, line, getattr(node, "col_offset", 0), rule, message)
+        )
+
+    # -- imports ---------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.visit_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.visit_import_from(node)
+        self.generic_visit(node)
+
+    # -- calls -----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.imports.resolve_call(node.func)
+        if target is not None:
+            self._check_call_target(node, target)
+        self.generic_visit(node)
+
+    def _check_call_target(self, node: ast.Call, target: str) -> None:
+        parts = target.split(".")
+        # wall-clock -----------------------------------------------------
+        if len(parts) == 2 and parts[0] == "time" and parts[1] in _WALL_CLOCK_TIME_FUNCS:
+            self._report(
+                node,
+                "wall-clock",
+                f"{target}() reads the host clock; use repro.kernel.clock.Clock",
+            )
+            return
+        if len(parts) == 1 and parts[0] in _WALL_CLOCK_TIME_FUNCS:
+            # ``from time import perf_counter`` resolves to
+            # ``time.perf_counter`` via the alias table; a bare name only
+            # matches when it was imported from ``time``.
+            return
+        if target in _WALL_CLOCK_DATETIME or (
+            len(parts) >= 2 and ".".join(parts[-3:]) in _WALL_CLOCK_DATETIME
+        ):
+            self._report(
+                node,
+                "wall-clock",
+                f"{target}() reads the host clock; use repro.kernel.clock.Clock",
+            )
+            return
+        # rng-construction ----------------------------------------------
+        if target in ("numpy.random.default_rng", "random.Random"):
+            if self.module_name not in _RNG_BLESSED_MODULES:
+                self._report(
+                    node,
+                    "rng-construction",
+                    f"{target}() outside repro.determinism; use "
+                    "repro.determinism.seeded_rng/seeded_random",
+                )
+            return
+        # global-random ---------------------------------------------------
+        if len(parts) == 2 and parts[0] == "random" and parts[1] != "SystemRandom":
+            self._report(
+                node,
+                "global-random",
+                f"{target}() draws from the process-global RNG; "
+                "use repro.determinism.seeded_random",
+            )
+            return
+        if (
+            len(parts) >= 3
+            and parts[-3] == "numpy"
+            and parts[-2] == "random"
+            and parts[-1] not in _NP_RANDOM_OK
+        ):
+            self._report(
+                node,
+                "global-random",
+                f"{target}() draws from numpy's legacy global RNG; "
+                "use repro.determinism.seeded_rng",
+            )
+
+    # -- raises ----------------------------------------------------------
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        call_func = exc.func if isinstance(exc, ast.Call) else exc
+        if isinstance(call_func, ast.Name) and call_func.id in ("Exception", "BaseException"):
+            self._report(
+                node,
+                "generic-raise",
+                f"raise {call_func.id} is unclassifiable; raise a "
+                "repro.errors.ReproError subclass",
+            )
+        self.generic_visit(node)
+
+    # -- definitions ------------------------------------------------------
+
+    def _check_shadow(self, node: ast.AST, name: str) -> None:
+        stripped = name.rstrip("_")
+        if stripped != name and stripped in _BUILTIN_EXCEPTIONS:
+            self._report(
+                node,
+                "builtin-shadow",
+                f"{name!r} shadows builtin exception {stripped!r}; "
+                f"pick a distinct name (e.g. Sim{stripped})",
+            )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._check_shadow(node, node.name)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_shadow(node, node.name)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_shadow(node, node.name)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint Python source text; returns findings sorted by location."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                path, exc.lineno or 0, exc.offset or 0, "syntax-error", str(exc.msg)
+            )
+        ]
+    module_name = Path(path).stem
+    linter = _Linter(path, source.splitlines(), module_name)
+    linter.visit(tree)
+    return sorted(linter.findings, key=lambda f: (f.line, f.col, f.rule))
+
+
+def lint_file(path: str | Path) -> list[LintFinding]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def _iter_py_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        else:
+            yield p
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[LintFinding]:
+    """Lint files and directories (recursively); returns all findings."""
+    findings: list[LintFinding] = []
+    for file in _iter_py_files(paths):
+        findings.extend(lint_file(file))
+    return findings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: exit 1 when any finding is reported."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: lint_repro.py PATH [PATH ...]", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(args)
+    except OSError as exc:
+        print(f"lint_repro: cannot read {exc.filename}: {exc.strerror}",
+              file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,139 @@
+"""lockdep-lite: acquisition-order tracking for the simulated locks.
+
+The simulator has three lock classes — the PTE-table page lock
+(``trylock_page``), the kernel-section bracket on the clock, and the
+async-fork two-way-pointer lock.  The fork paths take them in a fixed
+hierarchy (pointer → kernel section → page lock); an inversion between
+two classes, or acquiring the *same* lock twice without releasing it,
+is how the real async-fork patch series deadlocked during development.
+
+:class:`LockDep` subscribes to :data:`repro.analysis.hooks.LOCK_HOOKS`
+and maintains a held-lock stack.  On every acquisition it records a
+directed edge from each currently-held lock class to the new one; if
+the reverse edge between two *different* classes was seen earlier, that
+is an ``order-inversion``.  Acquiring a key already on the stack is a
+``double-acquire``.  Same-class pairs (e.g. the migration loop holding
+several page locks) establish no edges — ordering within a class is by
+address in the kernel and out of scope here.
+
+The tracker is a *witness*: with ``raise_on_violation=False`` (the
+runtime default) it only records, because the held stack of a
+single-threaded cooperative simulation can interleave logically
+independent actors.  Dedicated tests drive one actor at a time and
+assert ``violations == []``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import hooks
+from repro.errors import LockOrderError
+
+
+@dataclass(frozen=True)
+class LockOrderViolation:
+    """One suspicious acquisition."""
+
+    kind: str
+    first: str
+    second: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} ({self.first} vs {self.second}): {self.detail}"
+
+
+class LockDep:
+    """Acquisition-order tracker over the simulated lock classes."""
+
+    def __init__(self, raise_on_violation: bool = False) -> None:
+        self.raise_on_violation = raise_on_violation
+        #: Currently held ``(lock_class, key)`` pairs, oldest first.
+        self.held: list[tuple[str, object]] = []
+        #: First witnessed ordering per ``(earlier_class, later_class)``.
+        self.edges: dict[tuple[str, str], str] = {}
+        self.violations: list[LockOrderViolation] = []
+        self._reported: set[tuple[str, str, str]] = set()
+        self._installed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def install(self) -> None:
+        """Start receiving lock events."""
+        if not self._installed:
+            hooks.LOCK_HOOKS.append(self._on_lock)
+            self._installed = True
+
+    def uninstall(self) -> None:
+        """Stop receiving lock events."""
+        if self._installed:
+            hooks.LOCK_HOOKS.remove(self._on_lock)
+            self._installed = False
+
+    def reset(self) -> None:
+        """Forget held locks, edges and violations (test isolation)."""
+        self.held.clear()
+        self.edges.clear()
+        self.violations.clear()
+        self._reported.clear()
+
+    # -- event handling --------------------------------------------------
+
+    def _on_lock(self, event: str, lock_class: str, key: object) -> None:
+        if event == "acquire":
+            self._on_acquire(lock_class, key)
+        else:
+            self._on_release(lock_class, key)
+
+    def _on_acquire(self, lock_class: str, key: object) -> None:
+        if (lock_class, key) in self.held:
+            self._record(
+                LockOrderViolation(
+                    "double-acquire",
+                    lock_class,
+                    lock_class,
+                    f"{lock_class}[{key!r}] acquired while already held",
+                )
+            )
+        for held_class, held_key in self.held:
+            if held_class == lock_class:
+                continue
+            edge = (held_class, lock_class)
+            witness = f"{held_class}[{held_key!r}] -> {lock_class}[{key!r}]"
+            self.edges.setdefault(edge, witness)
+            reverse = self.edges.get((lock_class, held_class))
+            if reverse is not None:
+                self._record(
+                    LockOrderViolation(
+                        "order-inversion",
+                        held_class,
+                        lock_class,
+                        f"now {witness}, previously {reverse}",
+                    )
+                )
+        self.held.append((lock_class, key))
+
+    def _on_release(self, lock_class: str, key: object) -> None:
+        for i in range(len(self.held) - 1, -1, -1):
+            if self.held[i] == (lock_class, key):
+                del self.held[i]
+                return
+        # Released a lock acquired before install(); nothing to do.
+
+    def _record(self, violation: LockOrderViolation) -> None:
+        dedup = (violation.kind, violation.first, violation.second)
+        if dedup in self._reported:
+            return
+        self._reported.add(dedup)
+        self.violations.append(violation)
+        if self.raise_on_violation:
+            raise LockOrderError(str(violation), violation)
+
+    def assert_clean(self) -> None:
+        """Raise :class:`LockOrderError` if anything was recorded."""
+        if self.violations:
+            raise LockOrderError(
+                "; ".join(str(v) for v in self.violations),
+                self.violations[0],
+            )

@@ -155,3 +155,9 @@ class WorkloadConfig:
             raise ValueError("pattern must be 'uniform' or 'gaussian'")
         if self.clients < 1:
             raise ValueError("need at least one client")
+
+    def rng(self) -> "np.random.Generator":
+        """The seeded generator every derived randomness must come from."""
+        from repro.determinism import seeded_rng
+
+        return seeded_rng(self.seed)

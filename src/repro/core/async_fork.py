@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis import runtime
 from repro.config import AsyncForkConfig
 from repro.errors import ForkError, OutOfMemoryError
 from repro.kernel.clock import Clock
@@ -77,6 +78,7 @@ class AsyncFork(ForkEngine):
             )
 
         stats = ForkStats()
+        probe = runtime.fork_probe(self, parent)
         start = self.clock.now
 
         # Consecutive snapshots (§5.2): a VMA's page table may be copied by
@@ -112,6 +114,7 @@ class AsyncFork(ForkEngine):
                 if child is not None:
                     child.exit(code=-1)
                 stats.record_error("parent-copy")
+                probe.failed()
                 raise ForkError(
                     f"Async-fork parent phase failed: {exc}",
                     phase="parent-copy",
@@ -125,6 +128,7 @@ class AsyncFork(ForkEngine):
         child.mm.rss = parent.mm.rss
         session = AsyncForkSession(self, parent, child, stats, self.config)
         self._sessions[parent.pid] = session
+        probe.async_started(session)
         return ForkResult(child=child, stats=stats, session=session)
 
     @staticmethod
@@ -167,6 +171,8 @@ class AsyncForkSession:
         self.active = True
         self.failed = False
         self.failure_reason: Optional[str] = None
+        #: Attached by the runtime checkers (repro.analysis.runtime).
+        self._analysis_probe = None
         # Shard the child's VMA worklist over the copy threads (§5.1).
         # Each item is one child VMA; within a VMA the thread walks PMD
         # spans.
@@ -250,6 +256,27 @@ class AsyncForkSession:
         if all(w.idle for w in self._workers):
             self._complete()
 
+    def cancel(self) -> None:
+        """Retire the session because the child is exiting early.
+
+        A child that dies before the copy completes (a BGSAVE abort, an
+        OOM kill) must not leave the parent behind with dangling
+        copied-markers and open two-way pointers: a later snapshot would
+        otherwise "synchronize" tables into the dead child's address
+        space.  Mirrors the §4.4 child-death cleanup without treating
+        the fork as failed.
+        """
+        if not self.active:
+            return
+        self._rollback_all_wp()
+        for vma in self.parent.mm.vmas:
+            if vma.peer is not None:
+                vma.peer.close()
+        for worker in self._workers:
+            worker.cursors.clear()
+        self.active = False
+        self._teardown()
+
     def _worker_step(self, worker: CopyWorker) -> int:
         while worker.cursors:
             cursor: _VmaCopyCursor = worker.cursors[0]
@@ -304,6 +331,8 @@ class AsyncForkSession:
         if not self.failed and self.child.state is ProcessState.KERNEL_COPY:
             self.child.state = ProcessState.RUNNING
         self._teardown()
+        if not self.failed and self._analysis_probe is not None:
+            self._analysis_probe.session_completed(self)
 
     def _teardown(self) -> None:
         if self._on_checkpoint in self.parent.mm.checkpoint_subscribers:
@@ -352,6 +381,11 @@ class AsyncForkSession:
             # Lines 11-12 / 20-21: PMD writable again, PTEs write-protected
             # (done inside the clone) to preserve the CoW strategy.
             pmd.set_write_protected(idx, False)
+            # The clone also write-protected the *parent's* PTEs (the data
+            # pages are CoW-shared now); shoot down any writable
+            # translations the parent still caches for this span.
+            span = (base // PTE_TABLE_SPAN) * PTE_TABLE_SPAN
+            self.parent.mm._flush_tlb_range(span, span + PTE_TABLE_SPAN)
             if reason is not None:
                 self.stats.parent_pte_entries += copied
             return "copied"
@@ -473,6 +507,8 @@ class AsyncForkSession:
             worker.cursors.clear()
         self.active = False
         self._teardown()
+        if self._analysis_probe is not None:
+            self._analysis_probe.session_failed(self)
 
     def _fail_proactive_sync(
         self, vaddr: int, vma: Optional[Vma] = None
@@ -488,6 +524,8 @@ class AsyncForkSession:
                 vma.peer.error = "ENOMEM"
         self.failed = True
         self.failure_reason = "proactive-sync"
+        if self._analysis_probe is not None:
+            self._analysis_probe.session_failed(self)
 
     def _rollback_all_wp(self) -> None:
         for vma in self.parent.mm.vmas:

@@ -1,0 +1,39 @@
+"""Deterministic randomness: the only sanctioned RNG constructors.
+
+Every stochastic component of the reproduction — workload generation,
+the discrete-event snapshot simulator, stall schedules — must draw from
+a generator that was *explicitly* seeded, normally with a seed carried
+by a config object (:class:`repro.config.WorkloadConfig`,
+``SnapshotSimConfig``).  Wall-clock seeding or the module-level global
+RNGs would make experiment figures and checker failures unreproducible,
+so :mod:`repro.analysis.lint` forbids constructing generators anywhere
+else; this module is the single whitelisted construction site.
+"""
+
+from __future__ import annotations
+
+import random as _random
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def seeded_rng(seed: int | np.random.SeedSequence) -> np.random.Generator:
+    """A numpy :class:`~numpy.random.Generator` from an explicit seed."""
+    if seed is None:
+        raise ConfigurationError(
+            "an explicit seed is required: unseeded generators make "
+            "experiments unreproducible"
+        )
+    return np.random.default_rng(seed)  # lint: allow(rng-construction)
+
+
+def seeded_random(seed: int) -> _random.Random:
+    """A stdlib :class:`random.Random` from an explicit seed."""
+    if seed is None:
+        raise ConfigurationError(
+            "an explicit seed is required: unseeded generators make "
+            "experiments unreproducible"
+        )
+    return _random.Random(seed)  # lint: allow(rng-construction)

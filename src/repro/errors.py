@@ -22,11 +22,16 @@ class ConfigurationError(ReproError):
     """
 
 
-class MemoryError_(ReproError):
+class SimMemoryError(ReproError):
     """Base class for simulated memory-management failures."""
 
 
-class OutOfMemoryError(MemoryError_):
+#: Deprecated alias kept for one release; the trailing-underscore name
+#: shadowed the ``MemoryError`` builtin (see ``repro.analysis.lint``).
+MemoryError_ = SimMemoryError
+
+
+class OutOfMemoryError(SimMemoryError):
     """The simulated physical frame allocator is exhausted.
 
     Mirrors a failed page allocation in the kernel; the fork engines must
@@ -34,11 +39,11 @@ class OutOfMemoryError(MemoryError_):
     """
 
 
-class InvalidAddressError(MemoryError_):
+class InvalidAddressError(SimMemoryError):
     """An operation referenced a virtual address outside any VMA."""
 
 
-class ProtectionFaultError(MemoryError_):
+class ProtectionFaultError(SimMemoryError):
     """A memory access violated the VMA protection bits."""
 
 
@@ -62,3 +67,34 @@ class SnapshotInProgressError(KvsError):
 
 class WrongTypeError(KvsError):
     """A command was applied to a key holding the wrong kind of value."""
+
+
+class AnalysisError(ReproError):
+    """Base class for failures reported by the correctness checkers."""
+
+
+class MmsanViolationError(AnalysisError):
+    """MMSAN found at least one violated memory-management invariant."""
+
+    def __init__(self, message: str, violations: list | None = None) -> None:
+        super().__init__(message)
+        #: The :class:`repro.analysis.mmsan.MmsanViolation` records.
+        self.violations = list(violations or [])
+
+
+class SnapshotConsistencyError(AnalysisError):
+    """The child's snapshot diverged from the fork-time fingerprint."""
+
+    def __init__(self, message: str, mismatches: list | None = None) -> None:
+        super().__init__(message)
+        #: The :class:`repro.analysis.oracle.SnapshotMismatch` records.
+        self.mismatches = list(mismatches or [])
+
+
+class LockOrderError(AnalysisError):
+    """lockdep-lite observed an inverted or doubly-held lock order."""
+
+    def __init__(self, message: str, violation: object | None = None) -> None:
+        super().__init__(message)
+        #: The :class:`repro.analysis.lockdep.LockOrderViolation` record.
+        self.violation = violation

@@ -12,6 +12,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Optional
 
+from repro.analysis import hooks
+
 KernelSectionObserver = Callable[[str, int, int], None]
 
 
@@ -56,11 +58,15 @@ class Clock:
         body is expected to call :meth:`advance` itself.
         """
         start = self._now
+        if hooks.LOCK_HOOKS:
+            hooks.notify_lock("acquire", hooks.KERNEL_SECTION, reason)
         try:
             if cost_ns is not None:
                 self.advance(cost_ns)
             yield self
         finally:
             end = self._now
+            if hooks.LOCK_HOOKS:
+                hooks.notify_lock("release", hooks.KERNEL_SECTION, reason)
             for fn in self._observers:
                 fn(reason, start, end)

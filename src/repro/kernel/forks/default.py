@@ -7,6 +7,7 @@ copy is ≥97 % of the call), so every query arriving meanwhile waits.
 
 from __future__ import annotations
 
+from repro.analysis import runtime
 from repro.errors import OutOfMemoryError, ForkError
 from repro.kernel.forks.base import ForkEngine, ForkResult, ForkStats
 from repro.kernel.task import Process
@@ -23,6 +24,7 @@ class DefaultFork(ForkEngine):
     def fork(self, parent: Process) -> ForkResult:
         """Clone the whole page table inside the parent's call."""
         stats = ForkStats()
+        probe = runtime.fork_probe(self, parent)
         start = self.clock.now
         with self.clock.kernel_section("fork:default"):
             child = None
@@ -32,6 +34,7 @@ class DefaultFork(ForkEngine):
             except OutOfMemoryError as exc:
                 if child is not None:
                     child.exit(code=-1)
+                probe.failed()
                 raise ForkError(
                     f"default fork failed: {exc}", phase="parent-copy"
                 ) from exc
@@ -43,7 +46,9 @@ class DefaultFork(ForkEngine):
         # translations; the kernel flushes the TLB before returning.
         parent.mm.tlb.flush_all()
         stats.parent_call_ns = self.clock.now - start
-        return ForkResult(child=child, stats=stats)
+        result = ForkResult(child=child, stats=stats)
+        probe.completed(result)
+        return result
 
     def _copy_page_table(
         self, parent: Process, child: Process, stats: ForkStats

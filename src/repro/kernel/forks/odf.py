@@ -16,6 +16,7 @@ snapshot view stays intact.
 
 from __future__ import annotations
 
+from repro.analysis import runtime
 from repro.errors import ForkError, OutOfMemoryError
 from repro.kernel.forks.base import ForkEngine, ForkResult, ForkStats
 from repro.kernel.task import Process
@@ -35,6 +36,7 @@ class OnDemandFork(ForkEngine):
     def fork(self, parent: Process) -> ForkResult:
         """Share the PTE leaf tables; return in microseconds."""
         stats = ForkStats()
+        probe = runtime.fork_probe(self, parent)
         start = self.clock.now
         with self.clock.kernel_section("fork:odf"):
             child = None
@@ -44,6 +46,7 @@ class OnDemandFork(ForkEngine):
             except OutOfMemoryError as exc:
                 if child is not None:
                     child.exit(code=-1)
+                probe.failed()
                 raise ForkError(
                     f"ODF fork failed: {exc}", phase="parent-copy"
                 ) from exc
@@ -52,7 +55,9 @@ class OnDemandFork(ForkEngine):
             )
         stats.parent_call_ns = self.clock.now - start
         session = OdfSession(self, parent, child, stats)
-        return ForkResult(child=child, stats=stats, session=session)
+        result = ForkResult(child=child, stats=stats, session=session)
+        probe.completed(result)
+        return result
 
     def _share_page_table(
         self, parent: Process, child: Process, stats: ForkStats
@@ -161,6 +166,15 @@ class OdfSession:
         self.stats.table_faults += 1
         # Flush this process's TLB for the span: its PTE identities changed.
         mm.tlb.flush_all()
+        # clone_pte_table_into also write-protected the remaining sharer's
+        # entries in the (still shared) source table — the data pages are
+        # CoW-shared from here on.  That protection downgrade needs a
+        # shootdown on the other side too, or a stale writable translation
+        # survives there (the Table 1 class of bug MMSAN flags).
+        other_mm = (
+            self.child.mm if mm is self.parent.mm else self.parent.mm
+        )
+        other_mm.tlb.flush_all()
 
     # ------------------------------------------------------------------
 

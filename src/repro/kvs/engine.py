@@ -109,6 +109,11 @@ class SnapshotJob:
         session = self.result.session
         if isinstance(session, OdfSession):
             session.finish()
+        elif session is not None and hasattr(session, "cancel"):
+            # Async-fork: close the two-way pointers and clear leftover
+            # copied-markers before the child goes away, so a later
+            # snapshot never syncs into a dead address space.
+            session.cancel()
         if self.child.alive:
             self.child.exit()
         if self.engine._active_job is self:
@@ -174,6 +179,8 @@ class RewriteJob:
         session = self.result.session
         if isinstance(session, OdfSession):
             session.finish()
+        elif session is not None and hasattr(session, "cancel"):
+            session.cancel()
         if self.child.alive:
             self.child.exit()
         if self.engine._active_job is self:

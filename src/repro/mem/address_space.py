@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.analysis import hooks
 from repro.errors import InvalidAddressError, ProtectionFaultError
 from repro.mem import checkpoints as cp
 from repro.mem.checkpoints import CheckpointEvent
@@ -68,6 +69,8 @@ class AddressSpace:
         self.rss = 0
         self._mmap_cursor = MMAP_BASE
         self.stats = {"faults": 0, "cow_copies": 0, "zapped": 0}
+        if hooks.MM_HOOKS:
+            hooks.notify_mm_created(self)
 
     # ------------------------------------------------------------------
     # checkpoints
@@ -538,7 +541,7 @@ class AddressSpace:
             chunk = min(len(data) - offset, PAGE_SIZE - in_page)
             frame = self._writable_frame(here)
             self.frames.write(frame, in_page, data[offset : offset + chunk])
-            self.tlb.insert(page_lo, frame)
+            self.tlb.insert(page_lo, frame, writable=True)
             offset += chunk
 
     def read_memory(self, vaddr: int, length: int) -> bytes:

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis import hooks
+
 
 @dataclass
 class PageStruct:
@@ -45,6 +47,8 @@ class PageStruct:
         if self.locked:
             return False
         self.locked = True
+        if hooks.LOCK_HOOKS:
+            hooks.notify_lock("acquire", hooks.PAGE_LOCK, self.frame)
         return True
 
     def unlock(self) -> None:
@@ -52,6 +56,8 @@ class PageStruct:
         if not self.locked:
             raise RuntimeError(f"frame {self.frame}: unlock of unlocked page")
         self.locked = False
+        if hooks.LOCK_HOOKS:
+            hooks.notify_lock("release", hooks.PAGE_LOCK, self.frame)
 
     def get(self) -> None:
         """Increment the map count (a new PTE references the frame)."""

@@ -23,6 +23,11 @@ class Tlb:
     def __init__(self, owner: str = "?") -> None:
         self.owner = owner
         self._entries: dict[int, int] = {}
+        #: Pages whose cached translation was installed by a *write*
+        #: (i.e. the hardware would also have set the TLB dirty/W bit).
+        #: MMSAN uses this to flag stale-writable entries surviving a
+        #: protection downgrade.
+        self._writable: set[int] = set()
         self.hits = 0
         self.misses = 0
         self.flushes = 0
@@ -36,19 +41,32 @@ class Tlb:
             self.hits += 1
         return frame
 
-    def insert(self, vaddr: int, frame: int) -> None:
+    def insert(self, vaddr: int, frame: int, writable: bool = False) -> None:
         """Cache a translation (called after a page-table walk)."""
-        self._entries[page_align_down(vaddr)] = frame
+        page = page_align_down(vaddr)
+        self._entries[page] = frame
+        if writable:
+            self._writable.add(page)
+        else:
+            self._writable.discard(page)
 
     def flush_page(self, vaddr: int) -> None:
         """Invalidate the entry for one page (INVLPG)."""
-        self._entries.pop(page_align_down(vaddr), None)
+        page = page_align_down(vaddr)
+        self._entries.pop(page, None)
+        self._writable.discard(page)
         self.flushes += 1
 
     def flush_all(self) -> None:
         """Invalidate everything (CR3 reload)."""
         self._entries.clear()
+        self._writable.clear()
         self.flushes += 1
+
+    def entries(self):
+        """Iterate ``(page_vaddr, frame, writable)`` over cached entries."""
+        for page, frame in self._entries.items():
+            yield page, frame, page in self._writable
 
     def cached(self, vaddr: int) -> Optional[int]:
         """Peek without counting a hit/miss (used by assertions)."""

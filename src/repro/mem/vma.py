@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from repro.analysis import hooks
 from repro.units import PAGE_SIZE, page_align_down, page_align_up
 
 
@@ -52,12 +53,16 @@ class TwoWayPointer:
         if self._locked:
             raise RuntimeError("two-way pointer lock is not reentrant")
         self._locked = True
+        if hooks.LOCK_HOOKS:
+            hooks.notify_lock("acquire", hooks.TWO_WAY_POINTER, id(self))
 
     def unlock(self) -> None:
         """Release the pointer lock."""
         if not self._locked:
             raise RuntimeError("unlocking an unlocked two-way pointer")
         self._locked = False
+        if hooks.LOCK_HOOKS:
+            hooks.notify_lock("release", hooks.TWO_WAY_POINTER, id(self))
 
     @property
     def locked(self) -> bool:

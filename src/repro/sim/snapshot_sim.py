@@ -35,6 +35,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.determinism import seeded_rng
 from repro.kernel.costs import DEFAULT_COSTS, CostModel
 from repro.metrics.latency import LatencySample
 from repro.metrics.throughput import ThroughputSeries, windowed_throughput
@@ -156,7 +157,7 @@ def simulate_snapshot(config: SnapshotSimConfig) -> SnapshotSimResult:
     )
     costs = config.costs
     n = len(workload)
-    rng = np.random.default_rng(config.seed)
+    rng = seeded_rng(config.seed)
 
     arrivals = workload.arrivals_ns
     is_set = workload.is_set

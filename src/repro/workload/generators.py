@@ -71,7 +71,7 @@ def _generate(
     value_size: int,
     resident_hit: float | None = None,
 ) -> Workload:
-    rng = np.random.default_rng(config.seed)
+    rng = config.rng()
     arrivals = arrival_times(
         count, config.rate_per_sec, config.clients, rng
     )

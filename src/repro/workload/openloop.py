@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.determinism import seeded_rng
 from repro.units import SEC
 
 #: One batch per this many clients (50 clients -> batches of 5).
@@ -45,7 +46,7 @@ def arrival_times(
     if rate_per_sec <= 0:
         raise ValueError("need a positive rate")
     if rng is None:
-        rng = np.random.default_rng(0)
+        rng = seeded_rng(0)
     batch = batch_size_for_clients(clients)
     n_batches = (count + batch - 1) // batch
     mean_gap_ns = batch / rate_per_sec * SEC

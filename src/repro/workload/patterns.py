@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.determinism import seeded_rng
+
 #: memtier's Gaussian pattern concentrates around the middle of the key
 #: range; the standard deviation is range/10.
 GAUSSIAN_SIGMA_FRACTION = 0.1
@@ -24,7 +26,7 @@ def key_indices(
 ) -> np.ndarray:
     """Draw ``count`` key indices in [0, key_range) under ``pattern``."""
     if rng is None:
-        rng = np.random.default_rng(0)
+        rng = seeded_rng(0)
     if key_range <= 0:
         raise ValueError("key_range must be positive")
     if pattern == "uniform":
@@ -48,7 +50,7 @@ def op_mask(
     Figure 9/10 workload, 0.5 for memtier "1:1", 1/11 for "1:10".
     """
     if rng is None:
-        rng = np.random.default_rng(0)
+        rng = seeded_rng(0)
     if not 0.0 <= set_ratio <= 1.0:
         raise ValueError("set_ratio must be in [0, 1]")
     if set_ratio >= 1.0:

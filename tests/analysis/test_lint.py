@@ -1,0 +1,175 @@
+"""Unit tests for the determinism/error-hygiene AST lint."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import LintFinding, lint_paths, lint_source, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINT_SCRIPT = REPO_ROOT / "scripts" / "lint_repro.py"
+
+
+def rules(source: str, path: str = "module.py") -> list[str]:
+    return [f.rule for f in lint_source(source, path)]
+
+
+class TestWallClock:
+    def test_time_time(self):
+        assert rules("import time\nt = time.time()\n") == ["wall-clock"]
+
+    def test_aliased_module(self):
+        assert rules("import time as t\nx = t.perf_counter()\n") == [
+            "wall-clock"
+        ]
+
+    def test_from_import(self):
+        assert rules("from time import monotonic\nx = monotonic()\n") == [
+            "wall-clock"
+        ]
+
+    def test_ns_variants(self):
+        assert rules("import time\nx = time.monotonic_ns()\n") == [
+            "wall-clock"
+        ]
+
+    def test_datetime_now(self):
+        src = "import datetime\nx = datetime.datetime.now()\n"
+        assert rules(src) == ["wall-clock"]
+
+    def test_time_sleep_is_fine(self):
+        assert rules("import time\ntime.sleep(0)\n") == []
+
+    def test_attribute_access_without_call_is_fine(self):
+        # Only calls read the clock; mentioning the name does not.
+        assert rules("import time\nf = time.time\n") == []
+
+
+class TestRandomness:
+    def test_global_random(self):
+        assert rules("import random\nx = random.random()\n") == [
+            "global-random"
+        ]
+
+    def test_numpy_global(self):
+        assert rules("import numpy as np\nx = np.random.rand(3)\n") == [
+            "global-random"
+        ]
+
+    def test_system_random_ok(self):
+        assert rules("import random\nr = random.SystemRandom()\n") == []
+
+    def test_rng_construction_outside_determinism(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert rules(src) == ["rng-construction"]
+
+    def test_random_random_class(self):
+        assert rules("import random\nr = random.Random(7)\n") == [
+            "rng-construction"
+        ]
+
+    def test_determinism_module_is_blessed(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert lint_source(src, "src/repro/determinism.py") == []
+
+    def test_seed_machinery_ok(self):
+        src = "import numpy as np\nss = np.random.SeedSequence(1)\n"
+        assert rules(src) == []
+
+
+class TestRaisesAndShadows:
+    def test_generic_raise(self):
+        assert rules("raise Exception('boom')\n") == ["generic-raise"]
+
+    def test_bare_generic_raise(self):
+        assert rules("raise BaseException\n") == ["generic-raise"]
+
+    def test_specific_raise_ok(self):
+        assert rules("raise ValueError('x')\n") == []
+
+    def test_runtime_error_ok(self):
+        # Tests rely on RuntimeError in a few spots; it stays legal.
+        assert rules("raise RuntimeError('x')\n") == []
+
+    def test_builtin_shadow_class(self):
+        assert rules("class MemoryError_:\n    pass\n") == ["builtin-shadow"]
+
+    def test_builtin_shadow_function(self):
+        assert rules("def KeyError_():\n    pass\n") == ["builtin-shadow"]
+
+    def test_alias_assignment_is_not_flagged(self):
+        # The deprecated `MemoryError_ = SimMemoryError` alias is an
+        # assignment, not a definition.
+        assert rules("class SimMemoryError(Exception):\n    pass\n"
+                     "MemoryError_ = SimMemoryError\n") == []
+
+    def test_errors_alias_still_importable(self):
+        from repro.errors import MemoryError_, SimMemoryError
+
+        assert MemoryError_ is SimMemoryError
+
+
+class TestPragmaAndOutput:
+    def test_allow_pragma_suppresses(self):
+        src = "import time\nx = time.time()  # lint: allow(wall-clock)\n"
+        assert lint_source(src) == []
+
+    def test_pragma_is_rule_specific(self):
+        src = "import time\nx = time.time()  # lint: allow(global-random)\n"
+        assert rules(src) == ["wall-clock"]
+
+    def test_finding_format(self):
+        finding = LintFinding("a.py", 3, 7, "wall-clock", "msg")
+        assert finding.format() == "a.py:3:7: [wall-clock] msg"
+
+    def test_syntax_error_is_reported_not_raised(self):
+        assert rules("def broken(:\n") == ["syntax-error"]
+
+    def test_findings_sorted_by_location(self):
+        src = (
+            "import time, random\n"
+            "b = random.random()\n"
+            "a = time.time()\n"
+        )
+        findings = lint_source(src)
+        assert [f.line for f in findings] == [2, 3]
+
+
+class TestCli:
+    def test_no_args_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_clean_file(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main([str(target)]) == 0
+
+    def test_dirty_fixture_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\nstamp = time.time()\n")
+        assert main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "wall-clock" in out and "dirty.py:2" in out
+
+    def test_directory_recursion(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text(
+            "import random\nrandom.seed(1)\n"
+        )
+        findings = lint_paths([tmp_path])
+        assert [f.rule for f in findings] == ["global-random"]
+
+    def test_script_entry_point_on_dirty_file(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\nstamp = time.time()\n")
+        proc = subprocess.run(
+            [sys.executable, str(LINT_SCRIPT), str(target)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "wall-clock" in proc.stdout

@@ -1,0 +1,138 @@
+"""lockdep-lite: clean fork paths, detected inversions and re-entries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import hooks
+from repro.analysis.lockdep import LockDep
+from repro.core.async_fork import AsyncFork
+from repro.errors import LockOrderError
+from repro.kernel.forks.default import DefaultFork
+from repro.kernel.forks.odf import OnDemandFork
+
+
+@pytest.fixture
+def dep():
+    tracker = LockDep()
+    tracker.install()
+    yield tracker
+    tracker.uninstall()
+
+
+def first_vma(process):
+    return next(iter(process.mm.vmas))
+
+
+class TestCleanForkPaths:
+    """Driven one actor at a time, the fork hierarchy never inverts."""
+
+    def test_default_fork(self, dep, parent, frames):
+        DefaultFork().fork(parent)
+        dep.assert_clean()
+        assert dep.held == []
+
+    def test_odf_fork_with_table_cow(self, dep, parent, frames):
+        result = OnDemandFork().fork(parent)
+        parent.mm.write_memory(first_vma(parent).start, b"WRITE")
+        result.child.mm.write_memory(first_vma(parent).start + 64, b"W2")
+        dep.assert_clean()
+        assert dep.held == []
+        result.session.finish()
+
+    def test_async_fork_full_session(self, dep, parent, frames):
+        result = AsyncFork().fork(parent)
+        parent.mm.write_memory(first_vma(parent).start, b"SYNC")
+        result.session.run_to_completion()
+        dep.assert_clean()
+        assert dep.held == []
+
+    def test_consistent_ordering_builds_edges_without_violations(self, dep):
+        hooks.notify_lock("acquire", hooks.TWO_WAY_POINTER, 1)
+        hooks.notify_lock("acquire", hooks.KERNEL_SECTION, "fork")
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, 7)
+        hooks.notify_lock("release", hooks.PAGE_LOCK, 7)
+        hooks.notify_lock("release", hooks.KERNEL_SECTION, "fork")
+        hooks.notify_lock("release", hooks.TWO_WAY_POINTER, 1)
+        assert dep.violations == []
+        assert (hooks.KERNEL_SECTION, hooks.PAGE_LOCK) in dep.edges
+
+
+class TestViolations:
+    def test_order_inversion(self, dep):
+        hooks.notify_lock("acquire", hooks.KERNEL_SECTION, "fork")
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, 7)
+        hooks.notify_lock("release", hooks.PAGE_LOCK, 7)
+        hooks.notify_lock("release", hooks.KERNEL_SECTION, "fork")
+        # The reverse order on another code path: an inversion.
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, 9)
+        hooks.notify_lock("acquire", hooks.KERNEL_SECTION, "cow")
+        kinds = [v.kind for v in dep.violations]
+        assert kinds == ["order-inversion"]
+        with pytest.raises(LockOrderError):
+            dep.assert_clean()
+
+    def test_double_acquire(self, dep):
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, 3)
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, 3)
+        assert [v.kind for v in dep.violations] == ["double-acquire"]
+
+    def test_real_page_lock_reentry_is_caught(self, dep, frames):
+        page = frames.alloc("pte-table")
+        assert page.trylock()
+        # A buggy path re-entering trylock on the held lock fails the
+        # trylock, so no double-acquire *event* fires — model the bug by
+        # force-feeding the acquisition lockdep would have seen.
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, page.frame)
+        assert [v.kind for v in dep.violations] == ["double-acquire"]
+        page.unlock()
+
+    def test_same_class_pairs_establish_no_edges(self, dep):
+        # The migration loop holds several page locks at once; ordering
+        # within a class is by address and out of scope.
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, 1)
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, 2)
+        hooks.notify_lock("release", hooks.PAGE_LOCK, 2)
+        hooks.notify_lock("release", hooks.PAGE_LOCK, 1)
+        assert dep.violations == []
+        assert dep.edges == {}
+
+    def test_duplicate_violations_deduped(self, dep):
+        for _ in range(3):
+            hooks.notify_lock("acquire", hooks.PAGE_LOCK, 3)
+        assert len(dep.violations) == 1
+
+    def test_raise_on_violation_mode(self):
+        tracker = LockDep(raise_on_violation=True)
+        tracker.install()
+        try:
+            hooks.notify_lock("acquire", hooks.PAGE_LOCK, 3)
+            with pytest.raises(LockOrderError):
+                hooks.notify_lock("acquire", hooks.PAGE_LOCK, 3)
+        finally:
+            tracker.uninstall()
+
+
+class TestLifecycle:
+    def test_reset_clears_everything(self, dep):
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, 3)
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, 3)
+        dep.reset()
+        assert dep.held == []
+        assert dep.edges == {}
+        assert dep.violations == []
+        dep.assert_clean()
+
+    def test_release_of_unseen_lock_is_ignored(self, dep):
+        hooks.notify_lock("release", hooks.PAGE_LOCK, 99)
+        assert dep.held == []
+        assert dep.violations == []
+
+    def test_uninstall_stops_tracking(self, frames):
+        tracker = LockDep()
+        tracker.install()
+        tracker.uninstall()
+        page = frames.alloc("pte-table")
+        assert page.trylock()
+        page.unlock()
+        assert tracker.held == []

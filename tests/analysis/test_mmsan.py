@@ -1,0 +1,195 @@
+"""MMSAN: the fork matrix audits clean; injected corruption is caught."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.mmsan import Mmsan
+from repro.core.async_fork import AsyncFork
+from repro.errors import MmsanViolationError
+from repro.kernel.forks.default import DefaultFork
+from repro.kernel.forks.odf import OnDemandFork
+from repro.kernel.task import Process
+from repro.mem.flags import PteFlags
+from repro.mem.frames import FrameAllocator
+from repro.mem.hugepage import HUGE_PAGE_SIZE
+from repro.units import MIB, PAGE_SIZE, pte_index
+
+
+def tracking(frames, *processes) -> Mmsan:
+    san = Mmsan(frames)
+    for process in processes:
+        san.track_process(process)
+    return san
+
+
+def first_vma(process):
+    return next(iter(process.mm.vmas))
+
+
+class TestCleanMatrix:
+    """Every fork engine leaves a state MMSAN signs off on."""
+
+    def test_default_fork(self, parent, frames):
+        result = DefaultFork().fork(parent)
+        san = tracking(frames, parent, result.child)
+        assert san.audit() == []
+
+    def test_odf_fork(self, parent, frames):
+        result = OnDemandFork().fork(parent)
+        san = tracking(frames, parent, result.child)
+        assert san.audit() == []
+        result.session.finish()
+
+    def test_odf_after_unshare(self, parent, frames):
+        result = OnDemandFork().fork(parent)
+        san = tracking(frames, parent, result.child)
+        vma = first_vma(parent)
+        parent.mm.write_memory(vma.start, b"WRITE")  # table CoW fires
+        assert san.audit() == []
+        result.session.finish()
+
+    def test_async_fork_mid_copy_and_complete(self, parent, frames):
+        result = AsyncFork().fork(parent)
+        san = tracking(frames, parent, result.child)
+        assert san.audit(pmd_markers=True) == []
+        result.session.child_step()
+        assert san.audit(pmd_markers=True) == []
+        result.session.run_to_completion()
+        assert san.audit(pmd_markers=True) == []
+
+    def test_hugepage_fork_and_cow(self, frames):
+        parent = Process(frames, name="thp-parent")
+        vma = parent.mm.mmap_huge(2 * HUGE_PAGE_SIZE)
+        parent.mm.write_memory(vma.start, b"huge-alpha")
+        result = DefaultFork().fork(parent)
+        san = tracking(frames, parent, result.child)
+        assert san.audit() == []
+        result.child.mm.write_memory(vma.start, b"child-copy")  # huge CoW
+        assert san.audit() == []
+
+    def test_strict_leaks_clean_on_live_processes(self, parent, frames):
+        result = DefaultFork().fork(parent)
+        san = tracking(frames, parent, result.child)
+        assert san.audit(strict_leaks=True) == []
+
+
+class TestInjectedCorruption:
+    """Each checker fires on a deliberately corrupted state."""
+
+    def test_mapcount_corruption(self, parent, frames):
+        result = DefaultFork().fork(parent)
+        san = tracking(frames, parent, result.child)
+        vma = first_vma(parent)
+        frame = parent.mm.page_table.translate(vma.start)
+        frames.page(frame).get()  # phantom reference
+        violations = san.audit()
+        assert [v.rule for v in violations] == ["mapcount-mismatch"]
+        with pytest.raises(MmsanViolationError):
+            san.assert_clean()
+
+    def test_stale_tlb_translation(self, parent, frames):
+        san = tracking(frames, parent)
+        vma = first_vma(parent)
+        bogus = frames.alloc("data")
+        parent.mm.tlb.insert(vma.start, bogus.frame)  # missed shootdown
+        rules = {v.rule for v in san.audit()}
+        assert "stale-tlb-translation" in rules
+
+    def test_writable_shared_frame(self, parent, frames):
+        result = DefaultFork().fork(parent)
+        san = tracking(frames, parent, result.child)
+        vma = first_vma(parent)
+        leaf = parent.mm.page_table.walk_pte_table(vma.start)
+        leaf.add_flags(pte_index(vma.start), PteFlags.RW)  # break CoW arm
+        rules = {v.rule for v in san.audit()}
+        assert "writable-shared-frame" in rules
+
+    def test_leaked_reference(self, parent, frames):
+        san = tracking(frames, parent)
+        stray = frames.alloc("data")
+        stray.get()  # mapcount 1 but no page table reaches it
+        violations = san.audit()
+        assert [v.rule for v in violations] == ["leaked-reference"]
+
+    def test_unreachable_frame_only_under_strict(self, parent, frames):
+        san = tracking(frames, parent)
+        frames.alloc("data")  # allocated, mapcount 0
+        assert san.audit() == []
+        rules = {v.rule for v in san.audit(strict_leaks=True)}
+        assert "unreachable-frame" in rules
+
+    def test_stale_pmd_marker(self, parent, frames):
+        san = tracking(frames, parent)
+        vma = first_vma(parent)
+        pmd, idx, _ = next(
+            iter(parent.mm.page_table.iter_pmd_slots(vma.start, vma.end))
+        )
+        pmd.set_write_protected(idx, True)  # no session owns this marker
+        assert san.audit() == []  # opt-in rule
+        rules = {v.rule for v in san.audit(pmd_markers=True)}
+        assert "stale-pmd-marker" in rules
+
+    def test_marker_desync(self, parent, frames):
+        result = AsyncFork().fork(parent)
+        san = tracking(frames, parent, result.child)
+        result.session.child_step()  # copies at least one table
+        vma = first_vma(parent)
+        resynced = False
+        for pmd, idx, base in parent.mm.page_table.iter_pmd_slots(
+            vma.start, vma.end
+        ):
+            found = result.child.mm.page_table.walk_pmd(base)
+            if found is not None and found[0].is_present(found[1]):
+                pmd.set_write_protected(idx, True)  # marker re-armed
+                resynced = True
+                break
+        assert resynced
+        rules = {v.rule for v in san.audit(pmd_markers=True)}
+        assert "marker-desync" in rules
+
+    def test_dangling_frame(self, parent, frames):
+        san = tracking(frames, parent)
+        vma = first_vma(parent)
+        frame = parent.mm.page_table.translate(vma.start)
+        page = frames.page(frame)
+        page.put()
+        frames.free(frame)  # PTE still references the freed frame
+        rules = {v.rule for v in san.audit()}
+        assert "dangling-frame" in rules
+
+    def test_share_count_mismatch(self, parent, frames):
+        result = OnDemandFork().fork(parent)
+        san = tracking(frames, parent, result.child)
+        vma = first_vma(parent)
+        leaf = parent.mm.page_table.walk_pte_table(vma.start)
+        leaf.page.share_count += 1  # phantom sharer
+        rules = {v.rule for v in san.audit()}
+        assert "share-count-mismatch" in rules
+        result.session.finish()
+
+    def test_hugepage_mapcount_corruption(self, frames):
+        parent = Process(frames, name="thp-parent")
+        vma = parent.mm.mmap_huge(HUGE_PAGE_SIZE)
+        parent.mm.write_memory(vma.start, b"huge")
+        result = DefaultFork().fork(parent)
+        san = tracking(frames, parent, result.child)
+        found = parent.mm.page_table.walk_pmd(vma.start)
+        hp = found[0].get(found[1])
+        hp.mapcount += 1
+        rules = {v.rule for v in san.audit()}
+        assert "hugepage-mapcount-mismatch" in rules
+
+
+class TestTrackingSemantics:
+    def test_rejects_foreign_allocator(self, parent):
+        san = Mmsan(FrameAllocator())
+        with pytest.raises(ValueError):
+            san.track(parent.mm)
+
+    def test_dead_process_is_skipped(self, parent, frames):
+        result = DefaultFork().fork(parent)
+        san = tracking(frames, parent, result.child)
+        result.child.exit()
+        assert all(mm is not result.child.mm for mm in san.mms())
+        assert san.audit() == []

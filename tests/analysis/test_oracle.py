@@ -1,0 +1,179 @@
+"""The snapshot-consistency oracle across the fork matrix.
+
+``test_odf_stale_tlb_leak_is_caught`` is the automated regression for
+``examples/data_leakage_demo.py`` (Table 1): the child's page tables
+look consistent while what the child *observes* through its stale TLB
+is another tenant's data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.oracle import SnapshotOracle
+from repro.core.async_fork import AsyncFork
+from repro.errors import SnapshotConsistencyError
+from repro.kernel.forks.default import DefaultFork
+from repro.kernel.forks.odf import OnDemandFork
+from repro.kernel.task import Process
+from repro.mem.frames import FrameAllocator
+from repro.mem.hugepage import HUGE_PAGE_SIZE
+from repro.mem.reclaim import migrate_page
+from repro.units import MIB, PAGE_SIZE
+
+
+def first_vma(process):
+    return next(iter(process.mm.vmas))
+
+
+class TestCleanMatrix:
+    def test_default_fork_snapshot_consistent(self, parent, frames):
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = DefaultFork().fork(parent)
+        assert oracle.verify(result.child.mm) == []
+
+    def test_parent_writes_do_not_corrupt_default_snapshot(
+        self, parent, frames
+    ):
+        vma = first_vma(parent)
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = DefaultFork().fork(parent)
+        parent.mm.write_memory(vma.start, b"POST-FORK")
+        oracle.assert_consistent(result.child.mm)
+
+    def test_odf_fork_snapshot_consistent(self, parent, frames):
+        vma = first_vma(parent)
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = OnDemandFork().fork(parent)
+        parent.mm.write_memory(vma.start, b"POST-FORK")  # table CoW
+        oracle.assert_consistent(result.child.mm)
+        result.session.finish()
+
+    def test_async_fork_mid_copy_with_pending_parent(self, parent, frames):
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = AsyncFork().fork(parent)
+        # Right after the (fast) fork call nothing is copied yet; the
+        # not-yet-copied pages are vouched for by the parent's markers.
+        oracle.assert_consistent(result.child.mm, pending_parent=parent.mm)
+        result.session.child_step()
+        oracle.assert_consistent(result.child.mm, pending_parent=parent.mm)
+
+    def test_async_fork_parent_write_forces_sync(self, parent, frames):
+        vma = first_vma(parent)
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = AsyncFork().fork(parent)
+        parent.mm.write_memory(vma.start, b"POST-FORK")  # proactive sync
+        oracle.assert_consistent(result.child.mm, pending_parent=parent.mm)
+        result.session.run_to_completion()
+        oracle.assert_consistent(result.child.mm)
+
+    def test_hugepage_snapshot_consistent(self, frames):
+        parent = Process(frames, name="thp-parent")
+        vma = parent.mm.mmap_huge(HUGE_PAGE_SIZE)
+        parent.mm.write_memory(vma.start, b"huge-alpha")
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = DefaultFork().fork(parent)
+        parent.mm.write_memory(vma.start, b"huge-DELTA")  # huge CoW
+        oracle.assert_consistent(result.child.mm)
+
+    def test_observed_matches_for_wellbehaved_fork(self, parent, frames):
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = DefaultFork().fork(parent)
+        assert oracle.verify_observed(result.child.mm) == []
+
+
+class TestInjectedDivergence:
+    def test_frame_corruption_is_caught(self, parent, frames):
+        vma = first_vma(parent)
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = DefaultFork().fork(parent)
+        frame = result.child.mm.page_table.translate(vma.start)
+        frames.write(frame, 0, b"EVIL")  # leak into the snapshot image
+        mismatches = oracle.verify(result.child.mm)
+        assert [m.kind for m in mismatches] == ["content-mismatch"]
+        with pytest.raises(SnapshotConsistencyError):
+            oracle.assert_consistent(result.child.mm)
+
+    def test_child_write_shows_as_extra_page(self, parent, frames):
+        vma = first_vma(parent)
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = DefaultFork().fork(parent)
+        # A snapshot child must not invent pages the parent never had.
+        result.child.mm.write_memory(vma.start + 10 * PAGE_SIZE, b"new")
+        kinds = {m.kind for m in oracle.verify(result.child.mm)}
+        assert "extra-page" in kinds
+
+    def test_dropped_page_shows_as_missing(self, parent, frames):
+        vma = first_vma(parent)
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = DefaultFork().fork(parent)
+        result.child.mm.munmap(vma.start, PAGE_SIZE)
+        kinds = {m.kind for m in oracle.verify(result.child.mm)}
+        assert "missing-page" in kinds
+
+    def test_pending_parent_does_not_excuse_modified_content(
+        self, parent, frames
+    ):
+        vma = first_vma(parent)
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = AsyncFork().fork(parent)
+        # Corrupt the parent's frame *behind* the CoW machinery: the
+        # marker is still set, but the content no longer vouches.
+        frame = parent.mm.page_table.translate(vma.start)
+        frames.write(frame, 0, b"TAMPERED")
+        mismatches = oracle.verify(
+            result.child.mm, pending_parent=parent.mm
+        )
+        assert any(m.kind == "missing-page" for m in mismatches)
+        result.session.cancel()
+
+
+class TestStaleTlbLeak:
+    """examples/data_leakage_demo.py as an automated regression."""
+
+    SNAPSHOT_VALUE = b"snapshot-value-A"
+    SECRET = b"TENANT-B-SECRET!"
+
+    def _leak_setup(self):
+        frames = FrameAllocator(reuse_freed=True)
+        parent = Process(frames, name="redis")
+        vma = parent.mm.mmap(2 * MIB)
+        parent.mm.write_memory(vma.start, self.SNAPSHOT_VALUE)
+        return frames, parent, vma.start
+
+    def test_odf_stale_tlb_leak_is_caught(self):
+        frames, parent, vaddr = self._leak_setup()
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = OnDemandFork().fork(parent)
+        child = result.child
+        # The child starts persisting: it reads V, caching V -> X.
+        assert child.mm.read_memory(vaddr, 16) == self.SNAPSHOT_VALUE
+        # Compaction migrates the page; the shared-table loop skips the
+        # child, so its TLB keeps the stale translation (Table 1).
+        report = migrate_page([parent.mm, child.mm], vaddr, frames)
+        victim = frames.alloc("data")
+        assert victim.frame == report.old_frame  # frame X recycled
+        frames.write(victim.frame, 0, self.SECRET)
+        # Page tables look perfectly consistent...
+        assert oracle.verify(child.mm) == []
+        # ...but what the child *observes* is tenant B's secret.
+        observed = oracle.verify_observed(child.mm)
+        assert [m.kind for m in observed] == ["observed-content-mismatch"]
+        assert child.mm.read_memory(vaddr, 16) == self.SECRET
+        with pytest.raises(SnapshotConsistencyError):
+            oracle.assert_consistent(child.mm, observed=True)
+        result.session.finish()
+
+    def test_async_fork_survives_the_same_migration(self):
+        frames, parent, vaddr = self._leak_setup()
+        oracle = SnapshotOracle.capture(parent.mm)
+        result = AsyncFork().fork(parent)
+        child = result.child
+        report = migrate_page([parent.mm, child.mm], vaddr, frames)
+        victim = frames.alloc("data")
+        if victim.frame == report.old_frame:
+            frames.write(victim.frame, 0, self.SECRET)
+        result.session.run_to_completion()
+        oracle.assert_consistent(child.mm)
+        oracle.assert_consistent(child.mm, observed=True)
+        assert child.mm.read_memory(vaddr, 16) == self.SNAPSHOT_VALUE

@@ -2,12 +2,46 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config import SimulationProfile
 from repro.kernel.task import Process
 from repro.mem.frames import FrameAllocator
 from repro.units import MIB
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--mmsan",
+        action="store_true",
+        default=False,
+        help="run with the MMSAN/oracle/lockdep runtime checkers enabled "
+        "(equivalent to REPRO_MMSAN=1 in the environment)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    from repro.analysis import runtime
+
+    if config.getoption("--mmsan"):
+        os.environ[runtime.ENV_FLAG] = "1"
+    if runtime.enabled():
+        runtime.activate()
+
+
+@pytest.fixture(autouse=True)
+def _reset_checker_state():
+    """Keep lockdep's held-stack/edges from leaking across tests."""
+    from repro.analysis import runtime
+
+    supervisor = runtime.current()
+    if supervisor is not None:
+        supervisor.reset_transient()
+    yield
+    if supervisor is not None:
+        supervisor.reset_transient()
 
 
 @pytest.fixture

@@ -1,0 +1,158 @@
+"""Mapcount decrement paths under unmap-during-CoW, audited by MMSAN.
+
+Targets the reference-dropping paths of ``address_space.py`` — the zap
+loop (`_zap`), CoW resolution (`_resolve_cow`) and the huge-page CoW
+fault (`_huge_fault`) — in the middle of fork sessions, where a botched
+decrement shows up as ``mapcount-mismatch``/``leaked-reference``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.mmsan import Mmsan
+from repro.core.async_fork import AsyncFork
+from repro.kernel.forks.default import DefaultFork
+from repro.kernel.forks.odf import OnDemandFork
+from repro.kernel.task import Process
+from repro.mem.hugepage import HUGE_PAGE_SIZE
+from repro.units import MIB, PAGE_SIZE
+
+
+def audited(frames, *mms) -> Mmsan:
+    san = Mmsan(frames)
+    for mm in mms:
+        san.track(mm)
+    return san
+
+
+def first_vma(process):
+    return next(iter(process.mm.vmas))
+
+
+class TestZapDuringCow:
+    """`_zap` drops shared-frame references while CoW is armed."""
+
+    def test_parent_munmap_while_frames_shared(self, parent, frames):
+        result = DefaultFork().fork(parent)
+        san = audited(frames, parent.mm, result.child.mm)
+        vma = first_vma(parent)
+        parent.mm.munmap(vma.start, PAGE_SIZE)
+        assert san.audit() == []
+        # The child still owns its reference and reads the data.
+        assert result.child.mm.read_memory(vma.start, 5) == b"alpha"
+
+    def test_child_munmap_then_parent_write(self, parent, frames):
+        result = DefaultFork().fork(parent)
+        san = audited(frames, parent.mm, result.child.mm)
+        vma = first_vma(parent)
+        result.child.mm.munmap(vma.start, 2 * MIB)
+        assert san.audit() == []
+        # Now sole owner: the parent's write reuses the page in place.
+        parent.mm.write_memory(vma.start, b"solo")
+        assert san.audit() == []
+
+    def test_madvise_dontneed_during_odf(self, parent, frames):
+        result = OnDemandFork().fork(parent)
+        san = audited(frames, parent.mm, result.child.mm)
+        vma = first_vma(parent)
+        # MADV_DONTNEED forces the table-CoW first (kernel-side PTE
+        # modification), then zaps the parent's private copy.
+        parent.mm.madvise_dontneed(vma.start, 2 * MIB)
+        assert san.audit() == []
+        assert result.child.mm.read_memory(vma.start, 5) == b"alpha"
+        result.session.finish()
+
+    def test_munmap_during_async_session(self, parent, frames):
+        result = AsyncFork().fork(parent)
+        san = audited(frames, parent.mm, result.child.mm)
+        vma = first_vma(parent)
+        # DETACH_VMAS proactively syncs the child before the zap.
+        parent.mm.munmap(vma.start, 2 * MIB)
+        assert san.audit(pmd_markers=True) == []
+        result.session.run_to_completion()
+        assert san.audit(pmd_markers=True) == []
+        assert result.child.mm.read_memory(vma.start, 5) == b"alpha"
+
+
+class TestResolveCowPaths:
+    """`_resolve_cow`: shared copy, sole-owner reuse, zero-page upgrade."""
+
+    def test_cow_copy_decrements_source(self, parent, frames):
+        result = DefaultFork().fork(parent)
+        san = audited(frames, parent.mm, result.child.mm)
+        vma = first_vma(parent)
+        frame_before = parent.mm.page_table.translate(vma.start)
+        result.child.mm.write_memory(vma.start, b"child")
+        assert san.audit() == []
+        assert frames.page(frame_before).mapcount == 1
+        assert parent.mm.read_memory(vma.start, 5) == b"alpha"
+
+    def test_both_sides_write_every_page(self, parent, frames):
+        result = DefaultFork().fork(parent)
+        san = audited(frames, parent.mm, result.child.mm)
+        vma = first_vma(parent)
+        parent.mm.write_memory(vma.start, b"P0")
+        result.child.mm.write_memory(vma.start, b"C0")
+        parent.mm.write_memory(vma.start + 2 * MIB, b"P1")
+        result.child.mm.write_memory(vma.start + 2 * MIB, b"C1")
+        assert san.audit() == []
+
+    def test_zero_page_upgrade(self, parent, frames):
+        san = audited(frames, parent.mm)
+        vma = first_vma(parent)
+        untouched = vma.start + 7 * PAGE_SIZE
+        assert parent.mm.read_memory(untouched, 4) == b"\x00" * 4
+        parent.mm.write_memory(untouched, b"live")  # zero-page CoW
+        assert san.audit() == []
+
+    def test_unmap_between_fork_and_cow(self, parent, frames):
+        result = DefaultFork().fork(parent)
+        san = audited(frames, parent.mm, result.child.mm)
+        vma = first_vma(parent)
+        parent.mm.munmap(vma.start, PAGE_SIZE)
+        # The child's write is now a sole-owner CoW: reuse in place.
+        result.child.mm.write_memory(vma.start, b"mine!")
+        assert san.audit() == []
+
+
+class TestHugePagePaths:
+    """Huge-page zap and CoW keep `HugePage.mapcount` honest."""
+
+    def _huge_parent(self, frames):
+        parent = Process(frames, name="thp-parent")
+        vma = parent.mm.mmap_huge(2 * HUGE_PAGE_SIZE)
+        parent.mm.write_memory(vma.start, b"huge-alpha")
+        parent.mm.write_memory(vma.start + HUGE_PAGE_SIZE, b"huge-beta")
+        return parent, vma
+
+    def test_parent_munmap_huge_while_shared(self, frames):
+        parent, vma = self._huge_parent(frames)
+        result = DefaultFork().fork(parent)
+        san = audited(frames, parent.mm, result.child.mm)
+        parent.mm.munmap(vma.start, HUGE_PAGE_SIZE)
+        assert san.audit() == []
+        got = result.child.mm.read_memory(vma.start, 10)
+        assert got == b"huge-alpha"
+
+    def test_huge_cow_decrements_shared_mapping(self, frames):
+        parent, vma = self._huge_parent(frames)
+        result = DefaultFork().fork(parent)
+        san = audited(frames, parent.mm, result.child.mm)
+        result.child.mm.write_memory(vma.start, b"child-huge")
+        assert san.audit() == []
+        assert parent.mm.read_memory(vma.start, 10) == b"huge-alpha"
+        assert result.child.mm.read_memory(vma.start, 10) == b"child-huge"
+
+    def test_huge_cow_then_unmap_both_sides(self, frames):
+        parent, vma = self._huge_parent(frames)
+        result = DefaultFork().fork(parent)
+        san = audited(frames, parent.mm, result.child.mm)
+        parent.mm.write_memory(vma.start, b"parent-own")  # huge CoW
+        assert san.audit() == []
+        parent.mm.munmap(vma.start, HUGE_PAGE_SIZE)
+        result.child.mm.munmap(vma.start, HUGE_PAGE_SIZE)
+        assert san.audit() == []
+        # The second huge page is still shared and intact.
+        assert (
+            result.child.mm.read_memory(vma.start + HUGE_PAGE_SIZE, 9)
+            == b"huge-beta"
+        )

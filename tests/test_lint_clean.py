@@ -1,0 +1,27 @@
+"""The library itself must pass its own determinism lint."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+LINT_SCRIPT = REPO_ROOT / "scripts" / "lint_repro.py"
+
+
+def test_src_repro_is_lint_clean():
+    findings = lint_paths([SRC_REPRO])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_cli_default_target_is_clean():
+    proc = subprocess.run(
+        [sys.executable, str(LINT_SCRIPT)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
