@@ -32,10 +32,16 @@ from typing import Optional
 from repro.analysis import runtime
 from repro.config import AsyncForkConfig
 from repro.errors import ForkError, OutOfMemoryError
+from repro.faults.plan import SITE_CHILD_COPY, FaultPlan
 from repro.kernel.clock import Clock
 from repro.kernel.kthread import CopyWorker, pool_stats, shard_round_robin
 from repro.kernel.costs import DEFAULT_COSTS, CostModel
-from repro.kernel.forks.base import ForkEngine, ForkResult, ForkStats
+from repro.kernel.forks.base import (
+    ForkEngine,
+    ForkResult,
+    ForkSession,
+    ForkStats,
+)
 from repro.kernel.task import Process, ProcessState, SIGKILL
 from repro.mem import checkpoints as cp
 from repro.mem.address_space import AddressSpace
@@ -62,6 +68,13 @@ class AsyncFork(ForkEngine):
         self.config = config
         #: Active sessions per parent pid (for consecutive snapshots).
         self._sessions: dict[int, "AsyncForkSession"] = {}
+        #: Chaos plan injecting at the ``kernel.fork.child-copy`` site;
+        #: captured by each session at fork time.
+        self.fault_plan: Optional[FaultPlan] = None
+
+    def attach_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Install (or remove with ``None``) the chaos fault plan."""
+        self.fault_plan = plan
 
     def fork(self, parent: Process) -> ForkResult:
         """Algorithm 1, parent part (lines 1-6)."""
@@ -152,7 +165,7 @@ class AsyncFork(ForkEngine):
                 vma.peer.close()
 
 
-class AsyncForkSession:
+class AsyncForkSession(ForkSession):
     """Child copier + proactive synchronization for one Async-fork."""
 
     def __init__(
@@ -163,14 +176,14 @@ class AsyncForkSession:
         stats: ForkStats,
         config: AsyncForkConfig,
     ) -> None:
+        super().__init__(parent, child, stats)
         self.engine = engine
-        self.parent = parent
-        self.child = child
-        self.stats = stats
         self.config = config
-        self.active = True
-        self.failed = False
-        self.failure_reason: Optional[str] = None
+        #: Chaos plan for the ``kernel.fork.child-copy`` site, captured
+        #: from the engine at fork time.
+        self._fault_plan: Optional[FaultPlan] = engine.fault_plan
+        #: Remaining steps of an injected copy-thread hang.
+        self._hung_steps = 0
         #: Attached by the runtime checkers (repro.analysis.runtime).
         self._analysis_probe = None
         # Shard the child's VMA worklist over the copy threads (§5.1).
@@ -187,19 +200,35 @@ class AsyncForkSession:
     # child side (Algorithm 1, lines 15-24)
     # ------------------------------------------------------------------
 
-    @property
-    def done(self) -> bool:
-        """Whether the child has finished copying (or the session died)."""
-        return not self.active
-
     def child_step(self) -> int:
         """Advance every copy thread by one PMD entry; returns copies made.
 
         The functional tier drives this cooperatively so tests can
         interleave parent activity at PMD granularity.
+
+        Fault plan: each call asks the ``kernel.fork.child-copy`` site.
+        ``sigkill`` is the mid-copy child death of §4.4 case 2 (as if
+        the OOM killer picked the child); ``hang`` parks every copy
+        thread for ``magnitude`` steps — long enough that a supervision
+        watchdog must abort the snapshot.
         """
         if not self.active:
             return 0
+        if self._hung_steps > 0:
+            self._hung_steps -= 1
+            return 0
+        if self._fault_plan is not None:
+            # Keyed by name, not pid: pids come from a process-global
+            # counter and would break bit-identical replay.
+            spec = self._fault_plan.fire(
+                SITE_CHILD_COPY, child=self.child.name
+            )
+            if spec is not None:
+                if spec.kind == "sigkill":
+                    self._fail_child_copy("injected:sigkill")
+                else:
+                    self._hung_steps = max(1, spec.magnitude)
+                return 0
         copied = 0
         for worker in self._workers:
             copied += self._worker_step(worker)
@@ -497,8 +526,7 @@ class AsyncForkSession:
 
     def _fail_child_copy(self, why: str) -> None:
         """Case 2: roll back remaining R/W flags and SIGKILL the child."""
-        self.failed = True
-        self.failure_reason = why
+        self.mark_failed(why)
         self.stats.record_error("child-copy")
         self._rollback_all_wp()
         self.child.signal(SIGKILL)
@@ -522,8 +550,7 @@ class AsyncForkSession:
             self._rollback_vma_wp(vma)
             if vma.peer is not None:
                 vma.peer.error = "ENOMEM"
-        self.failed = True
-        self.failure_reason = "proactive-sync"
+        self.mark_failed("proactive-sync")
         if self._analysis_probe is not None:
             self._analysis_probe.session_failed(self)
 

@@ -57,6 +57,30 @@ class ForkError(ReproError):
         self.phase = phase
 
 
+class DiskError(ReproError):
+    """Base class for simulated storage-device failures."""
+
+
+class DiskWriteError(DiskError):
+    """A write to the simulated disk failed (media error, ENOSPC, ...).
+
+    Injected by the fault plan at the ``sim.disk.write`` site; the
+    persistence paths must surface or retry it, never lose the dataset.
+    """
+
+
+class FsyncFailedError(DiskError):
+    """An fsync of the append-only file failed.
+
+    Redis reacts to persistent AOF fsync failures by refusing further
+    writes (the MISCONF behaviour); the supervision layer mirrors that.
+    """
+
+
+class NetworkPartitionError(ReproError):
+    """The simulated client<->server link is partitioned."""
+
+
 class KvsError(ReproError):
     """Base class for key-value-store level failures."""
 
@@ -67,6 +91,51 @@ class SnapshotInProgressError(KvsError):
 
 class WrongTypeError(KvsError):
     """A command was applied to a key holding the wrong kind of value."""
+
+
+class CorruptSnapshotError(KvsError, ValueError):
+    """An RDB snapshot file failed validation (bad magic, torn payload,
+    or digest mismatch).
+
+    Also a :class:`ValueError` so pre-existing callers that caught the
+    old ``ValueError`` from :func:`repro.kvs.rdb.load` keep working.
+    """
+
+
+class CorruptAofError(KvsError, ValueError):
+    """A serialized append-only file is damaged (torn tail, bad frame).
+
+    Raised by :func:`repro.kvs.aof.decode` unless the caller opts into
+    the Redis-style ``aof-load-truncated`` repair, which drops the torn
+    tail instead.
+    """
+
+
+class SnapshotChildError(KvsError, RuntimeError):
+    """A background snapshot/rewrite child failed after the fork.
+
+    Subclasses :class:`RuntimeError` for compatibility with the previous
+    untyped failure signalling in :mod:`repro.kvs.engine`.
+    """
+
+    def __init__(self, message: str, *, reason: str | None = None) -> None:
+        super().__init__(message)
+        #: The fork session's ``failure_reason`` (e.g. ``'child-copy'``).
+        self.reason = reason
+
+
+class SnapshotWatchdogError(SnapshotChildError):
+    """The supervision watchdog aborted a snapshot child that made no
+    copy progress within its step budget (a hung PTE-table lock)."""
+
+
+class WritesRefusedError(KvsError):
+    """The engine is refusing writes after persistent save failures.
+
+    Mirrors Redis's ``MISCONF Errors writing to the AOF file / RDB
+    snapshot`` behaviour: reads still work, writes fail until a
+    persistence operation succeeds again.
+    """
 
 
 class AnalysisError(ReproError):

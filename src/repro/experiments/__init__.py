@@ -7,6 +7,7 @@ Importing this package registers every experiment in
 
 from repro.experiments import (  # noqa: F401 - imported for registration
     ablations,
+    chaos_sweep,
     fig03_fork_time,
     fig04_05_def_latency,
     fig09_10_latency,

@@ -1,0 +1,50 @@
+"""CHAOS — deterministic cross-layer fault injection.
+
+The fault plan generalizes the old single-purpose allocation arming of
+:mod:`repro.mem.frames` into one seeded scheduler that can hit every
+layer of the stack: frame allocation, disk writes, AOF fsync, the
+async-fork child copier, the client network link, and the persistence
+artifacts consumed at reboot.  Every plan is constructed from an
+explicit seed via :mod:`repro.determinism`, so any chaos run — and any
+failure it uncovers — replays bit-identically from its seed.
+"""
+
+from repro.faults.corrupt import (
+    bitrot,
+    corrupt_aof_bytes,
+    corrupt_snapshot,
+    truncate,
+)
+from repro.faults.plan import (
+    ALL_SITES,
+    KINDS_BY_SITE,
+    SITE_AOF_BYTES,
+    SITE_AOF_FSYNC,
+    SITE_CHILD_COPY,
+    SITE_DISK_WRITE,
+    SITE_FRAME_ALLOC,
+    SITE_NET_SEND,
+    SITE_RDB_BYTES,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "KINDS_BY_SITE",
+    "SITE_AOF_BYTES",
+    "SITE_AOF_FSYNC",
+    "SITE_CHILD_COPY",
+    "SITE_DISK_WRITE",
+    "SITE_FRAME_ALLOC",
+    "SITE_NET_SEND",
+    "SITE_RDB_BYTES",
+    "bitrot",
+    "corrupt_aof_bytes",
+    "corrupt_snapshot",
+    "truncate",
+]

@@ -44,6 +44,46 @@ class ForkStats:
         self.errors[phase] = self.errors.get(phase, 0) + 1
 
 
+class ForkSession:
+    """Ongoing copy state of one fork, with a uniform failure contract.
+
+    Every engine that returns a session in :class:`ForkResult` exposes:
+
+    * ``active`` — the copy is still in progress; ``done`` is its
+      negation.
+    * ``failed`` / ``failure_reason`` — set through :meth:`mark_failed`
+      when a §4.4 error path fires, so supervisors never have to probe
+      with ``getattr``.
+    * :meth:`cancel` — retire the session early because the child is
+      exiting (an aborted BGSAVE, a watchdog kill); engines override it
+      to undo their sharing/marker state.
+    """
+
+    def __init__(
+        self, parent: Process, child: Process, stats: ForkStats
+    ) -> None:
+        self.parent = parent
+        self.child = child
+        self.stats = stats
+        self.active = True
+        self.failed = False
+        self.failure_reason: Optional[str] = None
+
+    @property
+    def done(self) -> bool:
+        """Whether copying has finished (successfully or not)."""
+        return not self.active
+
+    def mark_failed(self, reason: str) -> None:
+        """Record that the session died and why."""
+        self.failed = True
+        self.failure_reason = reason
+
+    def cancel(self) -> None:
+        """Retire the session because the child is exiting early."""
+        self.active = False
+
+
 @dataclass
 class ForkResult:
     """What a fork engine hands back to the caller."""
@@ -52,7 +92,7 @@ class ForkResult:
     stats: ForkStats
     #: Ongoing copy state; ``None`` for the default fork, which finishes
     #: everything inside the call.
-    session: Optional[object] = None
+    session: Optional[ForkSession] = None
 
 
 class ForkEngine(abc.ABC):

@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from repro.analysis import runtime
 from repro.errors import ForkError, OutOfMemoryError
-from repro.kernel.forks.base import ForkEngine, ForkResult, ForkStats
+from repro.kernel.forks.base import (
+    ForkEngine,
+    ForkResult,
+    ForkSession,
+    ForkStats,
+)
 from repro.kernel.task import Process
 from repro.mem import checkpoints as cp
 from repro.mem.address_space import AddressSpace
@@ -97,7 +102,7 @@ class OnDemandFork(ForkEngine):
         child_mm.rss = parent_mm.rss
 
 
-class OdfSession:
+class OdfSession(ForkSession):
     """Bookkeeping that keeps the sharing copy-on-write."""
 
     def __init__(
@@ -107,11 +112,8 @@ class OdfSession:
         child: Process,
         stats: ForkStats,
     ) -> None:
+        super().__init__(parent, child, stats)
         self.engine = engine
-        self.parent = parent
-        self.child = child
-        self.stats = stats
-        self.active = True
         parent.mm.subscribe(self._on_checkpoint)
         child.mm.subscribe(self._on_checkpoint)
 
@@ -186,6 +188,14 @@ class OdfSession:
         self.parent.mm.unsubscribe(self._on_checkpoint)
         if self._still_subscribed(self.child.mm):
             self.child.mm.unsubscribe(self._on_checkpoint)
+
+    def cancel(self) -> None:
+        """Early retirement is the same as finishing: stop intercepting.
+
+        Sharing needs no rollback — every still-shared table stays valid
+        for the parent, and the share counts die with the child's mm.
+        """
+        self.finish()
 
     def _still_subscribed(self, mm: AddressSpace) -> bool:
         return self._on_checkpoint in mm.checkpoint_subscribers

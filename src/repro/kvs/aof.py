@@ -12,8 +12,12 @@ from Async-fork identically.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
+
+from repro.errors import CorruptAofError, FsyncFailedError
+from repro.faults.plan import SITE_AOF_FSYNC, FaultPlan
 
 
 @dataclass
@@ -42,12 +46,38 @@ class AppendOnlyFile:
     #: Commands appended while a rewrite is running (the rewrite buffer).
     rewrite_buffer: list[AofRecord] = field(default_factory=list)
     rewriting: bool = False
+    #: Chaos plan injecting at the ``kvs.aof.fsync`` site.
+    fault_plan: Optional[FaultPlan] = None
+    #: Records appended since the last successful :meth:`fsync`.
+    unsynced: int = 0
+    #: Successful fsyncs performed.
+    fsyncs: int = 0
 
     def append(self, record: AofRecord) -> None:
         """Log one write; routed to the rewrite buffer during a rewrite."""
         if self.rewriting:
             self.rewrite_buffer.append(record)
         self.records.append(record)
+        self.unsynced += 1
+
+    def fsync(self) -> None:
+        """Flush appended records to stable storage.
+
+        Raises :class:`~repro.errors.FsyncFailedError` when the fault
+        plan schedules an ``fsync-error``; the engine's supervision
+        layer reacts by refusing writes, like Redis's MISCONF state.
+        """
+        if self.fault_plan is not None:
+            spec = self.fault_plan.fire(
+                SITE_AOF_FSYNC, unsynced=self.unsynced
+            )
+            if spec is not None:
+                raise FsyncFailedError(
+                    f"injected fsync failure ({self.unsynced} unsynced "
+                    "record(s))"
+                )
+        self.unsynced = 0
+        self.fsyncs += 1
 
     @property
     def size(self) -> int:
@@ -90,6 +120,88 @@ def compact_commands(
     """The child's rewrite: one SET per live key."""
     for key, value in entries:
         yield AofRecord("SET", key, value)
+
+
+# -- on-disk form ----------------------------------------------------------
+
+#: Record framing: op byte, key length, value length (-1 = no value).
+_FRAME = struct.Struct("<BII")
+_OPS = {"SET": 1, "DEL": 2}
+_OPS_REV = {code: op for op, code in _OPS.items()}
+_NO_VALUE = 0xFFFFFFFF
+
+
+def encode(log: AppendOnlyFile) -> bytes:
+    """Serialize the log to its on-disk byte form."""
+    parts: list[bytes] = []
+    for record in log.records:
+        value = record.value
+        vlen = _NO_VALUE if value is None else len(value)
+        op = _OPS.get(record.op)
+        if op is None:
+            raise ValueError(f"unknown AOF op {record.op!r}")
+        parts.append(_FRAME.pack(op, len(record.key), vlen))
+        parts.append(record.key)
+        if value is not None:
+            parts.append(value)
+    return b"".join(parts)
+
+
+def decode(
+    data: bytes, repair: bool = False
+) -> tuple[AppendOnlyFile, int]:
+    """Parse an on-disk AOF back into a log.
+
+    Returns ``(log, dropped_bytes)``.  A torn tail — the crash-mid-
+    append case — either raises :class:`~repro.errors.CorruptAofError`
+    (``repair=False``) or, like Redis with ``aof-load-truncated yes``,
+    is dropped and every complete record before it is kept
+    (``repair=True``, ``dropped_bytes`` reports the loss).
+    """
+    records: list[AofRecord] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        start = offset
+        if offset + _FRAME.size > total:
+            return _torn(data, records, start, repair, "torn frame header")
+        op_code, klen, vlen = _FRAME.unpack_from(data, offset)
+        offset += _FRAME.size
+        op = _OPS_REV.get(op_code)
+        if op is None:
+            return _torn(
+                data, records, start, repair, f"bad op byte {op_code:#x}"
+            )
+        if offset + klen > total:
+            return _torn(data, records, start, repair, "torn key")
+        key = data[offset : offset + klen]
+        offset += klen
+        value = None
+        if vlen != _NO_VALUE:
+            if offset + vlen > total:
+                return _torn(data, records, start, repair, "torn value")
+            value = data[offset : offset + vlen]
+            offset += vlen
+        if op == "SET" and value is None:
+            return _torn(data, records, start, repair, "SET without value")
+        records.append(AofRecord(op, key, value))
+    return AppendOnlyFile(records=records), 0
+
+
+def _torn(
+    data: bytes,
+    records: list[AofRecord],
+    start: int,
+    repair: bool,
+    why: str,
+) -> tuple[AppendOnlyFile, int]:
+    dropped = len(data) - start
+    if not repair:
+        raise CorruptAofError(
+            f"AOF damaged at byte {start}: {why} "
+            f"({dropped} trailing byte(s); pass repair=True to truncate)"
+        )
+    return AppendOnlyFile(records=records), dropped
 
 
 def replay(records: Iterable[AofRecord]) -> dict[bytes, bytes]:

@@ -19,16 +19,21 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.config import EngineConfig
-from repro.errors import SnapshotInProgressError
+from repro.errors import (
+    SnapshotChildError,
+    SnapshotInProgressError,
+    WritesRefusedError,
+)
+from repro.faults.plan import FaultPlan
 from repro.kernel.clock import Clock
 from repro.kernel.forks.base import ForkEngine, ForkResult
 from repro.kernel.forks.default import DefaultFork
-from repro.kernel.forks.odf import OdfSession
 from repro.kernel.task import Process
 from repro.kvs import aof as aof_mod
 from repro.kvs import rdb
 from repro.kvs.store import KvStore, ValueRef
 from repro.mem.frames import FrameAllocator
+from repro.sim.disk import DiskDevice
 
 
 @dataclass
@@ -40,10 +45,22 @@ class SnapshotReport:
     child_tables_copied: int = 0
     proactive_syncs: int = 0
     table_faults: int = 0
+    #: Simulated duration of the child's disk write.
+    persist_ns: int = 0
 
 
-class SnapshotJob:
-    """A BGSAVE in flight."""
+class ForkJob:
+    """A forked background job (BGSAVE or BGREWRITEAOF) in flight.
+
+    Shared mechanics: cooperative child stepping, the session failure
+    contract (:class:`~repro.kernel.forks.base.ForkSession` — no more
+    ``getattr`` probing), and uniform retirement through
+    ``session.cancel()`` so every engine undoes its sharing/marker state
+    before the child goes away.
+    """
+
+    #: Label used in failure messages ('snapshot' / 'rewrite').
+    kind = "fork"
 
     def __init__(
         self,
@@ -55,12 +72,21 @@ class SnapshotJob:
         self.result = result
         self._table = table
         self.done = False
-        self.report: Optional[SnapshotReport] = None
+        #: Why the job was aborted, if it was.
+        self.failure_reason: Optional[str] = None
 
     @property
     def child(self) -> Process:
-        """The forked child holding the snapshot."""
+        """The forked child doing the background work."""
         return self.result.child
+
+    @property
+    def failed(self) -> bool:
+        """Whether the job's fork session died (§4.4) or it was aborted."""
+        session = self.result.session
+        if session is not None and session.failed:
+            return True
+        return self.failure_reason is not None
 
     def step_child(self) -> int:
         """Advance the child's page-table copy one step (Async-fork)."""
@@ -69,48 +95,38 @@ class SnapshotJob:
             return session.child_step()
         return 0
 
-    def finish(self) -> SnapshotReport:
-        """Complete the copy, serialize, and retire the child."""
-        if self.done:
-            assert self.report is not None
-            return self.report
+    def _drain_child(self) -> None:
+        """Run the copy to completion; raise if the session died."""
         session = self.result.session
         if session is not None and hasattr(session, "run_to_completion"):
             session.run_to_completion()
-            if getattr(session, "failed", False):
-                self.abort()
-                raise RuntimeError(
-                    f"snapshot child failed: {session.failure_reason}"
+            if session.failed:
+                reason = session.failure_reason
+                self.abort(reason=reason)
+                raise SnapshotChildError(
+                    f"{self.kind} child failed: {reason}", reason=reason
                 )
-        entries = (
+
+    def _child_entries(self):
+        return (
             (key, self.child.mm.read_memory(ref.vaddr, ref.length))
             for key, ref in self._table.items()
         )
-        snapshot = rdb.dump(entries)
-        self._retire()
-        stats = self.result.stats
-        self.report = SnapshotReport(
-            file=snapshot,
-            fork_call_ns=stats.parent_call_ns,
-            child_tables_copied=stats.child_tables_copied,
-            proactive_syncs=stats.proactive_syncs,
-            table_faults=stats.table_faults,
-        )
-        self.done = True
-        self.engine.store.dirty_since_save = 0
-        return self.report
 
-    def abort(self) -> None:
-        """Tear the job down after a failure."""
+    def abort(self, reason: Optional[str] = None) -> None:
+        """Tear the job down after a failure (or a watchdog kill)."""
+        if reason is not None and self.failure_reason is None:
+            self.failure_reason = reason
+        session = self.result.session
+        if session is not None and not session.failed and reason is not None:
+            session.mark_failed(reason)
         self._retire()
         self.done = True
 
     def _retire(self) -> None:
         session = self.result.session
-        if isinstance(session, OdfSession):
-            session.finish()
-        elif session is not None and hasattr(session, "cancel"):
-            # Async-fork: close the two-way pointers and clear leftover
+        if session is not None:
+            # Close two-way pointers / drop sharing and clear leftover
             # copied-markers before the child goes away, so a later
             # snapshot never syncs into a dead address space.
             session.cancel()
@@ -120,8 +136,10 @@ class SnapshotJob:
             self.engine._active_job = None
 
 
-class RewriteJob:
-    """A BGREWRITEAOF in flight (same fork mechanics as BGSAVE)."""
+class SnapshotJob(ForkJob):
+    """A BGSAVE in flight."""
+
+    kind = "snapshot"
 
     def __init__(
         self,
@@ -129,62 +147,64 @@ class RewriteJob:
         result: ForkResult,
         table: dict[bytes, ValueRef],
     ) -> None:
-        self.engine = engine
-        self.result = result
-        self._table = table
-        self.done = False
+        super().__init__(engine, result, table)
+        self.report: Optional[SnapshotReport] = None
 
-    @property
-    def child(self) -> Process:
-        """The forked child performing the rewrite."""
-        return self.result.child
+    def finish(self) -> SnapshotReport:
+        """Complete the copy, serialize, and retire the child."""
+        if self.done:
+            assert self.report is not None
+            return self.report
+        self._drain_child()
+        snapshot = rdb.dump(self._child_entries())
+        try:
+            persist_ns = self.engine.disk.write(snapshot.size, what="rdb")
+        except Exception:
+            self.abort(reason="disk-write")
+            raise
+        self._retire()
+        stats = self.result.stats
+        self.report = SnapshotReport(
+            file=snapshot,
+            fork_call_ns=stats.parent_call_ns,
+            child_tables_copied=stats.child_tables_copied,
+            proactive_syncs=stats.proactive_syncs,
+            table_faults=stats.table_faults,
+            persist_ns=persist_ns,
+        )
+        self.done = True
+        self.engine.store.dirty_since_save = 0
+        return self.report
 
-    def step_child(self) -> int:
-        """Advance the child's page-table copy one step (Async-fork)."""
-        session = self.result.session
-        if session is not None and hasattr(session, "child_step"):
-            return session.child_step()
-        return 0
+
+class RewriteJob(ForkJob):
+    """A BGREWRITEAOF in flight (same fork mechanics as BGSAVE)."""
+
+    kind = "rewrite"
 
     def finish(self) -> aof_mod.AppendOnlyFile:
         """Build the compact log and splice in the rewrite buffer."""
         if self.done:
             return self.engine.aof
-        session = self.result.session
-        if session is not None and hasattr(session, "run_to_completion"):
-            session.run_to_completion()
-            if getattr(session, "failed", False):
-                self.abort()
-                raise RuntimeError(
-                    f"rewrite child failed: {session.failure_reason}"
-                )
-        entries = (
-            (key, self.child.mm.read_memory(ref.vaddr, ref.length))
-            for key, ref in self._table.items()
-        )
-        compact = list(aof_mod.compact_commands(entries))
+        self._drain_child()
+        compact = list(aof_mod.compact_commands(self._child_entries()))
+        try:
+            self.engine.disk.write(
+                sum(r.encoded_size() for r in compact), what="aof-rewrite"
+            )
+        except Exception:
+            self.abort(reason="disk-write")
+            raise
         self._retire()
         self.done = True
         assert self.engine.aof is not None
         return self.engine.aof.complete_rewrite(compact)
 
-    def abort(self) -> None:
+    def abort(self, reason: Optional[str] = None) -> None:
         """Tear the job down after a failure."""
-        self._retire()
+        super().abort(reason=reason)
         if self.engine.aof is not None and self.engine.aof.rewriting:
             self.engine.aof.abort_rewrite()
-        self.done = True
-
-    def _retire(self) -> None:
-        session = self.result.session
-        if isinstance(session, OdfSession):
-            session.finish()
-        elif session is not None and hasattr(session, "cancel"):
-            session.cancel()
-        if self.child.alive:
-            self.child.exit()
-        if self.engine._active_job is self:
-            self.engine._active_job = None
 
 
 class KvEngine:
@@ -207,18 +227,48 @@ class KvEngine:
         self.aof: Optional[aof_mod.AppendOnlyFile] = (
             aof_mod.AppendOnlyFile() if config.aof_enabled else None
         )
-        self._active_job: Optional[object] = None
+        #: The disk the background children persist through.
+        self.disk = DiskDevice()
+        self._active_job: Optional[ForkJob] = None
         self.commands_processed = 0
+        #: MISCONF-style state: persistent save failures disable writes
+        #: (toggled by the supervision layer, not by the engine itself).
+        self.writes_refused = False
+        #: Write commands rejected while in that state.
+        self.refused_write_count = 0
+        #: Set by :mod:`repro.kvs.recovery` when this engine was booted
+        #: from persistence artifacts.
+        self.last_recovery = None
 
     @property
     def clock(self) -> Clock:
         """The simulated clock (owned by the fork engine)."""
         return self.fork_engine.clock
 
+    def attach_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Wire one chaos plan through every injectable layer at once:
+        frame allocation, the fork engine's child copier, the disk, and
+        the AOF fsync path."""
+        self.frames.attach_fault_plan(plan)
+        if hasattr(self.fork_engine, "attach_fault_plan"):
+            self.fork_engine.attach_fault_plan(plan)
+        self.disk.fault_plan = plan
+        if self.aof is not None:
+            self.aof.fault_plan = plan
+
     # -- commands ----------------------------------------------------------
+
+    def _check_writes_allowed(self) -> None:
+        if self.writes_refused:
+            self.refused_write_count += 1
+            raise WritesRefusedError(
+                "MISCONF: background saving is failing; "
+                "writes are disabled until a save succeeds"
+            )
 
     def set(self, key, value: bytes) -> None:
         """SET key value."""
+        self._check_writes_allowed()
         self.store.set(key, value)
         if self.aof is not None:
             normalized = key.encode() if isinstance(key, str) else key
@@ -233,6 +283,7 @@ class KvEngine:
 
     def delete(self, key) -> bool:
         """DEL key."""
+        self._check_writes_allowed()
         existed = self.store.delete(key)
         if self.aof is not None and existed:
             normalized = key.encode() if isinstance(key, str) else key

@@ -11,11 +11,18 @@ fork-time state); the *size* matters to the timing tier (persist duration
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro.errors import CorruptSnapshotError
+
 MAGIC = b"SRDB"
+
+
+def _digest(payload: bytes) -> str:
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
 
 @dataclass
@@ -44,23 +51,57 @@ def dump(entries: Iterable[tuple[bytes, bytes]]) -> SnapshotFile:
         count += 1
     payload = b"".join(parts)
     payload = MAGIC + struct.pack("<I", count) + payload[8:]
-    return SnapshotFile(payload=payload, entry_count=count)
+    return SnapshotFile(
+        payload=payload,
+        entry_count=count,
+        meta={"digest": _digest(payload)},
+    )
+
+
+def verify(snapshot: SnapshotFile) -> None:
+    """Check the payload against the digest recorded at dump time.
+
+    Raises :class:`~repro.errors.CorruptSnapshotError` on a mismatch
+    (bit-rot, truncation).  Snapshots without a recorded digest —
+    hand-built test fixtures — are only magic-checked.
+    """
+    payload = snapshot.payload
+    if payload[:4] != MAGIC:
+        raise CorruptSnapshotError("not a snapshot file")
+    expected = snapshot.meta.get("digest")
+    if expected is not None and _digest(payload) != expected:
+        raise CorruptSnapshotError(
+            "snapshot payload does not match its recorded digest"
+        )
 
 
 def load(snapshot: SnapshotFile) -> Iterator[tuple[bytes, bytes]]:
-    """Parse a snapshot file back into (key, value) pairs."""
+    """Parse a snapshot file back into (key, value) pairs.
+
+    Raises :class:`~repro.errors.CorruptSnapshotError` (a ``ValueError``
+    subclass, so old callers' expectations hold) on digest mismatch or a
+    payload too damaged to parse.
+    """
+    verify(snapshot)
     payload = snapshot.payload
-    if payload[:4] != MAGIC:
-        raise ValueError("not a snapshot file")
     (count,) = struct.unpack_from("<I", payload, 4)
     offset = 8
-    for _ in range(count):
-        (klen,) = struct.unpack_from("<I", payload, offset)
-        offset += 4
-        key = payload[offset : offset + klen]
-        offset += klen
-        (vlen,) = struct.unpack_from("<I", payload, offset)
-        offset += 4
-        value = payload[offset : offset + vlen]
-        offset += vlen
-        yield key, value
+    try:
+        for _ in range(count):
+            (klen,) = struct.unpack_from("<I", payload, offset)
+            offset += 4
+            key = payload[offset : offset + klen]
+            offset += klen
+            if len(key) != klen:
+                raise CorruptSnapshotError("snapshot truncated inside a key")
+            (vlen,) = struct.unpack_from("<I", payload, offset)
+            offset += 4
+            value = payload[offset : offset + vlen]
+            offset += vlen
+            if len(value) != vlen:
+                raise CorruptSnapshotError(
+                    "snapshot truncated inside a value"
+                )
+            yield key, value
+    except struct.error as exc:
+        raise CorruptSnapshotError(f"snapshot truncated: {exc}") from exc

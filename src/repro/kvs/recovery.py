@@ -7,21 +7,67 @@ persistence cycle: serve -> snapshot/log -> crash -> recover -> serve.
 
 Redis loads the AOF when both are present (it is the more complete
 history); :func:`recover` follows that rule.
+
+The reboot path is also where disk damage surfaces, so recovery is
+hardened the way Redis is:
+
+* A *torn AOF tail* (crash mid-append) is truncated to the last
+  complete record, like ``aof-load-truncated yes`` (``repair=True``,
+  the default); ``repair=False`` surfaces
+  :class:`~repro.errors.CorruptAofError` instead.
+* A snapshot whose payload fails its dump-time digest
+  (:func:`repro.kvs.rdb.verify`) is skipped and recovery *falls back
+  to the next generation* — pass the retained generations newest-first
+  via ``snapshots``.  Only when every generation is corrupt does the
+  error propagate.
+* :func:`recover_combined` replays an AOF tail on top of a snapshot
+  base — the snapshot + incremental-log layout.
+
+Every decision is written into a :class:`RecoveryReport` left on the
+engine as ``engine.last_recovery``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
 
 from repro.config import EngineConfig
+from repro.errors import CorruptSnapshotError
 from repro.kernel.forks.base import ForkEngine
 from repro.kvs import rdb
+from repro.kvs import aof as aof_mod
 from repro.kvs.aof import AppendOnlyFile, replay
 from repro.kvs.engine import KvEngine
 
 
+@dataclass
+class RecoveryReport:
+    """What the reboot path did, artifact by artifact."""
+
+    #: 'aof', 'snapshot', 'snapshot+aof', or 'empty'.
+    source: str = "empty"
+    keys_loaded: int = 0
+    #: Bytes dropped repairing a torn AOF tail (0 = clean log).
+    aof_bytes_dropped: int = 0
+    #: Index (0 = newest) of the snapshot generation actually loaded.
+    snapshot_generation: Optional[int] = None
+    #: Generations skipped because they failed verification.
+    generations_skipped: int = 0
+    #: Human-readable event trail ('torn-tail-repaired', ...).
+    events: list = field(default_factory=list)
+
+    def note(self, event: str) -> None:
+        """Append one event to the trail."""
+        self.events.append(event)
+
+
 def load_snapshot(engine: KvEngine, snapshot: rdb.SnapshotFile) -> int:
-    """Populate an engine from a snapshot file; returns keys loaded."""
+    """Populate an engine from a snapshot file; returns keys loaded.
+
+    Raises :class:`~repro.errors.CorruptSnapshotError` when the payload
+    fails verification or parsing.
+    """
     count = 0
     for key, value in rdb.load(snapshot):
         engine.store.set(key, value)
@@ -45,22 +91,114 @@ def load_aof(engine: KvEngine, log: AppendOnlyFile) -> int:
     return len(state)
 
 
+def _decode_aof(
+    data: bytes, repair: bool, report: RecoveryReport
+) -> AppendOnlyFile:
+    log, dropped = aof_mod.decode(data, repair=repair)
+    if dropped:
+        report.aof_bytes_dropped = dropped
+        report.note("torn-tail-repaired")
+    return log
+
+
+def _load_generations(
+    engine: KvEngine,
+    snapshots: Sequence[rdb.SnapshotFile],
+    report: RecoveryReport,
+) -> int:
+    """Try each snapshot generation (newest first) until one verifies."""
+    last_error: Optional[CorruptSnapshotError] = None
+    for index, candidate in enumerate(snapshots):
+        try:
+            rdb.verify(candidate)
+            count = load_snapshot(engine, candidate)
+        except CorruptSnapshotError as exc:
+            last_error = exc
+            report.generations_skipped += 1
+            report.note(f"generation-{index}-corrupt")
+            # A partially loaded corrupt generation must not leak keys
+            # into the next attempt.
+            for key in list(engine.store.keys()):
+                engine.store.delete(key)
+            continue
+        report.snapshot_generation = index
+        if report.generations_skipped:
+            report.note("generation-fallback")
+        return count
+    assert last_error is not None
+    raise last_error
+
+
 def recover(
     snapshot: Optional[rdb.SnapshotFile] = None,
     aof: Optional[AppendOnlyFile] = None,
     fork_engine: Optional[ForkEngine] = None,
     config: Optional[EngineConfig] = None,
+    snapshots: Optional[Sequence[rdb.SnapshotFile]] = None,
+    aof_bytes: Optional[bytes] = None,
+    repair: bool = True,
 ) -> KvEngine:
     """Boot a fresh engine from whatever persistence artifacts survive.
 
     Prefers the AOF when both exist (Redis's rule: the log is the more
     complete history).  With neither, returns an empty engine.
+
+    ``aof_bytes`` is the serialized on-disk log (possibly torn;
+    repaired per ``repair``).  ``snapshots`` is the retained generation
+    chain, newest first — corrupt generations are skipped.  The
+    decision trail lands on ``engine.last_recovery``.
     """
+    report = RecoveryReport()
+    if aof_bytes is not None:
+        if aof is not None:
+            raise ValueError("pass either aof or aof_bytes, not both")
+        aof = _decode_aof(aof_bytes, repair, report)
+    if snapshots is None:
+        snapshots = [snapshot] if snapshot is not None else []
+    elif snapshot is not None:
+        raise ValueError("pass either snapshot or snapshots, not both")
     if config is None:
         config = EngineConfig(aof_enabled=aof is not None)
     engine = KvEngine(fork_engine=fork_engine, config=config)
     if aof is not None:
-        load_aof(engine, aof)
-    elif snapshot is not None:
-        load_snapshot(engine, snapshot)
+        report.source = "aof"
+        report.keys_loaded = load_aof(engine, aof)
+    elif snapshots:
+        report.source = "snapshot"
+        report.keys_loaded = _load_generations(engine, snapshots, report)
+    engine.last_recovery = report
+    return engine
+
+
+def recover_combined(
+    snapshots: Sequence[rdb.SnapshotFile],
+    aof_tail: Iterable[aof_mod.AofRecord] = (),
+    fork_engine: Optional[ForkEngine] = None,
+    config: Optional[EngineConfig] = None,
+) -> KvEngine:
+    """Boot from a snapshot base plus the incremental AOF tail.
+
+    The snapshot + tail layout: the snapshot captures the dataset at
+    fork time and the AOF holds only the commands since.  The base
+    falls back across corrupt generations like :func:`recover`; the
+    tail is replayed on top.
+    """
+    report = RecoveryReport(source="snapshot+aof")
+    if config is None:
+        config = EngineConfig(aof_enabled=True)
+    engine = KvEngine(fork_engine=fork_engine, config=config)
+    if snapshots:
+        report.keys_loaded = _load_generations(engine, snapshots, report)
+    tail = list(aof_tail)
+    for record in tail:
+        if record.op == "SET":
+            assert record.value is not None
+            engine.store.set(record.key, record.value)
+        elif record.op == "DEL":
+            engine.store.delete(record.key)
+    if tail:
+        report.note(f"aof-tail-replayed:{len(tail)}")
+    report.keys_loaded = len(engine.store)
+    engine.store.dirty_since_save = 0
+    engine.last_recovery = report
     return engine

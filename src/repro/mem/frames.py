@@ -4,17 +4,21 @@ Frames are identified by integer frame numbers.  Contents are materialized
 lazily — only frames that are actually written get a backing ``bytearray`` —
 so functional tests can map large sparse regions cheaply.
 
-Failure injection drives the §4.4 error-handling paths: a test arms the
-allocator to fail after N further allocations, which makes the parent's
-PGD/PUD copy, the child's PMD/PTE copy, or a proactive synchronization hit
-"out of memory" mid-flight, and the fork engine must roll back.
+Failure injection drives the §4.4 error-handling paths: a fault plan
+(:mod:`repro.faults`) schedules ``oom`` faults against the
+``mem.frames.alloc`` site, which makes the parent's PGD/PUD copy, the
+child's PMD/PTE copy, or a proactive synchronization hit "out of
+memory" mid-flight, and the fork engine must roll back.  The historic
+single-purpose :meth:`FrameAllocator.fail_after` arm survives as a thin
+wrapper over the same site.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Optional
 
 from repro.errors import OutOfMemoryError
+from repro.faults.plan import SITE_FRAME_ALLOC, FaultPlan, FaultSpec
 from repro.mem.page_struct import PageStruct
 from repro.units import PAGE_SIZE
 
@@ -74,14 +78,25 @@ class FrameAllocator:
         self._free_list: list[int] = []
         self._pages: dict[int, PageStruct] = {}
         self._contents: dict[int, bytearray] = {}
-        self._fail_after: int | None = None
-        self._fail_filter: Callable[[str], bool] | None = None
+        #: Chaos plan injecting at the ``mem.frames.alloc`` site.
+        self._fault_plan: Optional[FaultPlan] = None
+        #: Private plan backing the deprecated :meth:`fail_after` arm.
+        self._legacy_plan: Optional[FaultPlan] = None
         self.alloc_count = 0
         self.free_count = 0
         #: System-wide swap space shared by every process on the machine.
         self.swap = SwapSpace()
 
     # -- failure injection ---------------------------------------------------
+
+    def attach_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Install (or remove with ``None``) the chaos fault plan.
+
+        Every subsequent allocation asks the plan's
+        ``mem.frames.alloc`` site; a firing ``oom`` spec raises
+        :class:`OutOfMemoryError` exactly where the legacy arm did.
+        """
+        self._fault_plan = plan
 
     def fail_after(
         self,
@@ -91,25 +106,52 @@ class FrameAllocator:
     ) -> None:
         """Arm (or disarm with ``None``) allocation-failure injection.
 
-        ``remaining`` allocations succeed; the next one matching ``only``
-        (a predicate over the allocation purpose tag) raises
+        .. deprecated:: PR 2
+            Thin wrapper over a single-spec :class:`~repro.faults.plan.
+            FaultPlan` at the ``mem.frames.alloc`` site; schedule faults
+            through a plan (:meth:`attach_fault_plan`) instead.
+
+        ``remaining`` allocations succeed; every later one matching
+        ``only`` (a predicate over the allocation purpose tag) raises
         :class:`OutOfMemoryError`.
         """
-        self._fail_after = remaining
-        self._fail_filter = only
+        if remaining is None:
+            self._legacy_plan = None
+            return
+        match = None
+        if only is not None:
+            filt = only
+            match = lambda detail: filt(detail["purpose"])  # noqa: E731
+        plan = FaultPlan(seed=0)
+        plan.add(
+            FaultSpec(
+                site=SITE_FRAME_ALLOC,
+                kind="oom",
+                after=remaining,
+                count=None,
+                match=match,
+            )
+        )
+        self._legacy_plan = plan
+
+    def _injected_failure(self, purpose: str) -> bool:
+        for plan in (self._fault_plan, self._legacy_plan):
+            if plan is not None and (
+                plan.fire(SITE_FRAME_ALLOC, purpose=purpose) is not None
+            ):
+                return True
+        return False
 
     # -- allocation ----------------------------------------------------------
 
     def alloc(self, purpose: str = "data") -> PageStruct:
         """Allocate a frame; ``purpose`` tags it (e.g. ``'pte-table'``)."""
-        if self._fail_after is not None and (
-            self._fail_filter is None or self._fail_filter(purpose)
-        ):
-            if self._fail_after <= 0:
-                raise OutOfMemoryError(
-                    f"injected allocation failure (purpose={purpose})"
-                )
-            self._fail_after -= 1
+        if (
+            self._fault_plan is not None or self._legacy_plan is not None
+        ) and self._injected_failure(purpose):
+            raise OutOfMemoryError(
+                f"injected allocation failure (purpose={purpose})"
+            )
         if self.capacity is not None and len(self._pages) >= self.capacity:
             raise OutOfMemoryError(
                 f"frame allocator exhausted ({self.capacity} frames)"

@@ -1,12 +1,14 @@
 """Measurement machinery: latency percentiles, windowed throughput, and
 paper-style report tables."""
 
+from repro.metrics.faults import FaultCounters
 from repro.metrics.latency import LatencySample, percentile
 from repro.metrics.throughput import ThroughputSeries, windowed_throughput
 from repro.metrics.report import Comparison, Table
 
 __all__ = [
     "Comparison",
+    "FaultCounters",
     "LatencySample",
     "Table",
     "ThroughputSeries",

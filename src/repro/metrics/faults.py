@@ -1,0 +1,88 @@
+"""Fault and recovery accounting.
+
+Every chaos run must end with a ledger: which faults fired, what the
+supervision layer did about each one, and how the engine's degradation
+state machine moved.  :class:`FaultCounters` is that ledger — the
+supervisor and the recovery path write into it, the chaos experiment
+reads it back out, and its totals are what the acceptance oracle checks
+("every injected fault is either recovered from or surfaced").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.report import Table
+
+
+@dataclass
+class FaultCounters:
+    """Per-fault / per-recovery counters for one engine's lifetime."""
+
+    #: Faults observed, keyed by injection site.
+    faults_by_site: dict = field(default_factory=dict)
+    #: Faults observed, keyed by fault kind.
+    faults_by_kind: dict = field(default_factory=dict)
+    #: Background jobs that failed, keyed by failure reason.
+    job_failures: dict = field(default_factory=dict)
+    #: Snapshot/rewrite retries performed by the supervisor.
+    retries: int = 0
+    #: Total simulated ns slept in retry backoff.
+    backoff_ns: int = 0
+    #: Hung children aborted by the watchdog.
+    watchdog_kills: int = 0
+    #: async-fork -> default-fork demotions.
+    fallbacks: int = 0
+    #: default-fork -> async-fork re-promotions after a clean snapshot.
+    promotions: int = 0
+    #: Writes rejected while the engine refused writes (MISCONF-style).
+    writes_refused: int = 0
+    #: Times the engine entered the writes-refused state.
+    refusal_episodes: int = 0
+    #: Recovery outcomes, keyed by event ('torn-tail-repaired',
+    #: 'generation-fallback', 'snapshot-verified', ...).
+    recoveries: dict = field(default_factory=dict)
+    #: (simulated ns, mode) transitions of the degradation state machine.
+    mode_timeline: list = field(default_factory=list)
+
+    # -- recording ---------------------------------------------------------
+
+    def record_fault(self, site: str, kind: str) -> None:
+        """Count one observed fault injection."""
+        self.faults_by_site[site] = self.faults_by_site.get(site, 0) + 1
+        self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
+
+    def record_job_failure(self, reason: str) -> None:
+        """Count one failed background job by reason."""
+        self.job_failures[reason] = self.job_failures.get(reason, 0) + 1
+
+    def record_recovery(self, event: str) -> None:
+        """Count one recovery-path event."""
+        self.recoveries[event] = self.recoveries.get(event, 0) + 1
+
+    def record_mode(self, now_ns: int, mode: str) -> None:
+        """Append a degradation-state transition to the timeline."""
+        self.mode_timeline.append((now_ns, mode))
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def total_faults(self) -> int:
+        """Faults observed across every site."""
+        return sum(self.faults_by_site.values())
+
+    def as_table(self, title: str = "Fault & recovery counters") -> Table:
+        """Render the ledger as a report table."""
+        table = Table(title, ["counter", "value"])
+        for site in sorted(self.faults_by_site):
+            table.add_row(f"fault[{site}]", self.faults_by_site[site])
+        for reason in sorted(self.job_failures):
+            table.add_row(f"job-failure[{reason}]", self.job_failures[reason])
+        table.add_row("retries", self.retries)
+        table.add_row("watchdog-kills", self.watchdog_kills)
+        table.add_row("fallbacks", self.fallbacks)
+        table.add_row("promotions", self.promotions)
+        table.add_row("writes-refused", self.writes_refused)
+        for event in sorted(self.recoveries):
+            table.add_row(f"recovery[{event}]", self.recoveries[event])
+        return table

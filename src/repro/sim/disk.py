@@ -12,8 +12,11 @@ cost model stays calibrated (see :mod:`repro.config`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.errors import DiskWriteError
+from repro.faults.plan import SITE_DISK_WRITE, FaultPlan
 from repro.units import MIB, SEC
 
 #: §6.2: persisting 8 GiB takes ~40 s.
@@ -38,3 +41,45 @@ class DiskModel:
     def scaled(self, speedup: float) -> "DiskModel":
         """Same disk with a different speedup factor."""
         return DiskModel(self.bandwidth, speedup, self.io_penalty)
+
+
+@dataclass
+class DiskDevice:
+    """A stateful disk: a :class:`DiskModel` plus injectable failures.
+
+    The persistence paths write through this object so the fault plan's
+    ``sim.disk.write`` site can make the write fail outright
+    (``io-error`` → :class:`~repro.errors.DiskWriteError`) or collapse
+    the bandwidth for one write (``stall`` adds the spec's magnitude in
+    nanoseconds).  Both are the BGSAVE production failure modes the
+    degradation state machine must survive.
+    """
+
+    model: DiskModel = field(default_factory=DiskModel)
+    fault_plan: Optional[FaultPlan] = None
+    #: Total payload bytes successfully persisted.
+    bytes_written: int = 0
+    #: Number of successful writes.
+    writes: int = 0
+
+    def write(self, nbytes: int, what: str = "rdb") -> int:
+        """Persist ``nbytes``; returns the write duration in ns.
+
+        Raises :class:`~repro.errors.DiskWriteError` when the fault
+        plan schedules an ``io-error`` for this write.
+        """
+        duration = self.model.persist_ns(nbytes)
+        if self.fault_plan is not None:
+            spec = self.fault_plan.fire(
+                SITE_DISK_WRITE, nbytes=nbytes, what=what
+            )
+            if spec is not None:
+                if spec.kind == "io-error":
+                    raise DiskWriteError(
+                        f"injected disk write error ({what}, "
+                        f"{nbytes} bytes)"
+                    )
+                duration += spec.magnitude  # 'stall'
+        self.bytes_written += nbytes
+        self.writes += 1
+        return duration

@@ -11,8 +11,11 @@ locally).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.errors import NetworkPartitionError
+from repro.faults.plan import SITE_NET_SEND, FaultPlan
 from repro.units import us
 
 
@@ -33,6 +36,46 @@ class ProductionEnvironment:
             f"cloud(rtt={self.rtt_ns / 1000:.0f}us, "
             f"cpu x{self.service_inflation:.1f})"
         )
+
+
+@dataclass
+class NetworkLink:
+    """The client<->server link, with injectable partitions and spikes.
+
+    Chaos clients send through this object; the fault plan's
+    ``sim.network.send`` site can partition the link for one send
+    (:class:`~repro.errors.NetworkPartitionError`) or add an RTT spike
+    of the spec's magnitude — the noisy-neighbour tail of the Figure 16
+    cloud deployment.
+    """
+
+    environment: ProductionEnvironment = field(
+        default_factory=ProductionEnvironment
+    )
+    fault_plan: Optional[FaultPlan] = None
+    #: Successful round trips.
+    sends: int = 0
+    #: Extra nanoseconds accumulated from injected RTT spikes.
+    spike_ns_total: int = 0
+
+    def round_trip_ns(self, payload: int = 0) -> int:
+        """One client round trip; returns its RTT in nanoseconds.
+
+        Raises :class:`~repro.errors.NetworkPartitionError` when a
+        ``partition`` fault fires for this send.
+        """
+        rtt = self.environment.rtt_ns
+        if self.fault_plan is not None:
+            spec = self.fault_plan.fire(SITE_NET_SEND, payload=payload)
+            if spec is not None:
+                if spec.kind == "partition":
+                    raise NetworkPartitionError(
+                        "injected network partition on the client link"
+                    )
+                rtt += spec.magnitude  # 'rtt-spike'
+                self.spike_ns_total += spec.magnitude
+        self.sends += 1
+        return rtt
 
 
 LOCAL_ENVIRONMENT = None  # the default: no network, bare-metal service

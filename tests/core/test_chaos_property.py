@@ -1,0 +1,142 @@
+"""Property-based chaos against Async-fork (hypothesis).
+
+*Whatever* fault schedule a seeded plan throws at the fork — OOM during
+the parent copy, the child copy or a proactive sync; a SIGKILLed or hung
+child — the §4.4 contract must hold afterwards:
+
+* every parent PMD is read-write again (no leftover write protection),
+* a failed session's child is dead and unlinked (no two-way pointers),
+* every frame the fork took is returned (no leaks),
+* and MMSAN finds no memory-management violation in the survivor.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mmsan import Mmsan
+from repro.core.async_fork import AsyncFork
+from repro.errors import ForkError
+from repro.faults import (
+    SITE_CHILD_COPY,
+    SITE_FRAME_ALLOC,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.kernel.task import Process
+from repro.mem.frames import FrameAllocator
+from repro.units import MIB, PAGE_SIZE
+
+
+def _table_alloc(detail: dict) -> bool:
+    return detail["purpose"].endswith("-table") or detail["purpose"] == "pgd"
+
+
+#: One scheduled fault: (kind, after) drawn per kind so every §4.4 phase
+#: is reachable (early OOMs hit the parent copy, later ones the child
+#: copy or a proactive sync).
+fault = st.one_of(
+    st.tuples(st.just("oom"), st.integers(0, 24)),
+    st.tuples(st.just("sigkill"), st.integers(0, 10)),
+    st.tuples(st.just("hang"), st.integers(0, 10)),
+)
+
+#: Parent activity interleaved with the child's copy: page index to
+#: write (writes trigger proactive syncs) or -1 for a child step.
+activity = st.lists(st.integers(-1, 7), max_size=12)
+
+
+def _plan_for(schedule) -> FaultPlan:
+    plan = FaultPlan(seed=0)
+    for kind, after in schedule:
+        if kind == "oom":
+            plan.add(
+                FaultSpec(
+                    site=SITE_FRAME_ALLOC,
+                    kind="oom",
+                    after=after,
+                    count=1,
+                    match=_table_alloc,
+                )
+            )
+        else:
+            plan.add(
+                FaultSpec(
+                    site=SITE_CHILD_COPY,
+                    kind=kind,
+                    after=after,
+                    count=1,
+                    magnitude=3,
+                )
+            )
+    return plan
+
+
+def _all_pmds_writable(mm) -> bool:
+    for vma in mm.vmas:
+        for pmd, idx, _ in mm.page_table.iter_pmd_slots(vma.start, vma.end):
+            if pmd.is_write_protected(idx):
+                return False
+    return True
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=st.lists(fault, min_size=1, max_size=4), ops=activity)
+def test_44_invariant_under_random_fault_schedules(schedule, ops):
+    frames = FrameAllocator()
+    parent = Process(frames, name="chaosprop")
+    vma = parent.mm.mmap(4 * MIB)
+    for i in range(8):
+        parent.mm.write_memory(vma.start + i * PAGE_SIZE, bytes([i + 1]) * 8)
+    baseline = frames.allocated
+
+    engine = AsyncFork()
+    engine.attach_fault_plan(_plan_for(schedule))
+
+    session = None
+    child = None
+    try:
+        result = engine.fork(parent)
+        session, child = result.session, result.child
+        for op in ops:
+            if op < 0:
+                session.child_step()
+            else:
+                # May trigger a proactive sync, whose injected OOM marks
+                # the session failed but must leave the write intact.
+                parent.mm.write_memory(
+                    vma.start + op * PAGE_SIZE, bytes([op + 100]) * 8
+                )
+        session.run_to_completion()
+    except ForkError:
+        pass  # §4.4 case 1: the fork call itself rolled back
+
+    engine.attach_fault_plan(None)
+
+    # The parent is fully writable again, whatever happened.
+    assert _all_pmds_writable(parent.mm)
+    for i in range(8):
+        parent.mm.write_memory(vma.start + i * PAGE_SIZE, b"afterward")
+
+    if session is not None and session.failed:
+        # A failed session SIGKILLs its child and unlinks the pointers.
+        assert not child.alive
+        assert all(v.peer is None for v in parent.mm.vmas)
+
+    # Retire a surviving child: the parent alone must hold exactly its
+    # pre-fork frames (nothing leaked by any rollback path).
+    if child is not None and child.alive:
+        child.exit()
+    assert frames.allocated == baseline
+
+    san = Mmsan(frames)
+    san.track(parent.mm)
+    assert san.audit(pmd_markers=True, strict_leaks=True) == []
+
+    # And the machinery still works: a clean fork after the chaos.
+    result = AsyncFork().fork(parent)
+    result.session.run_to_completion()
+    assert not result.session.failed
+    assert result.child.mm.read_memory(vma.start, 9) == b"afterward"
+    result.child.exit()

@@ -1,0 +1,59 @@
+"""The chaos sweep: the acceptance oracle of the fault subsystem.
+
+``test_runners_smoke`` already smoke-runs every registered experiment;
+these tests pin the chaos sweep's specific acceptance criteria (the
+oracle names) so a regression in any one of them is called out by name.
+Marked ``chaos`` so `pytest -m chaos` runs just the fault storm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments  # noqa: F401 - populates the registry
+from repro.config import SimulationProfile
+from repro.experiments.registry import run_experiment
+
+pytestmark = pytest.mark.chaos
+
+#: The acceptance checks the sweep must keep asserting, by exact name.
+ORACLE_CHECKS = (
+    "every injected fault recovered or surfaced",
+    "zero frame leaks after teardown",
+    "snapshot bytes equal fork-point fingerprint",
+    "reboot recovered a dataset in every run",
+    "replay from the same seed is bit-identical",
+    "degradation story exercised (fallback + promotion + watchdog "
+    "+ refusal)",
+    "fallback snapshots cost more than async at p99",
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_report():
+    # Same shape as conftest's tiny_profile, module-scoped so the sweep
+    # runs once for the whole oracle checklist.
+    profile = SimulationProfile(
+        name="test",
+        query_count=120_000,
+        persist_speedup=32.0,
+        sizes_gb=(1, 8, 64),
+        repeats=1,
+    )
+    return run_experiment("chaos", profile)
+
+
+def test_all_acceptance_checks_pass(chaos_report):
+    failed = [n for n, ok in chaos_report.shape_checks.items() if not ok]
+    assert not failed, chaos_report.render()
+
+
+@pytest.mark.parametrize("name", ORACLE_CHECKS)
+def test_oracle_check_is_still_asserted(chaos_report, name):
+    assert name in chaos_report.shape_checks
+
+
+def test_sweep_reports_the_fault_storm(chaos_report):
+    text = chaos_report.render()
+    assert "faults" in text
+    assert "fallback" in text

@@ -27,6 +27,7 @@ EXPECTED_IDS = {
     "tab1-2",
     "ablation",
     "sec3-thp",
+    "chaos",
 }
 
 

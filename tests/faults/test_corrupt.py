@@ -1,0 +1,100 @@
+"""Artifact corruption helpers: bitrot, truncation, torn AOF tails."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.determinism import seeded_random
+from repro.errors import CorruptSnapshotError
+from repro.faults import (
+    SITE_AOF_BYTES,
+    SITE_RDB_BYTES,
+    FaultSpec,
+    bitrot,
+    corrupt_aof_bytes,
+    corrupt_snapshot,
+    truncate,
+)
+from repro.kvs import aof as aof_mod
+from repro.kvs import rdb
+
+
+def _hamming_bits(a: bytes, b: bytes) -> int:
+    return sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+
+
+class TestPrimitives:
+    def test_bitrot_flips_at_most_nbytes_bits(self):
+        data = bytes(range(64))
+        rotted = bitrot(data, seeded_random(5), nbytes=3)
+        assert len(rotted) == len(data)
+        assert 1 <= _hamming_bits(data, rotted) <= 3
+
+    def test_bitrot_noops_on_empty_input(self):
+        assert bitrot(b"", seeded_random(5)) == b""
+
+    def test_truncate_cuts_a_nonzero_tail(self):
+        data = bytes(range(64))
+        cut = truncate(data, seeded_random(5), max_cut=16)
+        assert 48 <= len(cut) < 64
+        assert data.startswith(cut)
+
+    def test_truncate_never_empties_the_artifact(self):
+        for seed in range(20):
+            assert len(truncate(b"ab", seeded_random(seed))) == 1
+        assert truncate(b"x", seeded_random(0)) == b"x"
+
+    def test_damage_is_deterministic_per_seed(self):
+        data = bytes(range(128))
+        assert bitrot(data, seeded_random(9), 2) == bitrot(
+            data, seeded_random(9), 2
+        )
+        assert truncate(data, seeded_random(9)) == truncate(
+            data, seeded_random(9)
+        )
+
+
+class TestSnapshotCorruption:
+    def _snapshot(self):
+        return rdb.dump([(b"k1", b"v1" * 16), (b"k2", b"v2" * 16)])
+
+    def test_bitrot_breaks_the_dump_digest(self):
+        snapshot = self._snapshot()
+        spec = FaultSpec(site=SITE_RDB_BYTES, kind="bitrot", magnitude=1)
+        bad = corrupt_snapshot(snapshot, spec, seeded_random(3))
+        with pytest.raises(CorruptSnapshotError):
+            rdb.verify(bad)
+
+    def test_original_snapshot_is_left_intact(self):
+        snapshot = self._snapshot()
+        spec = FaultSpec(site=SITE_RDB_BYTES, kind="truncate", magnitude=1)
+        corrupt_snapshot(snapshot, spec, seeded_random(3))
+        rdb.verify(snapshot)
+        assert dict(rdb.load(snapshot))[b"k1"] == b"v1" * 16
+
+    def test_rejects_foreign_kinds(self):
+        spec = FaultSpec(site=SITE_AOF_BYTES, kind="torn-tail")
+        with pytest.raises(ValueError, match="snapshot corruption"):
+            corrupt_snapshot(self._snapshot(), spec, seeded_random(3))
+
+
+class TestAofCorruption:
+    def _encoded(self):
+        log = aof_mod.AppendOnlyFile()
+        for i in range(8):
+            log.append(aof_mod.AofRecord("SET", b"key%d" % i, b"v" * 32))
+        return aof_mod.encode(log)
+
+    def test_torn_tail_keeps_a_decodable_prefix(self):
+        data = self._encoded()
+        spec = FaultSpec(site=SITE_AOF_BYTES, kind="torn-tail", magnitude=2)
+        torn = corrupt_aof_bytes(data, spec, seeded_random(11))
+        assert len(torn) < len(data)
+        log, dropped = aof_mod.decode(torn, repair=True)
+        assert dropped > 0
+        assert 0 < len(log.records) < 8
+
+    def test_rejects_foreign_kinds(self):
+        spec = FaultSpec(site=SITE_RDB_BYTES, kind="bitrot")
+        with pytest.raises(ValueError, match="AOF corruption"):
+            corrupt_aof_bytes(self._encoded(), spec, seeded_random(11))

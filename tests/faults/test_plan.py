@@ -1,0 +1,165 @@
+"""FaultPlan scheduling semantics: sites, specs, journal, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ALL_SITES,
+    KINDS_BY_SITE,
+    SITE_CHILD_COPY,
+    SITE_DISK_WRITE,
+    SITE_FRAME_ALLOC,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            FaultSpec(site="kernel.made.up", kind="oom")
+
+    def test_kind_must_match_site(self):
+        with pytest.raises(ConfigurationError, match="cannot inject"):
+            FaultSpec(site=SITE_FRAME_ALLOC, kind="sigkill")
+
+    def test_negative_after_rejected(self):
+        with pytest.raises(ConfigurationError, match="after"):
+            FaultSpec(site=SITE_FRAME_ALLOC, kind="oom", after=-1)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="count"):
+            FaultSpec(site=SITE_FRAME_ALLOC, kind="oom", count=0)
+
+    def test_every_registered_kind_constructs(self):
+        for site in ALL_SITES:
+            for kind in KINDS_BY_SITE[site]:
+                assert FaultSpec(site=site, kind=kind).site == site
+
+
+class TestFire:
+    def test_after_skips_that_many_hits(self):
+        plan = FaultPlan(seed=1)
+        plan.add(FaultSpec(site=SITE_FRAME_ALLOC, kind="oom", after=2))
+        fires = [
+            plan.fire(SITE_FRAME_ALLOC) is not None for _ in range(4)
+        ]
+        assert fires == [False, False, True, False]
+
+    def test_count_limits_firings(self):
+        plan = FaultPlan(seed=1)
+        spec = plan.add(
+            FaultSpec(site=SITE_DISK_WRITE, kind="io-error", count=2)
+        )
+        fired = sum(
+            plan.fire(SITE_DISK_WRITE) is not None for _ in range(5)
+        )
+        assert fired == 2
+        assert spec.exhausted
+
+    def test_count_none_fires_forever(self):
+        plan = FaultPlan(seed=1)
+        spec = plan.add(
+            FaultSpec(site=SITE_FRAME_ALLOC, kind="oom", count=None)
+        )
+        assert all(
+            plan.fire(SITE_FRAME_ALLOC) is not None for _ in range(20)
+        )
+        assert not spec.exhausted
+
+    def test_other_sites_do_not_advance(self):
+        plan = FaultPlan(seed=1)
+        plan.add(FaultSpec(site=SITE_FRAME_ALLOC, kind="oom", after=1))
+        for _ in range(5):
+            assert plan.fire(SITE_DISK_WRITE) is None
+        assert plan.fire(SITE_FRAME_ALLOC) is None  # first matching hit
+        assert plan.fire(SITE_FRAME_ALLOC) is not None
+
+    def test_match_predicate_filters_hits(self):
+        plan = FaultPlan(seed=1)
+        plan.add(
+            FaultSpec(
+                site=SITE_FRAME_ALLOC,
+                kind="oom",
+                match=lambda d: d["purpose"].endswith("-table"),
+            )
+        )
+        assert plan.fire(SITE_FRAME_ALLOC, purpose="data") is None
+        assert plan.fire(SITE_FRAME_ALLOC, purpose="pte-table") is not None
+
+    def test_at_most_one_winner_per_hit(self):
+        plan = FaultPlan(seed=1)
+        first = plan.add(FaultSpec(site=SITE_FRAME_ALLOC, kind="oom"))
+        second = plan.add(FaultSpec(site=SITE_FRAME_ALLOC, kind="oom"))
+        assert plan.fire(SITE_FRAME_ALLOC) is first
+        # Both specs advanced on that hit, so the second (already past
+        # its `after`) wins the very next one.
+        assert plan.fire(SITE_FRAME_ALLOC) is second
+
+    def test_winner_carries_kind_and_magnitude(self):
+        plan = FaultPlan(seed=1)
+        plan.add(
+            FaultSpec(site=SITE_DISK_WRITE, kind="stall", magnitude=777)
+        )
+        spec = plan.fire(SITE_DISK_WRITE)
+        assert spec is not None
+        assert (spec.kind, spec.magnitude) == ("stall", 777)
+
+
+class TestJournal:
+    def test_events_record_site_kind_hit_detail(self):
+        plan = FaultPlan(seed=1)
+        plan.add(FaultSpec(site=SITE_CHILD_COPY, kind="sigkill", after=1))
+        plan.fire(SITE_CHILD_COPY, child="redis-child")
+        plan.fire(SITE_CHILD_COPY, child="redis-child")
+        assert len(plan.events) == 1
+        event = plan.events[0]
+        assert event.site == SITE_CHILD_COPY
+        assert event.kind == "sigkill"
+        assert event.hit == 2
+        assert event.detail == "child=redis-child"
+
+    def test_detail_rendering_is_key_sorted(self):
+        plan = FaultPlan(seed=1)
+        plan.add(FaultSpec(site=SITE_DISK_WRITE, kind="io-error"))
+        plan.fire(SITE_DISK_WRITE, what="rdb", nbytes=512)
+        assert plan.events[0].detail == "nbytes=512,what=rdb"
+
+    def test_fingerprint_tracks_the_journal(self):
+        def run() -> str:
+            plan = FaultPlan(seed=9)
+            plan.add(FaultSpec(site=SITE_DISK_WRITE, kind="io-error"))
+            plan.fire(SITE_DISK_WRITE, what="rdb")
+            return plan.fingerprint()
+
+        assert run() == run()
+        empty = FaultPlan(seed=9)
+        assert run() != empty.fingerprint()
+
+
+class TestDeterminism:
+    def test_jitter_is_seeded_and_bounded(self):
+        base = 1_000_000
+        a = [FaultPlan(seed=3).jitter_ns(base) for _ in range(1)]
+        b = [FaultPlan(seed=3).jitter_ns(base) for _ in range(1)]
+        assert a == b
+        value = FaultPlan(seed=3).jitter_ns(base, spread=0.5)
+        assert base <= value <= int(base * 1.5)
+        assert FaultPlan(seed=3).jitter_ns(0) == 0
+
+    def test_storm_is_a_pure_function_of_the_seed(self):
+        one = FaultPlan.storm(seed=42, faults=6)
+        two = FaultPlan.storm(seed=42, faults=6)
+        assert one.describe() == two.describe()
+        assert one.describe() != FaultPlan.storm(seed=43, faults=6).describe()
+
+    def test_storm_specs_are_well_formed(self):
+        plan = FaultPlan.storm(seed=7, faults=12, horizon=10)
+        assert len(plan.specs) == 12
+        for spec in plan.specs:
+            assert spec.kind in KINDS_BY_SITE[spec.site]
+            assert 0 <= spec.after < 10
+            if spec.kind in ("stall", "rtt-spike", "hang"):
+                assert spec.magnitude > 0

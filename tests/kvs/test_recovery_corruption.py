@@ -1,0 +1,155 @@
+"""Hardened recovery: torn tails, corrupt generations, combined replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.determinism import seeded_random
+from repro.errors import CorruptAofError, CorruptSnapshotError
+from repro.faults import SITE_RDB_BYTES, FaultSpec, corrupt_snapshot
+from repro.kvs import aof as aof_mod
+from repro.kvs import rdb
+from repro.kvs import recovery
+
+
+def _log(n: int = 8) -> aof_mod.AppendOnlyFile:
+    log = aof_mod.AppendOnlyFile()
+    for i in range(n):
+        log.append(aof_mod.AofRecord("SET", b"key%d" % i, b"v%d" % i * 8))
+    return log
+
+
+def _generation(tag: bytes) -> rdb.SnapshotFile:
+    return rdb.dump([(b"base", tag * 8), (b"gen", tag)])
+
+
+def _corrupted(snapshot: rdb.SnapshotFile, seed: int = 3) -> rdb.SnapshotFile:
+    spec = FaultSpec(site=SITE_RDB_BYTES, kind="bitrot", magnitude=2)
+    return corrupt_snapshot(snapshot, spec, seeded_random(seed))
+
+
+class TestTornAofTail:
+    def test_tail_is_truncated_to_last_complete_record(self):
+        data = aof_mod.encode(_log(8))
+        torn = data[:-7]  # crash mid-append: the last value is cut short
+
+        engine = recovery.recover(aof_bytes=torn)
+
+        report = engine.last_recovery
+        assert report.source == "aof"
+        assert report.aof_bytes_dropped > 0
+        assert "torn-tail-repaired" in report.events
+        # Every complete record survived; only the torn one is gone.
+        assert report.keys_loaded == 7
+        assert engine.get(b"key6") == b"v6" * 8
+        assert engine.get(b"key7") is None
+
+    def test_repair_false_surfaces_the_damage(self):
+        torn = aof_mod.encode(_log(4))[:-3]
+        with pytest.raises(CorruptAofError, match="damaged"):
+            recovery.recover(aof_bytes=torn, repair=False)
+
+    def test_clean_log_reports_nothing_dropped(self):
+        engine = recovery.recover(aof_bytes=aof_mod.encode(_log(4)))
+        assert engine.last_recovery.aof_bytes_dropped == 0
+        assert engine.last_recovery.events == []
+
+    def test_recovered_engine_keeps_logging(self):
+        engine = recovery.recover(aof_bytes=aof_mod.encode(_log(4))[:-5])
+        engine.set(b"after", b"reboot")
+        assert engine.aof is not None
+        assert any(r.key == b"after" for r in engine.aof.records)
+
+
+class TestGenerationFallback:
+    def test_falls_back_to_older_good_generation(self):
+        newest = _corrupted(_generation(b"new"))
+        older = _generation(b"old")
+
+        engine = recovery.recover(snapshots=[newest, older])
+
+        report = engine.last_recovery
+        assert report.source == "snapshot"
+        assert report.snapshot_generation == 1
+        assert report.generations_skipped == 1
+        assert "generation-0-corrupt" in report.events
+        assert "generation-fallback" in report.events
+        assert engine.get(b"base") == b"old" * 8
+        # Nothing from the corrupt newest generation leaked through.
+        assert sorted(engine.store.keys()) == [b"base", b"gen"]
+
+    def test_newest_generation_wins_when_clean(self):
+        engine = recovery.recover(
+            snapshots=[_generation(b"new"), _generation(b"old")]
+        )
+        assert engine.last_recovery.snapshot_generation == 0
+        assert engine.last_recovery.generations_skipped == 0
+        assert engine.get(b"base") == b"new" * 8
+
+    def test_all_generations_corrupt_raises(self):
+        snapshots = [
+            _corrupted(_generation(b"aa"), seed=1),
+            _corrupted(_generation(b"bb"), seed=2),
+        ]
+        with pytest.raises(CorruptSnapshotError):
+            recovery.recover(snapshots=snapshots)
+
+    def test_aof_preferred_over_snapshots(self):
+        engine = recovery.recover(
+            snapshots=[_generation(b"sn")],
+            aof_bytes=aof_mod.encode(_log(2)),
+        )
+        assert engine.last_recovery.source == "aof"
+        assert engine.get(b"key0") == b"v0" * 8
+        assert engine.get(b"base") is None
+
+    def test_argument_exclusivity(self):
+        snap = _generation(b"xx")
+        with pytest.raises(ValueError, match="snapshot or snapshots"):
+            recovery.recover(snapshot=snap, snapshots=[snap])
+        with pytest.raises(ValueError, match="aof or aof_bytes"):
+            recovery.recover(
+                aof=_log(1), aof_bytes=aof_mod.encode(_log(1))
+            )
+
+
+class TestCombinedReplay:
+    def test_tail_replays_on_top_of_snapshot_base(self):
+        base = _generation(b"v1")
+        tail = [
+            aof_mod.AofRecord("SET", b"base", b"v2" * 8),
+            aof_mod.AofRecord("SET", b"tail-only", b"t"),
+            aof_mod.AofRecord("DEL", b"gen"),
+        ]
+
+        engine = recovery.recover_combined([base], tail)
+
+        report = engine.last_recovery
+        assert report.source == "snapshot+aof"
+        assert "aof-tail-replayed:3" in report.events
+        assert engine.get(b"base") == b"v2" * 8  # tail overwrote the base
+        assert engine.get(b"tail-only") == b"t"
+        assert engine.get(b"gen") is None  # tail DEL applied
+        assert report.keys_loaded == 2
+
+    def test_combined_base_falls_back_across_generations(self):
+        snapshots = [_corrupted(_generation(b"new")), _generation(b"old")]
+        tail = [aof_mod.AofRecord("SET", b"extra", b"e")]
+
+        engine = recovery.recover_combined(snapshots, tail)
+
+        assert engine.last_recovery.generations_skipped == 1
+        assert engine.get(b"base") == b"old" * 8
+        assert engine.get(b"extra") == b"e"
+
+    def test_round_trip_through_a_live_engine(self):
+        # serve -> snapshot + tail -> "crash" -> recover -> serve
+        assert recovery.recover().last_recovery.source == "empty"
+        source = recovery.recover(aof_bytes=aof_mod.encode(_log(6)))
+        snapshot = rdb.dump(
+            (k, source.get(k)) for k in sorted(source.store.keys())
+        )
+        tail = [aof_mod.AofRecord("SET", b"key0", b"rewritten")]
+        rebooted = recovery.recover_combined([snapshot], tail)
+        assert rebooted.get(b"key0") == b"rewritten"
+        assert rebooted.get(b"key5") == b"v5" * 8
