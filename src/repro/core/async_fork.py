@@ -49,6 +49,8 @@ from repro.mem.checkpoints import CheckpointEvent
 from repro.mem.cow import clone_pte_table_into
 from repro.mem.directory import require_pte_table
 from repro.mem.vma import Vma
+from repro.obs import phases as obs_phases
+from repro.obs import tracer as obs
 from repro.units import PTE_TABLE_SPAN
 
 
@@ -132,9 +134,12 @@ class AsyncFork(ForkEngine):
                     f"Async-fork parent phase failed: {exc}",
                     phase="parent-copy",
                 ) from exc
-            self.clock.advance(
-                self.costs.async_fork_ns(parent.mm.page_table.level_counts())
-            )
+            counts = parent.mm.page_table.level_counts()
+            self.clock.advance(self.costs.async_fork_ns(counts))
+            if obs.ACTIVE:
+                obs_phases.emit_fork_phases(
+                    "async", counts, self.costs, start
+                )
         stats.parent_call_ns = self.clock.now - start
 
         child.state = ProcessState.KERNEL_COPY
@@ -417,6 +422,16 @@ class AsyncForkSession(ForkSession):
             self.parent.mm._flush_tlb_range(span, span + PTE_TABLE_SPAN)
             if reason is not None:
                 self.stats.parent_pte_entries += copied
+            elif obs.ACTIVE:
+                # Child-side copy: no kernel section brackets it (it
+                # runs on the copy threads), so mark it directly.
+                obs.emit_instant(
+                    "child.pte_copy",
+                    obs.CAT_PHASE,
+                    self.engine.clock.now,
+                    base=base,
+                    entries=copied,
+                )
             return "copied"
         finally:
             leaf.page.unlock()
@@ -459,17 +474,20 @@ class AsyncForkSession(ForkSession):
         if not self._needs_sync(vaddr):
             return
         clock = self.engine.clock
-        with clock.kernel_section(
-            "async:proactive-sync", self.engine.costs.table_fault_ns()
-        ):
-            try:
+        try:
+            with clock.kernel_section(
+                "async:proactive-sync", self.engine.costs.table_fault_ns()
+            ):
                 # 'busy' means the child copier holds the table lock right
                 # now: the parent (which would sleep on the lock in the
                 # kernel) proceeds once the holder finishes the copy.
                 if self._copy_table(vaddr, reason="sync") == "copied":
                     self.stats.proactive_syncs += 1
-            except OutOfMemoryError:
-                self._fail_proactive_sync(vaddr)
+        except OutOfMemoryError:
+            # The OOM propagates *through* the kernel section so the
+            # episode is recorded as aborted, not as a completed
+            # interruption (Fig. 11), before the §4.4 rollback runs.
+            self._fail_proactive_sync(vaddr)
 
     def _sync_range(self, start: int, end: int) -> None:
         base = (start // PTE_TABLE_SPAN) * PTE_TABLE_SPAN
@@ -503,17 +521,19 @@ class AsyncForkSession(ForkSession):
                     and found[0].is_present(found[1])
                     and found[0].is_write_protected(found[1])
                 ):
-                    with clock.kernel_section(
-                        reason, self.engine.costs.table_fault_ns()
-                    ):
-                        try:
+                    try:
+                        with clock.kernel_section(
+                            reason, self.engine.costs.table_fault_ns()
+                        ):
                             status = self._copy_table(base, reason="sync")
                             if status == "copied":
                                 self.stats.proactive_syncs += 1
-                        except OutOfMemoryError:
-                            pointer.unlock()
-                            self._fail_proactive_sync(base, vma=vma)
-                            return
+                    except OutOfMemoryError:
+                        # Propagating through the section marks the
+                        # episode aborted before the §4.4 rollback.
+                        pointer.unlock()
+                        self._fail_proactive_sync(base, vma=vma)
+                        return
                 base += PTE_TABLE_SPAN
         finally:
             if pointer.locked:

@@ -1,10 +1,17 @@
-"""Command-line entry point: ``repro-asyncfork``.
+"""Command-line entry points: ``repro-asyncfork`` and ``repro-trace``.
 
 Examples::
 
     repro-asyncfork list
     repro-asyncfork run fig9-10
+    repro-asyncfork run fig9-10 --trace fig9.json
     repro-asyncfork run-all --profile quick
+    repro-trace --method async --size 8 --out async8.json
+
+``--trace`` (and the ``trace`` subcommand behind ``repro-trace``)
+export a Chrome-trace/Perfetto JSON — load it at ``chrome://tracing``
+or https://ui.perfetto.dev — and print the per-fork phase-breakdown
+report (see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -43,6 +50,10 @@ def main(argv: list[str] | None = None) -> int:
         "--out", metavar="DIR", default=None,
         help="also export the tables as CSV into DIR",
     )
+    run_p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="export a Chrome-trace JSON of every simulated run",
+    )
 
     all_p = sub.add_parser("run-all", help="run every experiment")
     all_p.add_argument(
@@ -52,8 +63,40 @@ def main(argv: list[str] | None = None) -> int:
         "--out", metavar="DIR", default=None,
         help="also export the tables as CSV into DIR",
     )
+    all_p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="export a Chrome-trace JSON of every simulated run",
+    )
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="trace one snapshot run; export Chrome-trace JSON and "
+        "print the phase breakdown",
+    )
+    trace_p.add_argument(
+        "--method",
+        choices=("default", "odf", "async", "none"),
+        default="async",
+    )
+    trace_p.add_argument(
+        "--size", type=float, default=8.0, metavar="GB",
+        help="instance size in GiB (default 8)",
+    )
+    trace_p.add_argument(
+        "--engine", choices=("redis", "keydb"), default="redis"
+    )
+    trace_p.add_argument(
+        "--profile", choices=("quick", "full", "env"), default="env"
+    )
+    trace_p.add_argument(
+        "--out", metavar="PATH", default="trace.json",
+        help="Chrome-trace JSON output path (default trace.json)",
+    )
 
     args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        return _trace_command(args)
 
     # Import experiments lazily so `--help` stays fast.
     from repro.experiments import all_experiment_ids, get_experiment
@@ -72,20 +115,72 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "run"
         else all_experiment_ids()
     )
-    for experiment_id in targets:
-        report = run_experiment(experiment_id, profile)
-        report.print()
-        out = getattr(args, "out", None)
-        if out:
-            for name in report.save_csv(out):
-                print(f"wrote {out}/{name}")
-        if not report.all_checks_pass():
-            failed.append(experiment_id)
+    collector = None
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro.experiments.common import clear_cache
+        from repro.obs import tracer as obs_tracer
+
+        # Memoized points would bypass the simulation (and so the
+        # spans); trace runs always simulate fresh.
+        clear_cache()
+        collector = obs_tracer.install(obs_tracer.Tracer())
+    try:
+        for experiment_id in targets:
+            report = run_experiment(experiment_id, profile)
+            report.print()
+            out = getattr(args, "out", None)
+            if out:
+                for name in report.save_csv(out):
+                    print(f"wrote {out}/{name}")
+            if not report.all_checks_pass():
+                failed.append(experiment_id)
+    finally:
+        if collector is not None:
+            from repro.obs import tracer as obs_tracer
+
+            obs_tracer.uninstall(collector)
+    if collector is not None:
+        _export_trace(collector, trace_path)
     if failed:
         print(f"shape checks FAILED for: {', '.join(failed)}",
               file=sys.stderr)
         return 1
     return 0
+
+
+def _trace_command(args) -> int:
+    """The ``trace`` subcommand: one traced run + breakdown report."""
+    from repro.experiments.common import clear_cache, run_point
+
+    profile = _profile_from(args)
+    clear_cache()
+    point = run_point(
+        profile,
+        args.size,
+        args.method,
+        engine=args.engine,
+        keep_trace=True,
+    )
+    trace = point.extras["trace"]
+    _export_trace(trace, args.out)
+    return 0
+
+
+def _export_trace(trace, path: str) -> None:
+    from repro.obs.export import export_chrome
+    from repro.obs.phases import breakdown
+
+    export_chrome(trace, path)
+    print(f"wrote {path} ({len(trace)} spans)")
+    print(breakdown(trace).report())
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """The ``repro-trace`` console script: ``main`` with ``trace``."""
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["trace", *argv])
 
 
 if __name__ == "__main__":  # pragma: no cover

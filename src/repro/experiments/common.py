@@ -85,6 +85,7 @@ def run_point(
     production: bool = False,
     rate_per_sec: Optional[int] = None,
     keep_throughput: bool = False,
+    keep_trace: bool = False,
 ) -> PointSummary:
     """Simulate one experiment point (memoized, averaged over repeats)."""
     key = (
@@ -104,10 +105,11 @@ def run_point(
     )
     cached = _CACHE.get(key)
     if cached is not None:
-        if keep_throughput and cached.throughput is None:
-            pass  # fall through and recompute with the series kept
-        else:
+        missing_throughput = keep_throughput and cached.throughput is None
+        missing_trace = keep_trace and "trace" not in cached.extras
+        if not (missing_throughput or missing_trace):
             return cached
+        # fall through and recompute with the requested artifacts kept
 
     if rate_per_sec is None:
         rate_per_sec = (
@@ -155,6 +157,10 @@ def run_point(
     summary = _summarize(
         results, size_gb, method, engine, keep_throughput
     )
+    if keep_trace:
+        # The first repeat's span trace (one per run; keeping every
+        # repeat would multiply memory for no analytical gain).
+        summary.extras["trace"] = results[0].trace
     _CACHE[key] = summary
     return summary
 

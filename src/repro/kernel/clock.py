@@ -13,6 +13,7 @@ from contextlib import contextmanager
 from typing import Callable, Optional
 
 from repro.analysis import hooks
+from repro.obs import tracer as obs
 
 KernelSectionObserver = Callable[[str, int, int], None]
 
@@ -56,17 +57,30 @@ class Clock:
 
         With ``cost_ns`` the section has a fixed duration; without it, the
         body is expected to call :meth:`advance` itself.
+
+        A body that raises marks the episode as aborted: observers (and
+        the kernel-category trace span) see ``reason + "!aborted"``, so
+        a fork rolled back mid-copy by fault injection is not counted as
+        a completed interruption in the Figure 11 histogram — while the
+        Figure 20 out-of-service total still includes the time it burned.
         """
         start = self._now
         if hooks.LOCK_HOOKS:
             hooks.notify_lock("acquire", hooks.KERNEL_SECTION, reason)
+        ok = True
         try:
             if cost_ns is not None:
                 self.advance(cost_ns)
             yield self
+        except BaseException:
+            ok = False
+            raise
         finally:
             end = self._now
             if hooks.LOCK_HOOKS:
                 hooks.notify_lock("release", hooks.KERNEL_SECTION, reason)
+            label = reason if ok else reason + obs.ABORTED_SUFFIX
+            if obs.ACTIVE:
+                obs.emit(label, obs.CAT_KERNEL, start, end)
             for fn in self._observers:
-                fn(reason, start, end)
+                fn(label, start, end)

@@ -10,6 +10,8 @@ from __future__ import annotations
 from repro.analysis import runtime
 from repro.errors import OutOfMemoryError, ForkError
 from repro.kernel.forks.base import ForkEngine, ForkResult, ForkStats
+from repro.obs import phases as obs_phases
+from repro.obs import tracer as obs
 from repro.kernel.task import Process
 from repro.mem.cow import clone_pte_table_into
 from repro.mem.directory import require_pte_table
@@ -38,10 +40,12 @@ class DefaultFork(ForkEngine):
                 raise ForkError(
                     f"default fork failed: {exc}", phase="parent-copy"
                 ) from exc
-            cost = self.costs.default_fork_ns(
-                parent.mm.page_table.level_counts()
-            )
-            self.clock.advance(cost)
+            counts = parent.mm.page_table.level_counts()
+            self.clock.advance(self.costs.default_fork_ns(counts))
+            if obs.ACTIVE:
+                obs_phases.emit_fork_phases(
+                    "default", counts, self.costs, start
+                )
         # Write-protecting the parent's PTEs invalidates cached
         # translations; the kernel flushes the TLB before returning.
         parent.mm.tlb.flush_all()

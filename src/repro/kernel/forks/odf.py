@@ -31,6 +31,8 @@ from repro.mem.checkpoints import CheckpointEvent
 from repro.mem.cow import clone_pte_table_into
 from repro.mem.directory import require_pte_table
 from repro.mem.hugepage import HugePage
+from repro.obs import phases as obs_phases
+from repro.obs import tracer as obs
 
 
 class OnDemandFork(ForkEngine):
@@ -55,9 +57,10 @@ class OnDemandFork(ForkEngine):
                 raise ForkError(
                     f"ODF fork failed: {exc}", phase="parent-copy"
                 ) from exc
-            self.clock.advance(
-                self.costs.odf_fork_ns(parent.mm.page_table.level_counts())
-            )
+            counts = parent.mm.page_table.level_counts()
+            self.clock.advance(self.costs.odf_fork_ns(counts))
+            if obs.ACTIVE:
+                obs_phases.emit_fork_phases("odf", counts, self.costs, start)
         stats.parent_call_ns = self.clock.now - start
         session = OdfSession(self, parent, child, stats)
         result = ForkResult(child=child, stats=stats, session=session)

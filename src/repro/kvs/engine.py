@@ -33,6 +33,7 @@ from repro.kvs import aof as aof_mod
 from repro.kvs import rdb
 from repro.kvs.store import KvStore, ValueRef
 from repro.mem.frames import FrameAllocator
+from repro.obs import tracer as obs
 from repro.sim.disk import DiskDevice
 
 
@@ -117,6 +118,14 @@ class ForkJob:
         """Tear the job down after a failure (or a watchdog kill)."""
         if reason is not None and self.failure_reason is None:
             self.failure_reason = reason
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "kvs.job.abort",
+                obs.CAT_KVS,
+                self.engine.clock.now,
+                kind=self.kind,
+                reason=reason or self.failure_reason or "?",
+            )
         session = self.result.session
         if session is not None and not session.failed and reason is not None:
             session.mark_failed(reason)
@@ -174,6 +183,15 @@ class SnapshotJob(ForkJob):
         )
         self.done = True
         self.engine.store.dirty_since_save = 0
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "kvs.snapshot.finish",
+                obs.CAT_KVS,
+                self.engine.clock.now,
+                bytes=snapshot.size,
+                persist_ns=persist_ns,
+                tables_copied=stats.child_tables_copied,
+            )
         return self.report
 
 
@@ -245,6 +263,24 @@ class KvEngine:
         """The simulated clock (owned by the fork engine)."""
         return self.fork_engine.clock
 
+    def metrics_snapshot(self) -> dict:
+        """One dict of every layer's metrics, under dotted names.
+
+        Aggregates the per-object :class:`~repro.obs.registry.
+        MetricsRegistry` instances (``mm.*``, ``tlb.*``, ``frames.*``)
+        plus the engine/disk counters that predate the registry, sorted
+        by name (see DESIGN.md for the naming scheme).
+        """
+        snap: dict = {}
+        snap.update(self.process.mm.metrics.snapshot())
+        snap.update(self.process.mm.tlb.metrics.snapshot())
+        snap.update(self.frames.metrics.snapshot())
+        snap["disk.bytes_written"] = self.disk.bytes_written
+        snap["disk.writes"] = self.disk.writes
+        snap["engine.commands"] = self.commands_processed
+        snap["engine.refused_writes"] = self.refused_write_count
+        return dict(sorted(snap.items()))
+
     def attach_fault_plan(self, plan: Optional[FaultPlan]) -> None:
         """Wire one chaos plan through every injectable layer at once:
         frame allocation, the fork engine's child copier, the disk, and
@@ -314,6 +350,14 @@ class KvEngine:
         """Fork a child to take a point-in-time snapshot (BGSAVE)."""
         if self._active_job is not None:
             raise SnapshotInProgressError("a background job is running")
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "kvs.bgsave",
+                obs.CAT_KVS,
+                self.clock.now,
+                engine=self.fork_engine.name,
+                keys=len(self.store),
+            )
         table = self.store.table_snapshot()
         result = self.fork_engine.fork(self.process)
         job = SnapshotJob(self, result, table)
@@ -326,6 +370,13 @@ class KvEngine:
             raise ValueError("AOF is not enabled on this engine")
         if self._active_job is not None:
             raise SnapshotInProgressError("a background job is running")
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "kvs.bgrewriteaof",
+                obs.CAT_KVS,
+                self.clock.now,
+                engine=self.fork_engine.name,
+            )
         self.aof.begin_rewrite()
         table = self.store.table_snapshot()
         result = self.fork_engine.fork(self.process)

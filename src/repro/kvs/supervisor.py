@@ -43,6 +43,7 @@ from repro.kernel.forks.default import DefaultFork
 from repro.kvs.aof import AppendOnlyFile
 from repro.kvs.engine import ForkJob, KvEngine, SnapshotReport
 from repro.metrics.faults import FaultCounters
+from repro.obs import tracer as obs
 from repro.units import ms
 
 #: Degradation modes (what `fork_engine` the engine currently runs).
@@ -190,6 +191,14 @@ class SnapshotSupervisor:
                 self.on_child_step(steps)
             if steps > self.watchdog_steps:
                 self.counters.watchdog_kills += 1
+                if obs.ACTIVE:
+                    obs.emit_instant(
+                        "kvs.watchdog.kill",
+                        obs.CAT_KVS,
+                        self.engine.clock.now,
+                        kind=job.kind,
+                        steps=steps,
+                    )
                 job.abort(reason="watchdog-timeout")
                 raise SnapshotWatchdogError(
                     f"{job.kind} child made no progress in "
@@ -202,7 +211,16 @@ class SnapshotSupervisor:
         delay = self.policy.delay_ns(attempt)
         if self.plan is not None and self.policy.jitter > 0:
             delay = self.plan.jitter_ns(delay, spread=self.policy.jitter)
+        start = self.engine.clock.now
         self.engine.clock.advance(delay)
+        if obs.ACTIVE:
+            obs.emit(
+                "kvs.retry.backoff",
+                obs.CAT_KVS,
+                start,
+                start + delay,
+                attempt=attempt,
+            )
         self.counters.retries += 1
         self.counters.backoff_ns += delay
 
@@ -238,6 +256,13 @@ class SnapshotSupervisor:
         self.mode = MODE_FALLBACK
         self.counters.fallbacks += 1
         self.counters.record_mode(self.engine.clock.now, MODE_FALLBACK)
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "kvs.demote",
+                obs.CAT_KVS,
+                self.engine.clock.now,
+                rollbacks=self.consecutive_rollbacks,
+            )
 
     def _promote(self) -> None:
         """A clean snapshot in fallback mode restores the primary."""
@@ -246,6 +271,10 @@ class SnapshotSupervisor:
         self.consecutive_rollbacks = 0
         self.counters.promotions += 1
         self.counters.record_mode(self.engine.clock.now, MODE_ASYNC)
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "kvs.promote", obs.CAT_KVS, self.engine.clock.now
+            )
 
     def _refuse_writes(self) -> None:
         if not self.engine.writes_refused:

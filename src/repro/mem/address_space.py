@@ -31,6 +31,8 @@ from repro.mem.flags import (
 from repro.mem.frames import FrameAllocator
 from repro.mem.page_table import PageTable
 from repro.mem.tlb import Tlb
+from repro.obs import tracer as obs
+from repro.obs.registry import CounterDict, MetricsRegistry
 from repro.mem.vma import Vma, VmaList, VmaProt, aligned_range
 from repro.units import (
     PAGE_SIZE,
@@ -68,7 +70,17 @@ class AddressSpace:
         #: Resident set size in pages.
         self.rss = 0
         self._mmap_cursor = MMAP_BASE
-        self.stats = {"faults": 0, "cow_copies": 0, "zapped": 0}
+        #: Unified metrics; :attr:`stats` is a dict view over the
+        #: ``mm.*`` counters so historical call sites keep working.
+        self.metrics = MetricsRegistry()
+        self.stats = CounterDict(
+            self.metrics,
+            {
+                "faults": "mm.faults",
+                "cow_copies": "mm.cow_copies",
+                "zapped": "mm.zapped",
+            },
+        )
         if hooks.MM_HOOKS:
             hooks.notify_mm_created(self)
 
@@ -284,6 +296,10 @@ class AddressSpace:
                 pmd.clear(idx)
                 self._free_table_frame(leaf)
         self.stats["zapped"] += zapped
+        if obs.ACTIVE and zapped:
+            obs.emit_instant(
+                "mm.zap", obs.CAT_MEM, owner=self.name, pages=zapped
+            )
         return zapped
 
     def zap_pmd_range(self, lo: int, hi: int) -> int:
@@ -335,6 +351,14 @@ class AddressSpace:
         page_lo = page_align_down(vaddr)
         found = self.page_table.walk_pmd(vaddr)
         pmd_wp = found is not None and found[0].is_write_protected(found[1])
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "mm.fault",
+                obs.CAT_MEM,
+                owner=self.name,
+                write=write,
+                pmd_wp=pmd_wp,
+            )
         self.fire(
             cp.HANDLE_MM_FAULT,
             page_lo,
@@ -448,6 +472,10 @@ class AddressSpace:
             )
             self.tlb.flush_page(vaddr)
             self.stats["cow_copies"] += 1
+            if obs.ACTIVE:
+                obs.emit_instant(
+                    "mm.cow_copy", obs.CAT_MEM, owner=self.name
+                )
             return new_page.frame
         # Sole owner: reuse the page in place.
         leaf = self.page_table.walk_pte_table(vaddr)

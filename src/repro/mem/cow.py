@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.mem.flags import PteFlags, pte_frame, pte_present
 from repro.mem.frames import FrameAllocator
 from repro.mem.pte_table import PteTable
+from repro.obs import tracer as obs
 
 
 def clone_pte_table_into(
@@ -34,6 +35,13 @@ def clone_pte_table_into(
     if write_protect:
         src.write_protect_all()
         dst.write_protect_all()
+    if obs.ACTIVE:
+        obs.emit_instant(
+            "pte.clone",
+            obs.CAT_MEM,
+            entries=src.present_count,
+            write_protect=write_protect,
+        )
     return src.present_count
 
 

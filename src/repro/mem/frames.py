@@ -20,6 +20,7 @@ from typing import Callable, Iterator, Optional
 from repro.errors import OutOfMemoryError
 from repro.faults.plan import SITE_FRAME_ALLOC, FaultPlan, FaultSpec
 from repro.mem.page_struct import PageStruct
+from repro.obs.registry import MetricsRegistry
 from repro.units import PAGE_SIZE
 
 
@@ -82,10 +83,35 @@ class FrameAllocator:
         self._fault_plan: Optional[FaultPlan] = None
         #: Private plan backing the deprecated :meth:`fail_after` arm.
         self._legacy_plan: Optional[FaultPlan] = None
-        self.alloc_count = 0
-        self.free_count = 0
+        #: Unified metrics; ``alloc_count``/``free_count`` are views.
+        self.metrics = MetricsRegistry()
+        self._alloc_count = self.metrics.counter("frames.alloc")
+        self._free_count = self.metrics.counter("frames.free")
+        self.metrics.gauge(
+            "frames.allocated", supplier=lambda: len(self._pages)
+        )
         #: System-wide swap space shared by every process on the machine.
         self.swap = SwapSpace()
+
+    # -- legacy counter views ------------------------------------------------
+
+    @property
+    def alloc_count(self) -> int:
+        """Allocations performed (view over ``frames.alloc``)."""
+        return self._alloc_count.value
+
+    @alloc_count.setter
+    def alloc_count(self, value: int) -> None:
+        self._alloc_count.value = int(value)
+
+    @property
+    def free_count(self) -> int:
+        """Frees performed (view over ``frames.free``)."""
+        return self._free_count.value
+
+    @free_count.setter
+    def free_count(self, value: int) -> None:
+        self._free_count.value = int(value)
 
     # -- failure injection ---------------------------------------------------
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs import tracer as obs
+from repro.obs.registry import MetricsRegistry
 from repro.units import page_align_down
 
 
@@ -28,9 +30,42 @@ class Tlb:
         #: MMSAN uses this to flag stale-writable entries surviving a
         #: protection downgrade.
         self._writable: set[int] = set()
-        self.hits = 0
-        self.misses = 0
-        self.flushes = 0
+        #: Unified metrics; ``hits``/``misses``/``flushes`` below are
+        #: thin views over these named counters (DESIGN.md scheme).
+        self.metrics = MetricsRegistry()
+        self._hits = self.metrics.counter("tlb.hits")
+        self._misses = self.metrics.counter("tlb.misses")
+        self._flushes = self.metrics.counter("tlb.flushes")
+        self.metrics.gauge("tlb.entries", supplier=lambda: len(self._entries))
+
+    # -- legacy counter views ---------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Lookup hits (view over the ``tlb.hits`` counter)."""
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = int(value)
+
+    @property
+    def misses(self) -> int:
+        """Lookup misses (view over the ``tlb.misses`` counter)."""
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = int(value)
+
+    @property
+    def flushes(self) -> int:
+        """Invalidation operations (view over ``tlb.flushes``)."""
+        return self._flushes.value
+
+    @flushes.setter
+    def flushes(self, value: int) -> None:
+        self._flushes.value = int(value)
 
     def lookup(self, vaddr: int) -> Optional[int]:
         """Cached frame for the page of ``vaddr``, or ``None`` on miss."""
@@ -56,12 +91,29 @@ class Tlb:
         self._entries.pop(page, None)
         self._writable.discard(page)
         self.flushes += 1
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "tlb.flush_page", obs.CAT_TLB, owner=self.owner, page=page
+            )
 
     def flush_all(self) -> None:
-        """Invalidate everything (CR3 reload)."""
+        """Invalidate everything (CR3 reload).
+
+        Counts as one flush even when the TLB is already empty — the
+        hardware reloads CR3 regardless of residency, and the shootdown
+        IPI cost the counter stands in for is paid either way.
+        """
+        dropped = len(self._entries)
         self._entries.clear()
         self._writable.clear()
         self.flushes += 1
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "tlb.flush_all",
+                obs.CAT_TLB,
+                owner=self.owner,
+                dropped=dropped,
+            )
 
     def entries(self):
         """Iterate ``(page_vaddr, frame, writable)`` over cached entries."""

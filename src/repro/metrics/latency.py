@@ -33,6 +33,22 @@ class LatencySample:
     def __post_init__(self) -> None:
         if len(self.latencies_ns) != len(self.arrivals_ns):
             raise ValueError("latencies and arrivals must align")
+        # Real samples are integer nanoseconds; normalize stray float
+        # arrays (old callers, `np.empty(0)` defaults) so merged samples
+        # never silently promote to float64.
+        self.latencies_ns = self._as_int64(self.latencies_ns)
+        self.arrivals_ns = self._as_int64(self.arrivals_ns)
+
+    @staticmethod
+    def _as_int64(values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values)
+        if arr.dtype == np.int64:
+            return arr
+        if not np.issubdtype(arr.dtype, np.number):
+            raise ValueError(
+                f"latency arrays must be numeric, got dtype {arr.dtype}"
+            )
+        return arr.astype(np.int64)
 
     def __len__(self) -> int:
         return len(self.latencies_ns)
@@ -93,7 +109,9 @@ class LatencySample:
 def merge(samples: list[LatencySample]) -> LatencySample:
     """Concatenate several samples (e.g. repeats with different seeds)."""
     if not samples:
-        return LatencySample(np.empty(0), np.empty(0))
+        return LatencySample(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
     return LatencySample(
         np.concatenate([s.latencies_ns for s in samples]),
         np.concatenate([s.arrivals_ns for s in samples]),

@@ -47,12 +47,17 @@ def queue_depth(
     """Outstanding (arrived, not completed) queries over time.
 
     Works for any number of servers: depth(t) = |arrivals <= t| -
-    |completions <= t|.
+    |completions <= t|.  A run captured mid-flight can have arrivals
+    with no completions yet; the grid then spans the arrivals alone
+    (every point reads as backlog).
     """
     if len(arrivals_ns) == 0:
         return QueueDepthSeries(np.empty(0, np.int64), np.empty(0, np.int64))
     lo = int(arrivals_ns.min())
-    hi = int(completions_ns.max())
+    if len(completions_ns) == 0:
+        hi = int(arrivals_ns.max())
+    else:
+        hi = int(completions_ns.max())
     grid = np.arange(lo, hi + step_ns, step_ns, dtype=np.int64)
     arrived = np.searchsorted(np.sort(arrivals_ns), grid, side="right")
     done = np.searchsorted(np.sort(completions_ns), grid, side="right")

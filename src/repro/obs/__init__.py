@@ -1,0 +1,64 @@
+"""Span-level observability: tracing, metrics, exporters.
+
+The measurement substrate of the reproduction (see DESIGN.md):
+
+* :mod:`repro.obs.tracer` — nestable spans on the simulated timeline,
+  with a zero-cost-when-disabled global install (``hooks`` idiom).
+* :mod:`repro.obs.registry` — named counters/gauges/histograms behind
+  one ``snapshot()``; the legacy counters are thin views over it.
+* :mod:`repro.obs.export` — deterministic Chrome-trace/Perfetto JSON.
+* :mod:`repro.obs.phases` — per-fork phase breakdown and the derived
+  Figure 11 interruption recorder.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    CounterDict,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    ABORTED_SUFFIX,
+    ACTIVE,
+    CAT_IO,
+    CAT_KERNEL,
+    CAT_KVS,
+    CAT_MEM,
+    CAT_PHASE,
+    CAT_SIM,
+    CAT_TLB,
+    SpanRecord,
+    Tracer,
+    clear,
+    emit,
+    emit_dur,
+    emit_instant,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "ABORTED_SUFFIX",
+    "ACTIVE",
+    "CAT_IO",
+    "CAT_KERNEL",
+    "CAT_KVS",
+    "CAT_MEM",
+    "CAT_PHASE",
+    "CAT_SIM",
+    "CAT_TLB",
+    "Counter",
+    "CounterDict",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "clear",
+    "emit",
+    "emit_dur",
+    "emit_instant",
+    "install",
+    "uninstall",
+]

@@ -1,0 +1,82 @@
+"""Chrome-trace/Perfetto JSON export.
+
+The Trace Event Format (``chrome://tracing``, https://ui.perfetto.dev)
+wants complete events (``"ph": "X"``) with microsecond timestamps; the
+simulator's nanosecond spans divide down losslessly enough for viewing
+(fractional microseconds are allowed).
+
+Determinism: same-seed runs must produce *byte-identical* files, so the
+encoder sorts object keys, uses compact separators, and orders events
+with a stable sort on the (integer) start time — no wall clock, no
+hashing, no float surprises beyond Python's deterministic ``repr``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracer import (
+    CAT_IO,
+    CAT_KERNEL,
+    CAT_KVS,
+    CAT_MEM,
+    CAT_PHASE,
+    CAT_SIM,
+    CAT_TLB,
+    SpanRecord,
+    Tracer,
+)
+
+#: One Chrome-trace thread lane per category, so Perfetto draws the
+#: kernel episodes, the phase decomposition, and the memory substrate
+#: on separate tracks.
+_TRACK_OF_CATEGORY = {
+    CAT_KERNEL: 1,
+    CAT_PHASE: 2,
+    CAT_MEM: 3,
+    CAT_TLB: 4,
+    CAT_KVS: 5,
+    CAT_IO: 6,
+    CAT_SIM: 7,
+}
+
+
+def _event(record: SpanRecord) -> dict:
+    event = {
+        "name": record.name,
+        "cat": record.cat,
+        "ts": record.start_ns / 1000,
+        "pid": 1,
+        "tid": _TRACK_OF_CATEGORY.get(record.cat, 0),
+    }
+    if record.end_ns == record.start_ns:
+        event["ph"] = "i"
+        event["s"] = "t"
+    else:
+        event["ph"] = "X"
+        event["dur"] = (record.end_ns - record.start_ns) / 1000
+    if record.attrs:
+        event["args"] = {k: record.attrs[k] for k in sorted(record.attrs)}
+    return event
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The trace as a list of Chrome-trace event dicts."""
+    ordered = sorted(tracer.records, key=lambda r: r.start_ns)
+    return [_event(r) for r in ordered]
+
+
+def chrome_trace_json(tracer: Tracer) -> str:
+    """The trace as a deterministic Chrome-trace JSON string."""
+    document = {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(tracer),
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def export_chrome(tracer: Tracer, path) -> None:
+    """Write the trace to ``path`` (open in Perfetto/chrome://tracing)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_trace_json(tracer))
+        fh.write("\n")

@@ -1,0 +1,197 @@
+"""A unified metrics registry: counters, gauges, histograms.
+
+The simulator grew ad-hoc counters in every corner — ``Tlb.hits`` /
+``misses`` / ``flushes``, ``FrameAllocator.alloc_count``,
+``AddressSpace.stats`` — each with its own reading convention.
+:class:`MetricsRegistry` absorbs them behind dotted metric names
+(``"tlb.hits"``, ``"frames.alloc"``, ``"mm.faults"``; see DESIGN.md for
+the naming scheme) with one ``snapshot()`` dict, while the owning
+objects keep their historical attributes as thin views over the
+registered metrics, so no caller changes.
+
+Like :mod:`repro.obs.tracer` this module imports nothing from
+:mod:`repro` — it sits below the dependency graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import MutableMapping
+from typing import Callable, Iterator, Optional, Union
+
+
+class Counter:
+    """A monotonically written integer (callers may also reset it)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> int:
+        """Add ``n``; returns the new value."""
+        self.value += n
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value, stored or supplied by a callable."""
+
+    __slots__ = ("name", "_value", "supplier")
+
+    def __init__(
+        self, name: str, supplier: Optional[Callable[[], float]] = None
+    ) -> None:
+        self.name = name
+        self._value: Union[int, float] = 0
+        self.supplier = supplier
+
+    def set(self, value: Union[int, float]) -> None:
+        """Store a new value (ignored if a supplier is bound)."""
+        self._value = value
+
+    @property
+    def value(self) -> Union[int, float]:
+        """Current value (reads the supplier when bound)."""
+        if self.supplier is not None:
+            return self.supplier()
+        return self._value
+
+
+class Histogram:
+    """Power-of-two bucketed distribution (bcc ``funclatency`` style)."""
+
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        #: bucket lower bound (a power of two, or 0) -> observations.
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: int) -> None:
+        """Record one observation."""
+        value = int(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        lo = 0
+        if value >= 1:
+            lo = 1
+            while lo * 2 <= value:
+                lo *= 2
+        self.buckets[lo] = self.buckets.get(lo, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (NaN when empty)."""
+        if self.count == 0:
+            return float("nan")
+        return self.sum / self.count
+
+
+class MetricsRegistry:
+    """Named metrics with idempotent registration and one snapshot."""
+
+    def __init__(self, prefix: str = "") -> None:
+        #: Prepended (with a dot) to every metric name registered here.
+        self.prefix = prefix
+        self._metrics: dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def _register(self, name: str, kind: type, **kw):
+        name = self._qualify(name)
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        metric = kind(name, **kw)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create a counter."""
+        return self._register(name, Counter)
+
+    def gauge(
+        self, name: str, supplier: Optional[Callable[[], float]] = None
+    ) -> Gauge:
+        """Get-or-create a gauge (optionally supplier-backed)."""
+        gauge = self._register(name, Gauge)
+        if supplier is not None:
+            gauge.supplier = supplier
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create a histogram."""
+        return self._register(name, Histogram)
+
+    def get(self, name: str):
+        """Look up a registered metric by (qualified or bare) name."""
+        return self._metrics.get(name) or self._metrics.get(
+            self._qualify(name)
+        )
+
+    def snapshot(self) -> dict:
+        """Every metric's current value, keyed by name, sorted.
+
+        Histograms snapshot to a dict of their headline statistics.
+        """
+        out: dict = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "min": metric.min,
+                    "max": metric.max,
+                    "buckets": dict(sorted(metric.buckets.items())),
+                }
+            else:
+                out[name] = metric.value
+        return out
+
+
+class CounterDict(MutableMapping):
+    """A dict-shaped view over registry counters.
+
+    Preserves the historical ``obj.stats["faults"] += 1`` call sites
+    while the values live in a :class:`MetricsRegistry` under dotted
+    names (``view key -> registry name`` mapping fixed at creation).
+    """
+
+    def __init__(self, registry: MetricsRegistry, keys: dict[str, str]):
+        self._counters = {
+            key: registry.counter(name) for key, name in keys.items()
+        }
+
+    def __getitem__(self, key: str) -> int:
+        return self._counters[key].value
+
+    def __setitem__(self, key: str, value: int) -> None:
+        self._counters[key].value = int(value)
+
+    def __delitem__(self, key: str) -> None:
+        raise TypeError("metric-backed stats keys cannot be removed")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:
+        return repr(dict(self))

@@ -1,0 +1,208 @@
+"""Structured tracing on the simulated timeline.
+
+A :class:`Tracer` records spans — ``(name, category, start_ns, end_ns,
+attrs)`` — against the simulated clock, the observability substrate the
+phase-accounting figures (3, 11, 20, 22) need: where did the fork call,
+the child copy, the proactive synchronizations, and the shootdowns go?
+
+Zero-cost-when-disabled follows :mod:`repro.analysis.hooks`: the
+instrumented paths guard on the module-level :data:`ACTIVE` list's
+truthiness, so with no tracer installed an instrumented call site costs
+one attribute read.  This module must not import anything from
+:mod:`repro` — like ``hooks`` it sits below the whole dependency graph.
+
+Determinism: spans carry only simulated timestamps and are stored in
+insertion order, so two runs from the same seed produce identical
+record lists (and byte-identical exports, see :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+#: Span categories (the Chrome-trace ``cat`` field).
+CAT_KERNEL = "kernel"  #: parent kernel-mode episodes (Clock.kernel_section)
+CAT_PHASE = "phase"  #: fork/copy/persist phase decomposition
+CAT_MEM = "mem"  #: faults, CoW copies, page-table clones
+CAT_TLB = "tlb"  #: TLB shootdowns
+CAT_KVS = "kvs"  #: engine/supervisor snapshot lifecycle
+CAT_IO = "io"  #: simulated disk and network
+CAT_SIM = "sim"  #: run markers from the timing tier
+
+#: Appended to a kernel section's reason when its body raised: an
+#: aborted fork must not count as a completed interruption (Fig. 11).
+ABORTED_SUFFIX = "!aborted"
+
+
+@dataclass
+class SpanRecord:
+    """One recorded span (``start_ns == end_ns`` for instants)."""
+
+    name: str
+    cat: str
+    start_ns: int
+    end_ns: int
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        """Span length in simulated nanoseconds."""
+        return self.end_ns - self.start_ns
+
+    @property
+    def aborted(self) -> bool:
+        """Whether this span records an aborted kernel section."""
+        return self.name.endswith(ABORTED_SUFFIX)
+
+
+class Tracer:
+    """Collects spans; optionally bound to a clock for timestamps.
+
+    ``now`` supplies the current simulated time for call sites that have
+    no clock of their own (the TLB, the disk, the network device) —
+    bind it with ``Tracer(now=clock_fn)`` or leave it unset, in which
+    case clock-less instants land at time 0.
+    """
+
+    def __init__(self, now: Optional[Callable[[], int]] = None) -> None:
+        self.records: list[SpanRecord] = []
+        self.now = now
+
+    # -- recording ---------------------------------------------------------
+
+    def add(
+        self, name: str, cat: str, start_ns: int, end_ns: int, **attrs
+    ) -> SpanRecord:
+        """Record one finished span."""
+        record = SpanRecord(name, cat, int(start_ns), int(end_ns), attrs)
+        self.records.append(record)
+        return record
+
+    def instant(
+        self, name: str, cat: str, at_ns: Optional[int] = None, **attrs
+    ) -> SpanRecord:
+        """Record a zero-duration event."""
+        if at_ns is None:
+            at_ns = self.now() if self.now is not None else 0
+        return self.add(name, cat, at_ns, at_ns, **attrs)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        cat: str = CAT_PHASE,
+        clock: Optional[Callable[[], int]] = None,
+        **attrs,
+    ) -> Iterator[SpanRecord]:
+        """Bracket a nestable span on the simulated timeline.
+
+        ``clock`` (or the tracer's bound ``now``) reads the time at
+        entry and exit; the record is appended at entry so nested spans
+        keep parent-before-child insertion order.
+        """
+        read = clock if clock is not None else self.now
+        if read is None:
+            raise ValueError(
+                "span() needs a clock: bind Tracer(now=...) or pass clock="
+            )
+        record = self.add(name, cat, read(), read(), **attrs)
+        try:
+            yield record
+        except BaseException:
+            record.name = name + ABORTED_SUFFIX
+            raise
+        finally:
+            record.end_ns = int(read())
+
+    def extend(self, records: Iterable[SpanRecord]) -> None:
+        """Append spans recorded elsewhere (merging per-run traces)."""
+        self.records.extend(records)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_category(self, cat: str) -> list[SpanRecord]:
+        """All spans of one category, in insertion order."""
+        return [r for r in self.records if r.cat == cat]
+
+    def by_name(self, prefix: str) -> list[SpanRecord]:
+        """All spans whose name starts with ``prefix``."""
+        return [r for r in self.records if r.name.startswith(prefix)]
+
+    def count(self, prefix: str = "") -> int:
+        """Number of spans under a name prefix."""
+        if not prefix:
+            return len(self.records)
+        return sum(1 for r in self.records if r.name.startswith(prefix))
+
+    def total_ns(self, prefix: str = "") -> int:
+        """Total duration under a name prefix."""
+        return sum(
+            r.duration_ns
+            for r in self.records
+            if not prefix or r.name.startswith(prefix)
+        )
+
+    def export_chrome(self, path) -> None:
+        """Write the trace as Chrome-trace/Perfetto JSON to ``path``."""
+        from repro.obs.export import export_chrome
+
+        export_chrome(self, path)
+
+
+#: Installed tracers; call sites guard on ``if tracer.ACTIVE:`` so
+#: tracing is zero-cost when disabled (the ``hooks.LOCK_HOOKS`` idiom).
+ACTIVE: list[Tracer] = []
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Start mirroring emitted spans into ``tracer``."""
+    ACTIVE.append(tracer)
+    return tracer
+
+
+def uninstall(tracer: Tracer) -> None:
+    """Stop mirroring into ``tracer``."""
+    ACTIVE.remove(tracer)
+
+
+def clear() -> None:
+    """Remove every installed tracer (test isolation)."""
+    ACTIVE.clear()
+
+
+def emit(name: str, cat: str, start_ns: int, end_ns: int, **attrs) -> None:
+    """Record one span in every installed tracer."""
+    for tracer in list(ACTIVE):
+        tracer.add(name, cat, start_ns, end_ns, **attrs)
+
+
+def emit_instant(
+    name: str, cat: str, at_ns: Optional[int] = None, **attrs
+) -> None:
+    """Record a zero-duration event in every installed tracer.
+
+    Without ``at_ns`` each tracer stamps the event with its own bound
+    clock (clock-less call sites: TLB, disk, network).
+    """
+    for tracer in list(ACTIVE):
+        tracer.instant(name, cat, at_ns, **attrs)
+
+
+def emit_dur(
+    name: str,
+    cat: str,
+    duration_ns: int,
+    start_ns: Optional[int] = None,
+    **attrs,
+) -> None:
+    """Record a duration-known span (start defaults to each tracer's now)."""
+    for tracer in list(ACTIVE):
+        start = start_ns
+        if start is None:
+            start = tracer.now() if tracer.now is not None else 0
+        tracer.add(name, cat, start, start + int(duration_ns), **attrs)

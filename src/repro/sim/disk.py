@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.errors import DiskWriteError
 from repro.faults.plan import SITE_DISK_WRITE, FaultPlan
+from repro.obs import tracer as obs
 from repro.units import MIB, SEC
 
 #: §6.2: persisting 8 GiB takes ~40 s.
@@ -82,4 +83,12 @@ class DiskDevice:
                 duration += spec.magnitude  # 'stall'
         self.bytes_written += nbytes
         self.writes += 1
+        if obs.ACTIVE:
+            obs.emit_dur(
+                "disk.write",
+                obs.CAT_IO,
+                duration,
+                what=what,
+                nbytes=nbytes,
+            )
         return duration

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.obs.tracer import ABORTED_SUFFIX, CAT_KERNEL
 from repro.units import USEC
 
 
@@ -36,6 +37,29 @@ class InterruptRecorder:
         """Log one episode."""
         self.reasons.append(reason)
         self.durations_ns.append(int(duration_ns))
+
+    def record_section(self, reason: str, start_ns: int, end_ns: int) -> None:
+        """Kernel-section observer signature (``Clock`` compatible)."""
+        self.record(reason, end_ns - start_ns)
+
+    def observe(self, clock) -> "InterruptRecorder":
+        """Subscribe to a clock's kernel sections; returns ``self``."""
+        clock.observe_kernel_sections(self.record_section)
+        return self
+
+    @classmethod
+    def from_trace(cls, tracer) -> "InterruptRecorder":
+        """Derive the recorder from a trace's kernel-category spans.
+
+        The Figure 11 histogram is now a query over the span trace
+        (:mod:`repro.obs`); insertion order is preserved so the derived
+        recorder matches one fed by a live observer episode-for-episode.
+        """
+        recorder = cls()
+        for record in tracer.records:
+            if record.cat == CAT_KERNEL:
+                recorder.record(record.name, record.duration_ns)
+        return recorder
 
     def count(self, reason_prefix: str = "") -> int:
         """Episodes whose reason starts with ``reason_prefix``."""
@@ -61,11 +85,15 @@ class InterruptRecorder:
         ``exclude_fork_call`` drops the one-off fork invocation so the
         histogram counts only the recurrent interruptions (table CoW /
         proactive synchronization), matching how the paper instruments
-        ``copy_pmd_range``'s recurrent callers.
+        ``copy_pmd_range``'s recurrent callers.  Aborted episodes
+        (reason ending in ``!aborted`` — a §4.4 rollback mid-section)
+        never completed an interruption and are always excluded.
         """
         counter: Counter = Counter()
         for reason, duration in zip(self.reasons, self.durations_ns):
             if exclude_fork_call and reason.startswith("fork"):
+                continue
+            if reason.endswith(ABORTED_SUFFIX):
                 continue
             counter[bcc_bucket(duration)] += 1
         return dict(counter)

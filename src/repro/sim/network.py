@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.errors import NetworkPartitionError
 from repro.faults.plan import SITE_NET_SEND, FaultPlan
+from repro.obs import tracer as obs
 from repro.units import us
 
 
@@ -75,6 +76,10 @@ class NetworkLink:
                 rtt += spec.magnitude  # 'rtt-spike'
                 self.spike_ns_total += spec.magnitude
         self.sends += 1
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "net.rtt", obs.CAT_IO, rtt_ns=rtt, payload=payload
+            )
         return rtt
 
 

@@ -39,6 +39,9 @@ from repro.determinism import seeded_rng
 from repro.kernel.costs import DEFAULT_COSTS, CostModel
 from repro.metrics.latency import LatencySample
 from repro.metrics.throughput import ThroughputSeries, windowed_throughput
+from repro.obs import tracer as obs
+from repro.obs.phases import child_copy_segments, trace_fork_phases
+from repro.obs.tracer import Tracer
 from repro.sim.compact import CompactInstance
 from repro.sim.disk import DiskModel
 from repro.sim.interrupts import InterruptRecorder
@@ -124,6 +127,10 @@ class SnapshotSimResult:
     child_copy_ns: int
     interrupts: InterruptRecorder
     counts: dict = field(default_factory=dict)
+    #: Per-run span trace; ``interrupts`` is derived from its
+    #: kernel-category spans, and the phase/io spans feed the
+    #: ``repro-trace`` breakdown and Chrome-trace export.
+    trace: Optional[Tracer] = None
 
     # -- classification ------------------------------------------------------
 
@@ -232,8 +239,21 @@ def simulate_snapshot(config: SnapshotSimConfig) -> SnapshotSimResult:
         fork_ns=fork_ns,
         child_copy_ns=child_copy_ns,
         persist_ns=persist_ns,
+        counts=counts,
     )
     latencies, completions = runner.run()
+
+    if obs.ACTIVE:
+        obs.emit_instant(
+            "sim.run",
+            obs.CAT_SIM,
+            0,
+            method=config.method,
+            size_gb=config.size_gb,
+            seed=config.seed,
+        )
+        for collector in obs.ACTIVE:
+            collector.extend(runner.trace.records)
 
     if config.environment is not None:
         latencies = latencies + config.environment.rtt_ns
@@ -249,6 +269,7 @@ def simulate_snapshot(config: SnapshotSimConfig) -> SnapshotSimResult:
         fork_call_ns=fork_ns,
         child_copy_ns=child_copy_ns,
         interrupts=runner.interrupts,
+        trace=runner.trace,
         counts={
             "proactive_syncs": runner.n_syncs,
             "table_faults": runner.n_table_faults,
@@ -322,6 +343,9 @@ class _Runner:
         instance: CompactInstance = kw["instance"]
         self.method = config.method
         self.threads = max(1, config.engine_threads)
+        #: Always-on per-run trace; :attr:`interrupts` is derived from
+        #: its kernel-category spans after the loop (see :meth:`run`).
+        self.trace = Tracer()
         self.interrupts = InterruptRecorder()
         self.n_syncs = 0
         self.n_table_faults = 0
@@ -384,6 +408,8 @@ class _Runner:
         fp_mask = len(fault_pool) - 1
         method = self.method
         forked = False
+        trace = self.trace
+        wait_total = 0  # summed (start - arrival) queueing delay
 
         for i in range(n):
             t_arr = arrivals[i]
@@ -425,7 +451,16 @@ class _Runner:
                     fork_start = max(t_arr, min(t_free))
                     fork_end = fork_start + self.fork_ns
                     t_free = [max(f, fork_end) for f in t_free]
-                self.interrupts.record("fork:" + method, self.fork_ns)
+                fork_at = int(fork_start)
+                trace.add(
+                    "fork:" + method,
+                    obs.CAT_KERNEL,
+                    fork_at,
+                    fork_at + self.fork_ns,
+                )
+                trace_fork_phases(
+                    trace, method, self.counts, self.config.costs, fork_at
+                )
                 self._arm_windows(fork_start)
 
             # Serve the query.
@@ -458,28 +493,42 @@ class _Runner:
                                     kernel_extra += extra
                                     self._synced_pages[pg0] = True
                                     self.n_syncs += 1
-                                    self.interrupts.record(
-                                        "async:proactive-sync-pte", extra
+                                    at = int(start)
+                                    trace.add(
+                                        "async:proactive-sync-pte",
+                                        obs.CAT_KERNEL,
+                                        at,
+                                        at + extra,
                                     )
                             elif k >= progress and not self._synced[k]:
                                 extra = (
-                                    fault_pool[fp & fp_mask]
+                                    int(fault_pool[fp & fp_mask])
                                     + self._handshake_ns
                                 )
                                 fp += 1
                                 kernel_extra += extra
                                 self._synced[k] = True
                                 self.n_syncs += 1
-                                self.interrupts.record(
-                                    "async:proactive-sync", extra
+                                at = int(start)
+                                trace.add(
+                                    "async:proactive-sync",
+                                    obs.CAT_KERNEL,
+                                    at,
+                                    at + extra,
                                 )
                         elif method == "odf" and self._shared[k]:
-                            extra = fault_pool[fp & fp_mask]
+                            extra = int(fault_pool[fp & fp_mask])
                             fp += 1
                             kernel_extra += extra
                             self._shared[k] = False
                             self.n_table_faults += 1
-                            self.interrupts.record("odf:table-cow", extra)
+                            at = int(start)
+                            trace.add(
+                                "odf:table-cow",
+                                obs.CAT_KERNEL,
+                                at,
+                                at + extra,
+                            )
                         pg = pages[i]
                         if not self._dirty[pg]:
                             kernel_extra += data_cow_ns
@@ -502,9 +551,18 @@ class _Runner:
             else:
                 end = start + svc
                 t_free[j] = end
+            wait_total += start - t_arr
             latencies[i] = end - t_arr
             completions[i] = end
 
+        trace.instant(
+            "queue.wait",
+            obs.CAT_PHASE,
+            0,
+            total_ns=int(wait_total),
+            queries=n,
+        )
+        self.interrupts = InterruptRecorder.from_trace(trace)
         return latencies, completions
 
     def _apply_purge(self, t: int, start_table: int, forked: bool) -> int:
@@ -526,17 +584,31 @@ class _Runner:
             for idx in range(start_table, end_table):
                 if self._shared[idx]:
                     self._shared[idx] = False
+                    at = int(t) + cost
+                    self.trace.add(
+                        "odf:table-cow",
+                        obs.CAT_KERNEL,
+                        at,
+                        at + fault_ns,
+                        purge=True,
+                    )
                     cost += fault_ns
                     self.n_table_faults += 1
-                    self.interrupts.record("odf:table-cow", fault_ns)
         elif self.method == "async" and t < self._copy_end:
             progress = (t - self._copy_start) * self._tables_per_ns
             for idx in range(start_table, end_table):
                 if idx >= progress and not self._synced[idx]:
                     self._synced[idx] = True
+                    at = int(t) + cost
+                    self.trace.add(
+                        "async:proactive-sync",
+                        obs.CAT_KERNEL,
+                        at,
+                        at + fault_ns,
+                        purge=True,
+                    )
                     cost += fault_ns
                     self.n_syncs += 1
-                    self.interrupts.record("async:proactive-sync", fault_ns)
         return cost
 
     def _arm_windows(self, fork_start: float) -> None:
@@ -556,3 +628,26 @@ class _Runner:
         self._persist_start = self._copy_end
         self._persist_end = self._persist_start + self.persist_ns
         self.snapshot_end = self._persist_end
+        if self.method == "async" and self.child_copy_ns > 0:
+            for name, s, e, attrs in child_copy_segments(
+                self.counts,
+                int(self._copy_start),
+                int(self._copy_end),
+                self.config.costs,
+            ):
+                self.trace.add(name, obs.CAT_PHASE, s, e, **attrs)
+        what = "aof" if self.config.rewrite else "rdb"
+        self.trace.add(
+            "persist." + what,
+            obs.CAT_IO,
+            int(self._persist_start),
+            int(self._persist_end),
+            nbytes=self.instance.size_bytes,
+        )
+        self.trace.add(
+            "snapshot.window",
+            obs.CAT_SIM,
+            int(fork_start),
+            int(self._persist_end),
+            method=self.method,
+        )

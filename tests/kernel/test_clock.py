@@ -67,3 +67,48 @@ class TestClock:
             with clock.kernel_section("boom", cost_ns=5):
                 raise RuntimeError("x")
         assert len(seen) == 1
+
+    def test_aborted_section_reason_is_marked(self):
+        clock = Clock()
+        seen = []
+        clock.observe_kernel_sections(
+            lambda reason, start, end: seen.append((reason, start, end))
+        )
+        with pytest.raises(RuntimeError):
+            with clock.kernel_section("fork:async", cost_ns=5):
+                clock.advance(2)
+                raise RuntimeError("oom mid-copy")
+        # The fixed cost is charged on entry (5ns), then the body added
+        # 2ns before dying — the episode still covers all burned time.
+        assert seen == [("fork:async!aborted", 0, 7)]
+
+    def test_completed_section_reason_unmarked(self):
+        clock = Clock()
+        seen = []
+        clock.observe_kernel_sections(
+            lambda reason, start, end: seen.append(reason)
+        )
+        with clock.kernel_section("fork:async", cost_ns=5):
+            pass
+        assert seen == ["fork:async"]
+
+    def test_sections_emit_kernel_spans_when_traced(self):
+        from repro.obs import tracer
+
+        collector = tracer.install(tracer.Tracer())
+        try:
+            clock = Clock()
+            with clock.kernel_section("fork:default", cost_ns=10):
+                pass
+            with pytest.raises(RuntimeError):
+                with clock.kernel_section("async:proactive-sync"):
+                    raise RuntimeError("x")
+        finally:
+            tracer.uninstall(collector)
+        names = [r.name for r in collector.records]
+        assert names == [
+            "fork:default",
+            "async:proactive-sync!aborted",
+        ]
+        assert all(r.cat == tracer.CAT_KERNEL for r in collector.records)
+        assert collector.records[0].duration_ns == 10

@@ -56,3 +56,25 @@ class TestTlb:
         tlb.insert(PAGE_SIZE, 7)
         # The "page table" moved the page to frame 9, but no flush came.
         assert tlb.lookup(PAGE_SIZE) == 7
+
+    def test_flush_all_on_empty_tlb_still_counts(self):
+        # The CR3 reload is paid whether or not entries were resident.
+        tlb = Tlb()
+        tlb.flush_all()
+        assert tlb.flushes == 1
+        assert len(tlb) == 0
+
+    def test_counters_are_metric_views(self):
+        tlb = Tlb()
+        tlb.lookup(0x1000)  # miss
+        tlb.insert(0x1000, 42)
+        tlb.lookup(0x1000)  # hit
+        tlb.flush_all()
+        snap = tlb.metrics.snapshot()
+        assert snap["tlb.hits"] == tlb.hits == 1
+        assert snap["tlb.misses"] == tlb.misses == 1
+        assert snap["tlb.flushes"] == tlb.flushes == 1
+        assert snap["tlb.entries"] == len(tlb) == 0
+        # Legacy setters still write through to the metrics.
+        tlb.hits = 0
+        assert tlb.metrics.snapshot()["tlb.hits"] == 0

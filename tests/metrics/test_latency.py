@@ -75,6 +75,32 @@ class TestStats:
         with pytest.raises(ValueError):
             LatencySample(np.zeros(3), np.zeros(2))
 
+    def test_empty_summary_is_nan_throughout(self):
+        summary = sample([]).summary()
+        assert summary["count"] == 0
+        for key in ("mean_ms", "p99_ms", "p999_ms", "max_ms"):
+            assert np.isnan(summary[key]), key
+
+
+class TestDtype:
+    def test_float_arrays_normalized_to_int64(self):
+        s = LatencySample(
+            np.array([1.0, 2.0]), np.array([0.0, 1.0])
+        )
+        assert s.latencies_ns.dtype == np.int64
+        assert s.arrivals_ns.dtype == np.int64
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySample(
+                np.array(["a", "b"]), np.array([0, 1], dtype=np.int64)
+            )
+
+    def test_int64_arrays_kept_as_is(self):
+        lat = np.array([5], dtype=np.int64)
+        s = LatencySample(lat, np.array([0], dtype=np.int64))
+        assert s.latencies_ns is lat
+
 
 class TestMerge:
     def test_merge_concatenates(self):
@@ -83,3 +109,14 @@ class TestMerge:
 
     def test_merge_empty_list(self):
         assert len(merge([])) == 0
+
+    def test_merge_empty_is_integer_ns(self):
+        # Regression: float64 empties silently promoted every later
+        # concatenation to float.
+        merged = merge([])
+        assert merged.latencies_ns.dtype == np.int64
+        assert merged.arrivals_ns.dtype == np.int64
+
+    def test_merge_with_empty_keeps_int64(self):
+        merged = merge([merge([]), sample([1, 2])])
+        assert merged.latencies_ns.dtype == np.int64

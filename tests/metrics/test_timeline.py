@@ -39,6 +39,27 @@ class TestQueueDepth:
         series = queue_depth(arrivals, completions)
         assert series.at(-1) == 0
 
+    def test_at_before_first_grid_point(self):
+        arrivals = np.array([10 * MSEC], dtype=np.int64)
+        completions = np.array([20 * MSEC], dtype=np.int64)
+        series = queue_depth(arrivals, completions, step_ns=MSEC)
+        # Strictly before the first grid sample: no depth yet.
+        assert series.at(9 * MSEC) == 0
+        assert series.at(10 * MSEC) == 1
+
+    def test_no_completions_regression(self):
+        # Every query still in flight (a trace cut mid-snapshot or an
+        # aborted chaos run): used to raise "zero-size array" on
+        # completions_ns.max().
+        arrivals = np.arange(0, 10 * MSEC, MSEC, dtype=np.int64)
+        series = queue_depth(
+            arrivals, np.empty(0, np.int64), step_ns=MSEC
+        )
+        assert series.max_depth() == 10
+        assert series.at(9 * MSEC) == 10
+        assert int(series.times_ns[0]) == 0
+        assert int(series.times_ns[-1]) >= 9 * MSEC
+
 
 class TestKernelBreakdown:
     def test_aggregation(self):

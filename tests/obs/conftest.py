@@ -1,0 +1,15 @@
+"""Fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracers():
+    """Installed tracers must never leak across tests."""
+    tracer.clear()
+    yield
+    tracer.clear()

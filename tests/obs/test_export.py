@@ -1,0 +1,143 @@
+"""Tests for the Chrome-trace export and end-to-end traced runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    export_chrome,
+)
+from repro.obs.tracer import CAT_KERNEL, CAT_MEM, CAT_PHASE, Tracer
+from repro.sim.disk import DiskModel
+from repro.sim.snapshot_sim import SnapshotSimConfig, simulate_snapshot
+from repro.workload.generators import redis_benchmark_workload
+
+
+def sample_tracer() -> Tracer:
+    t = Tracer()
+    t.add("fork:async", CAT_KERNEL, 2_000, 50_000)
+    t.add("fork.pgd_copy", CAT_PHASE, 2_000, 4_000, entries=4, level="pgd")
+    t.instant("mm.fault", CAT_MEM, 10_000, write=True)
+    return t
+
+
+class TestEventEncoding:
+    def test_complete_event_fields(self):
+        events = chrome_trace_events(sample_tracer())
+        fork = events[0]
+        assert fork["ph"] == "X"
+        assert fork["ts"] == 2.0  # microseconds
+        assert fork["dur"] == 48.0
+        assert fork["cat"] == "kernel"
+        assert fork["pid"] == 1
+
+    def test_instant_event_fields(self):
+        events = chrome_trace_events(sample_tracer())
+        instant = events[-1]
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+
+    def test_attrs_become_sorted_args(self):
+        events = chrome_trace_events(sample_tracer())
+        assert list(events[1]["args"]) == ["entries", "level"]
+
+    def test_categories_get_distinct_lanes(self):
+        events = chrome_trace_events(sample_tracer())
+        tids = {e["cat"]: e["tid"] for e in events}
+        assert len(set(tids.values())) == 3
+
+    def test_events_sorted_by_start_stable(self):
+        t = Tracer()
+        t.add("late", CAT_PHASE, 100, 110)
+        t.add("early-a", CAT_PHASE, 5, 6)
+        t.add("early-b", CAT_PHASE, 5, 6)
+        names = [e["name"] for e in chrome_trace_events(t)]
+        assert names == ["early-a", "early-b", "late"]
+
+
+class TestJsonDocument:
+    def test_valid_compact_json(self):
+        doc = json.loads(chrome_trace_json(sample_tracer()))
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 3
+
+    def test_export_writes_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome(sample_tracer(), path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"][0]["name"] == "fork:async"
+
+    def test_tracer_export_method(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sample_tracer().export_chrome(path)
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+def fig09_style_config(seed: int = 7) -> SnapshotSimConfig:
+    """A small async run shaped like the Figure 9 sweep points.
+
+    8 GiB keeps the child-copy window long enough that SET queries land
+    on still-pending tables, so proactive synchronizations occur.
+    """
+    workload = redis_benchmark_workload(
+        60_000, 8.0, rate_per_sec=50_000, clients=50, seed=seed
+    )
+    return SnapshotSimConfig(
+        size_gb=8.0,
+        method="async",
+        workload=workload,
+        disk=DiskModel(speedup=32.0),
+        seed=seed,
+    )
+
+
+class TestTracedRun:
+    def test_fig09_trace_has_every_fork_phase(self, tmp_path):
+        result = simulate_snapshot(fig09_style_config())
+        trace = result.trace
+        for phase in (
+            "fork.fixed",
+            "fork.pgd_copy",
+            "fork.pud_copy",
+            "fork.pmd_copy",
+            "child.pmd_copy",
+            "child.pte_copy",
+        ):
+            assert trace.count(phase) >= 1, phase
+        assert trace.count("async:proactive-sync") >= 1
+        path = tmp_path / "fig09.json"
+        export_chrome(trace, path)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == len(trace)
+
+    def test_same_seed_export_is_byte_identical(self, tmp_path):
+        a = simulate_snapshot(fig09_style_config(seed=7))
+        b = simulate_snapshot(fig09_style_config(seed=7))
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        export_chrome(a.trace, pa)
+        export_chrome(b.trace, pb)
+        assert pa.read_bytes() == pb.read_bytes()
+
+    def test_different_seed_export_differs(self, tmp_path):
+        a = simulate_snapshot(fig09_style_config(seed=7))
+        b = simulate_snapshot(fig09_style_config(seed=8))
+        assert chrome_trace_json(a.trace) != chrome_trace_json(b.trace)
+
+    @pytest.mark.parametrize("method", ["default", "odf"])
+    def test_other_methods_tile_their_fork_call(self, method):
+        config = fig09_style_config()
+        config = SnapshotSimConfig(
+            size_gb=config.size_gb,
+            method=method,
+            workload=config.workload,
+            disk=config.disk,
+            seed=config.seed,
+        )
+        result = simulate_snapshot(config)
+        phase_total = result.trace.total_ns("fork.")
+        assert phase_total == result.fork_call_ns

@@ -1,0 +1,121 @@
+"""Tests for the unified metrics registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    CounterDict,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_incs(self):
+        c = Counter("x")
+        assert c.value == 0
+        assert c.inc() == 1
+        assert c.inc(5) == 6
+
+
+class TestGauge:
+    def test_stored_value(self):
+        g = Gauge("x")
+        g.set(7)
+        assert g.value == 7
+
+    def test_supplier_wins(self):
+        state = {"n": 3}
+        g = Gauge("x", supplier=lambda: state["n"])
+        state["n"] = 9
+        assert g.value == 9
+
+
+class TestHistogram:
+    def test_observe_statistics(self):
+        h = Histogram("x")
+        for v in (1, 2, 3, 100):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 106
+        assert (h.min, h.max) == (1, 100)
+        assert h.mean == pytest.approx(26.5)
+
+    def test_power_of_two_buckets(self):
+        h = Histogram("x")
+        for v in (0, 1, 2, 3, 4, 100):
+            h.observe(v)
+        assert h.buckets == {0: 1, 1: 1, 2: 2, 4: 1, 64: 1}
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(Histogram("x").mean)
+
+
+class TestMetricsRegistry:
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+
+    def test_prefix_qualifies_names(self):
+        reg = MetricsRegistry(prefix="tlb")
+        reg.counter("hits").inc()
+        assert reg.snapshot() == {"tlb.hits": 1}
+        assert reg.get("hits") is reg.get("tlb.hits")
+
+    def test_snapshot_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc(2)
+        reg.gauge("a.level").set(5)
+        reg.histogram("m.lat").observe(3)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.level", "m.lat", "z.count"]
+        assert snap["z.count"] == 2
+        assert snap["m.lat"]["count"] == 1
+        assert snap["m.lat"]["buckets"] == {2: 1}
+
+
+class TestCounterDict:
+    def make(self):
+        reg = MetricsRegistry()
+        stats = CounterDict(reg, {"faults": "mm.faults", "cow": "mm.cow"})
+        return reg, stats
+
+    def test_reads_and_writes_counters(self):
+        reg, stats = self.make()
+        stats["faults"] += 1
+        stats["faults"] += 1
+        assert stats["faults"] == 2
+        assert reg.snapshot()["mm.faults"] == 2
+
+    def test_registry_writes_visible_through_view(self):
+        reg, stats = self.make()
+        reg.counter("mm.cow").inc(3)
+        assert stats["cow"] == 3
+
+    def test_dict_protocol(self):
+        _, stats = self.make()
+        assert set(stats) == {"faults", "cow"}
+        assert len(stats) == 2
+        assert dict(stats) == {"faults": 0, "cow": 0}
+        assert repr(stats) == repr({"faults": 0, "cow": 0})
+
+    def test_keys_cannot_be_removed(self):
+        _, stats = self.make()
+        with pytest.raises(TypeError):
+            del stats["faults"]
+
+    def test_unknown_key_raises(self):
+        _, stats = self.make()
+        with pytest.raises(KeyError):
+            stats["nope"]

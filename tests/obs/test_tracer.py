@@ -1,0 +1,130 @@
+"""Tests for the span tracer core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import tracer
+from repro.obs.tracer import (
+    ABORTED_SUFFIX,
+    CAT_KERNEL,
+    CAT_MEM,
+    CAT_PHASE,
+    SpanRecord,
+    Tracer,
+)
+
+
+class TestSpanRecord:
+    def test_duration(self):
+        assert SpanRecord("x", CAT_PHASE, 10, 35).duration_ns == 25
+
+    def test_instant_has_zero_duration(self):
+        assert SpanRecord("x", CAT_PHASE, 10, 10).duration_ns == 0
+
+    def test_aborted_flag(self):
+        assert SpanRecord("f" + ABORTED_SUFFIX, CAT_KERNEL, 0, 1).aborted
+        assert not SpanRecord("f", CAT_KERNEL, 0, 1).aborted
+
+
+class TestTracer:
+    def test_add_and_len(self):
+        t = Tracer()
+        t.add("a", CAT_PHASE, 0, 10)
+        t.add("b", CAT_MEM, 10, 20, frame=3)
+        assert len(t) == 2
+        assert t.records[1].attrs == {"frame": 3}
+
+    def test_instant_uses_bound_clock(self):
+        t = Tracer(now=lambda: 42)
+        record = t.instant("tick", CAT_MEM)
+        assert (record.start_ns, record.end_ns) == (42, 42)
+
+    def test_instant_without_clock_lands_at_zero(self):
+        record = Tracer().instant("tick", CAT_MEM)
+        assert record.start_ns == 0
+
+    def test_queries(self):
+        t = Tracer()
+        t.add("fork:async", CAT_KERNEL, 0, 100)
+        t.add("fork.pgd_copy", CAT_PHASE, 0, 40)
+        t.add("fork.pud_copy", CAT_PHASE, 40, 100)
+        assert t.count("fork.") == 2
+        assert t.count() == 3
+        assert t.total_ns("fork.") == 100
+        assert [r.name for r in t.by_category(CAT_PHASE)] == [
+            "fork.pgd_copy",
+            "fork.pud_copy",
+        ]
+        assert len(t.by_name("fork:")) == 1
+
+    def test_span_brackets_clock(self):
+        clock = {"t": 100}
+        t = Tracer(now=lambda: clock["t"])
+        with t.span("work", CAT_PHASE) as record:
+            clock["t"] = 250
+        assert (record.start_ns, record.end_ns) == (100, 250)
+
+    def test_span_insertion_order_parent_first(self):
+        clock = {"t": 0}
+        t = Tracer(now=lambda: clock["t"])
+        with t.span("outer", CAT_PHASE):
+            with t.span("inner", CAT_PHASE):
+                clock["t"] = 5
+        assert [r.name for r in t.records] == ["outer", "inner"]
+
+    def test_span_marks_aborted_and_reraises(self):
+        t = Tracer(now=lambda: 7)
+        with pytest.raises(RuntimeError):
+            with t.span("doomed", CAT_KERNEL):
+                raise RuntimeError("x")
+        assert t.records[0].name == "doomed" + ABORTED_SUFFIX
+        assert t.records[0].aborted
+
+    def test_span_without_any_clock_rejected(self):
+        with pytest.raises(ValueError):
+            with Tracer().span("x"):
+                pass
+
+    def test_extend_merges_records(self):
+        a, b = Tracer(), Tracer()
+        a.add("x", CAT_PHASE, 0, 1)
+        b.extend(a.records)
+        assert len(b) == 1
+
+
+class TestEmit:
+    def test_emit_without_installed_tracer_is_noop(self):
+        assert not tracer.ACTIVE
+        tracer.emit("x", CAT_PHASE, 0, 1)
+        tracer.emit_instant("y", CAT_MEM)
+
+    def test_emit_reaches_every_installed_tracer(self):
+        a = tracer.install(Tracer())
+        b = tracer.install(Tracer())
+        tracer.emit("x", CAT_PHASE, 0, 5, k=1)
+        assert len(a) == len(b) == 1
+        assert a.records[0].attrs == {"k": 1}
+
+    def test_uninstall_stops_mirroring(self):
+        a = tracer.install(Tracer())
+        tracer.uninstall(a)
+        tracer.emit("x", CAT_PHASE, 0, 1)
+        assert len(a) == 0
+
+    def test_emit_instant_uses_each_tracers_clock(self):
+        a = tracer.install(Tracer(now=lambda: 11))
+        b = tracer.install(Tracer())
+        tracer.emit_instant("tick", CAT_MEM)
+        assert a.records[0].start_ns == 11
+        assert b.records[0].start_ns == 0
+
+    def test_emit_dur_defaults_start_to_now(self):
+        a = tracer.install(Tracer(now=lambda: 100))
+        tracer.emit_dur("write", CAT_MEM, 40)
+        assert (a.records[0].start_ns, a.records[0].end_ns) == (100, 140)
+
+    def test_emit_dur_explicit_start(self):
+        a = tracer.install(Tracer())
+        tracer.emit_dur("write", CAT_MEM, 40, start_ns=5)
+        assert (a.records[0].start_ns, a.records[0].end_ns) == (5, 45)

@@ -270,3 +270,43 @@ class TestProduction:
             cloud.sample.latencies_ns.mean()
             > local.sample.latencies_ns.mean() + 0.9 * rtt
         )
+
+
+class TestTraceDerivation:
+    def test_interrupts_are_a_trace_query(self):
+        res = run("odf", size_gb=8, n=60_000)
+        from repro.sim.interrupts import InterruptRecorder
+
+        derived = InterruptRecorder.from_trace(res.trace)
+        assert derived.reasons == res.interrupts.reasons
+        assert derived.durations_ns == res.interrupts.durations_ns
+        assert derived.bcc_histogram() == res.interrupts.bcc_histogram()
+
+    def test_kernel_spans_match_recorded_episodes(self):
+        res = run("async", size_gb=8, n=60_000)
+        from repro.obs.tracer import CAT_KERNEL
+
+        kernel = res.trace.by_category(CAT_KERNEL)
+        assert [r.name for r in kernel] == res.interrupts.reasons
+        assert [
+            r.duration_ns for r in kernel
+        ] == res.interrupts.durations_ns
+
+    def test_run_trace_structure(self):
+        res = run("async", size_gb=8, n=60_000)
+        trace = res.trace
+        assert trace.count("persist.rdb") == 1
+        assert trace.count("snapshot.window") == 1
+        assert trace.count("queue.wait") == 1
+        window = trace.by_name("snapshot.window")[0]
+        assert window.start_ns == int(res.snapshot_start_ns)
+        assert window.end_ns == int(res.snapshot_end_ns)
+        wait = trace.by_name("queue.wait")[0]
+        assert wait.attrs["total_ns"] >= 0
+        assert wait.attrs["queries"] == 60_000
+
+    def test_method_none_has_no_fork_spans(self):
+        res = run("none", size_gb=1, n=20_000)
+        assert res.trace.count("fork") == 0
+        assert res.trace.count("persist.") == 0
+        assert len(res.interrupts.reasons) == 0
