@@ -1,0 +1,28 @@
+"""Pinned macro benchmarks: whole experiment points (pytest-benchmark).
+
+``fig3_fork`` and ``async_drain`` exercise the functional tier (real
+page tables, the code the tentpole vectorizes); ``fig45_point`` runs one
+latency-experiment point through the timing tier.  All three scale with
+the active profile (``REPRO_PROFILE``), so the baselines are keyed by
+profile name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.perf import perf_cases
+
+MACRO_IDS = [bid for bid in perf_cases.CASES if bid.startswith("macro.")]
+
+
+@pytest.mark.parametrize("bench_id", MACRO_IDS)
+def test_macro(benchmark, bench_id, profile):
+    setup, op, rounds, _ = perf_cases.CASES[bench_id]
+    benchmark.extra_info["bench_id"] = bench_id
+    benchmark.extra_info["description"] = perf_cases.PINNED[bench_id]
+    benchmark.extra_info["profile"] = profile.name
+    result = benchmark.pedantic(
+        op, setup=lambda: setup(profile), rounds=rounds, iterations=1
+    )
+    assert result is not None

@@ -1,0 +1,25 @@
+"""Pinned micro benchmarks for the mm hot paths (pytest-benchmark).
+
+Run through ``scripts/bench_perf.py``, which converts the benchmark JSON
+into ``BENCH_PR4.json`` and compares it against the checked-in baselines
+under ``benchmarks/baselines/``.  Direct invocation also works:
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.perf import perf_cases
+
+MICRO_IDS = [bid for bid in perf_cases.CASES if bid.startswith("micro.")]
+
+
+@pytest.mark.parametrize("bench_id", MICRO_IDS)
+def test_micro(benchmark, bench_id):
+    setup, op, rounds, _ = perf_cases.CASES[bench_id]
+    benchmark.extra_info["bench_id"] = bench_id
+    benchmark.extra_info["description"] = perf_cases.PINNED[bench_id]
+    result = benchmark.pedantic(op, setup=setup, rounds=rounds, iterations=1)
+    assert result is not None

@@ -1,0 +1,296 @@
+#!/usr/bin/env python
+"""Run the pinned perf benchmarks and gate regressions against baselines.
+
+The harness wraps the pytest-benchmark suite in ``benchmarks/perf/``:
+
+1. runs the pinned micro/macro cases under the active ``REPRO_PROFILE``
+   (default ``quick``) via ``pytest --benchmark-json``;
+2. adds a deterministic allocation count per operation (simulated frame
+   allocations, independent of wall-clock noise);
+3. emits ``BENCH_PR4.json`` — ``{bench_id: {median_ns, allocs_per_op}}``;
+4. with ``--compare``, checks every pinned benchmark against the
+   checked-in baseline for the profile and exits non-zero when the
+   median regresses by more than the tolerance (default ±20%) or the
+   allocation count grows.
+
+Refreshing baselines after an intentional perf change::
+
+    PYTHONPATH=src python scripts/bench_perf.py --save-baseline
+
+Demonstrating the gate (CI does this on the baseline-refresh PR)::
+
+    PYTHONPATH=src python scripts/bench_perf.py \
+        --compare benchmarks/baselines --inject-slowdown 0.25
+
+``--inject-slowdown`` multiplies the *measured* medians before the
+comparison; it never touches the emitted JSON's provenance field, so an
+injected run is always recognizable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+SUITE = "benchmarks/perf"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR4.json"
+DEFAULT_BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+DEFAULT_TOLERANCE = 0.20
+
+
+def _ensure_paths() -> None:
+    for path in (str(REPO_ROOT), str(SRC)):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+def run_suite(keyword: str | None, profile: str) -> dict:
+    """Run the pytest-benchmark suite; return parsed benchmark JSON."""
+    with tempfile.NamedTemporaryFile(
+        suffix=".json", prefix="bench-", delete=False
+    ) as handle:
+        json_path = handle.name
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
+    env["REPRO_PROFILE"] = profile
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        SUITE,
+        "-q",
+        "--benchmark-only",
+        "--benchmark-disable-gc",
+        f"--benchmark-json={json_path}",
+        "-p",
+        "no:cacheprovider",
+    ]
+    if keyword:
+        cmd += ["-k", keyword]
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if proc.returncode != 0:
+        raise SystemExit(f"benchmark suite failed (exit {proc.returncode})")
+    try:
+        with open(json_path) as fh:
+            return json.load(fh)
+    finally:
+        os.unlink(json_path)
+
+
+def collect_results(
+    raw: dict, profile: str, with_allocs: bool = True
+) -> dict:
+    """Convert pytest-benchmark JSON into the BENCH_PR4 schema."""
+    _ensure_paths()
+    from repro.config import _PROFILES
+
+    from benchmarks.perf import perf_cases
+
+    results: dict[str, dict] = {}
+    for bench in raw.get("benchmarks", []):
+        bench_id = bench.get("extra_info", {}).get("bench_id")
+        if bench_id is None:
+            continue
+        entry = {
+            "median_ns": bench["stats"]["median"] * 1e9,
+            "rounds": bench["stats"]["rounds"],
+            "description": perf_cases.PINNED.get(bench_id, ""),
+        }
+        if with_allocs:
+            entry["allocs_per_op"] = perf_cases.sim_allocs(
+                bench_id, _PROFILES[profile]
+            )
+        results[bench_id] = entry
+    return results
+
+
+def compare(
+    results: dict,
+    baseline: dict,
+    tolerance: float,
+    inject_slowdown: float = 0.0,
+    partial: bool = False,
+) -> list[str]:
+    """Return a list of failure messages (empty = gate passes).
+
+    With ``partial`` (a ``-k``-filtered run), benchmarks absent from the
+    run are skipped instead of failing the gate.
+    """
+    failures: list[str] = []
+    base_benches = baseline.get("benchmarks", baseline)
+    for bench_id, base in sorted(base_benches.items()):
+        current = results.get(bench_id)
+        if current is None:
+            if not partial:
+                failures.append(f"{bench_id}: missing from this run")
+            continue
+        measured = current["median_ns"] * (1.0 + inject_slowdown)
+        base_ns = base["median_ns"]
+        ratio = measured / base_ns if base_ns else float("inf")
+        drift = (ratio - 1.0) * 100.0
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{bench_id}: median {measured:,.0f} ns vs baseline "
+                f"{base_ns:,.0f} ns ({drift:+.1f}% > +{tolerance:.0%})"
+            )
+        elif ratio < 1.0 - tolerance:
+            verdict = "improved (refresh baseline?)"
+        print(
+            f"  {bench_id:<22} {measured:>15,.0f} ns"
+            f"  baseline {base_ns:>15,.0f} ns  {drift:+7.1f}%  {verdict}"
+        )
+        base_allocs = base.get("allocs_per_op")
+        cur_allocs = current.get("allocs_per_op")
+        if (
+            base_allocs is not None
+            and cur_allocs is not None
+            and cur_allocs > base_allocs
+        ):
+            failures.append(
+                f"{bench_id}: allocations grew {base_allocs} -> "
+                f"{cur_allocs} per op (algorithmic regression)"
+            )
+    extra = sorted(set(results) - set(base_benches))
+    for bench_id in extra:
+        print(f"  {bench_id:<22} (no baseline entry; not gated)")
+    return failures
+
+
+def check_pinned(results: dict) -> None:
+    _ensure_paths()
+    from benchmarks.perf import perf_cases
+
+    missing = sorted(set(perf_cases.PINNED) - set(results))
+    if missing:
+        raise SystemExit(f"pinned benchmarks missing from run: {missing}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile",
+        default=os.environ.get("REPRO_PROFILE", "quick"),
+        help="REPRO_PROFILE for the run (default: env or 'quick')",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the results JSON (default BENCH_PR4.json)",
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="baseline dir (uses <dir>/<profile>.json) or file to gate on",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed median drift before failing (default 0.20 = ±20%%)",
+    )
+    parser.add_argument(
+        "--save-baseline",
+        action="store_true",
+        help="write this run as benchmarks/baselines/<profile>.json",
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="pretend medians are FRAC slower before comparing "
+        "(CI gate self-test; does not alter the output JSON)",
+    )
+    parser.add_argument(
+        "-k",
+        dest="keyword",
+        default=None,
+        help="pytest -k filter (partial runs are not gated for "
+        "completeness)",
+    )
+    parser.add_argument(
+        "--no-allocs",
+        action="store_true",
+        help="skip the deterministic allocation-count pass",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"running pinned benchmarks under profile={args.profile} ...")
+    raw = run_suite(args.keyword, args.profile)
+    results = collect_results(
+        raw, args.profile, with_allocs=not args.no_allocs
+    )
+    if not args.keyword:
+        check_pinned(results)
+
+    payload = {
+        "schema": "bench-pr4/v1",
+        "profile": args.profile,
+        "tolerance": args.tolerance,
+        "injected_slowdown": args.inject_slowdown,
+        "benchmarks": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {args.output} ({len(results)} benchmarks)")
+
+    if args.save_baseline:
+        DEFAULT_BASELINE_DIR.mkdir(parents=True, exist_ok=True)
+        baseline_path = DEFAULT_BASELINE_DIR / f"{args.profile}.json"
+        baseline_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True)
+        )
+        print(f"saved baseline {baseline_path}")
+
+    if args.compare is not None:
+        baseline_path = args.compare
+        if baseline_path.is_dir():
+            baseline_path = baseline_path / f"{args.profile}.json"
+        if not baseline_path.exists():
+            raise SystemExit(f"no baseline at {baseline_path}")
+        baseline = json.loads(baseline_path.read_text())
+        print(
+            f"comparing against {baseline_path} "
+            f"(tolerance ±{args.tolerance:.0%}"
+            + (
+                f", injected slowdown {args.inject_slowdown:.0%})"
+                if args.inject_slowdown
+                else ")"
+            )
+        )
+        failures = compare(
+            results,
+            baseline,
+            args.tolerance,
+            inject_slowdown=args.inject_slowdown,
+            partial=args.keyword is not None,
+        )
+        if failures:
+            print("\nPERF GATE FAILED:")
+            for line in failures:
+                print(f"  - {line}")
+            print(
+                "\nIf the regression is intentional, refresh the baseline"
+                " (--save-baseline) or apply the 'perf-waiver' label"
+                " (see README)."
+            )
+            return 1
+        print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,16 @@ Rules
     A class or function whose name collides with a Python builtin
     exception once trailing underscores are stripped (e.g. the old
     ``MemoryError_``), which invites confusing ``except`` clauses.
+``pte-loop``
+    A ``for`` loop (or comprehension) iterating a PTE table entry by
+    entry — ``present_indices()``, ``referencing_indices()``,
+    ``referencing_frames()``, ``entries()`` or
+    ``range(ENTRIES_PER_TABLE)`` — inside one of the *hot modules* of
+    the memory substrate (:data:`_PTE_HOT_MODULES`).  Those paths must
+    run as whole-table numpy operations (DESIGN.md §10); a per-element
+    Python loop there silently reverts the vectorization.  Deliberate
+    scalar fallbacks (e.g. the tracing arms, cold NUMA paths) carry the
+    allow pragma.
 
 A finding on a line containing ``# lint: allow(<rule>)`` is suppressed.
 """
@@ -70,6 +80,31 @@ _BUILTIN_EXCEPTIONS = frozenset(
 #: Modules whose sources may construct RNGs (with an allow pragma too,
 #: but listing them here keeps the lint's self-test honest).
 _RNG_BLESSED_MODULES = frozenset({"determinism"})
+
+#: Path suffixes of the vectorized hot modules: per-PTE Python loops in
+#: these files are findings (rule ``pte-loop``).
+_PTE_HOT_MODULES = (
+    "mem/pte_table.py",
+    "mem/page_table.py",
+    "mem/cow.py",
+    "mem/address_space.py",
+    "mem/reclaim.py",
+    "mem/tlb.py",
+    "kernel/forks/default.py",
+    "kernel/forks/odf.py",
+    "core/async_fork.py",
+    "kvs/rdb.py",
+)
+
+#: PteTable accessors whose per-element iteration marks a PTE loop.
+_PTE_ITER_METHODS = frozenset(
+    {
+        "present_indices",
+        "referencing_indices",
+        "referencing_frames",
+        "entries",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -125,6 +160,10 @@ class _Linter(ast.NodeVisitor):
         self.module_name = module_name
         self.imports = _ImportTracker()
         self.findings: list[LintFinding] = []
+        posix_path = path.replace("\\", "/")
+        self.pte_hot = any(
+            posix_path.endswith(suffix) for suffix in _PTE_HOT_MODULES
+        )
 
     # -- helpers ---------------------------------------------------------
 
@@ -214,6 +253,55 @@ class _Linter(ast.NodeVisitor):
                 f"{target}() draws from numpy's legacy global RNG; "
                 "use repro.determinism.seeded_rng",
             )
+
+    # -- per-PTE loops -----------------------------------------------------
+
+    def _is_pte_iterable(self, expr: ast.expr) -> str | None:
+        """Describe ``expr`` if iterating it walks a table per element."""
+        if not isinstance(expr, ast.Call):
+            return None
+        func = expr.func
+        if isinstance(func, ast.Name):
+            if func.id == "enumerate" and expr.args:
+                return self._is_pte_iterable(expr.args[0])
+            if func.id == "range" and any(
+                isinstance(arg, ast.Name) and arg.id == "ENTRIES_PER_TABLE"
+                for arg in expr.args
+            ):
+                return "range(ENTRIES_PER_TABLE)"
+            return None
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _PTE_ITER_METHODS
+        ):
+            return f".{func.attr}()"
+        return None
+
+    def _check_pte_loop(self, node: ast.AST, iterable: ast.expr) -> None:
+        if not self.pte_hot:
+            return
+        what = self._is_pte_iterable(iterable)
+        if what is not None:
+            self._report(
+                node,
+                "pte-loop",
+                f"per-PTE loop over {what} in a vectorized hot module; "
+                "use whole-table numpy ops (DESIGN.md §10)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_pte_loop(node, node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.expr) -> None:
+        for gen in node.generators:
+            self._check_pte_loop(gen.iter, gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
 
     # -- raises ----------------------------------------------------------
 

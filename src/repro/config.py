@@ -15,6 +15,12 @@ harness supports two profiles:
     table CoW faults, proactive synchronizations, data-page CoW), so the
     shape of every figure is preserved; EXPERIMENTS.md records the measured
     values per profile.
+
+``paper-small``
+    An intermediate tier used by the nightly CI job and the perf harness:
+    paper-style query volume (millions, not hundreds of thousands) over
+    the lower half of the size sweep.  Select with
+    ``REPRO_PROFILE=paper-small``.
 """
 
 from __future__ import annotations
@@ -80,7 +86,19 @@ FULL_PROFILE = SimulationProfile(
     repeats=5,
 )
 
-_PROFILES = {"quick": QUICK_PROFILE, "full": FULL_PROFILE}
+PAPER_SMALL_PROFILE = SimulationProfile(
+    name="paper-small",
+    query_count=1_500_000,
+    persist_speedup=4.0,
+    sizes_gb=(1, 2, 4, 8, 16),
+    repeats=2,
+)
+
+_PROFILES = {
+    "quick": QUICK_PROFILE,
+    "full": FULL_PROFILE,
+    "paper-small": PAPER_SMALL_PROFILE,
+}
 
 
 def active_profile() -> SimulationProfile:

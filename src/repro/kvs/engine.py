@@ -109,8 +109,11 @@ class ForkJob:
                 )
 
     def _child_entries(self):
+        from repro.kvs.store import _read_paged
+
+        cache: dict[int, bytes] = {}
         return (
-            (key, self.child.mm.read_memory(ref.vaddr, ref.length))
+            (key, _read_paged(self.child.mm, ref.vaddr, ref.length, cache))
             for key, ref in self._table.items()
         )
 

@@ -15,6 +15,7 @@ from typing import Iterator, Optional
 from repro.errors import KvsError
 from repro.kvs.allocator import JemallocArena
 from repro.mem.address_space import AddressSpace
+from repro.units import PAGE_SIZE, page_align_down
 
 
 @dataclass(frozen=True)
@@ -98,9 +99,15 @@ class KvStore:
         This is how the forked child serializes the snapshot: it walks the
         key table it inherited and reads the values out of its own memory
         image, which CoW keeps at the fork-time state.
+
+        Values pack many to a page, so the walk reads each backing page
+        through ``mm`` once and slices values out of a local page cache —
+        the first value touching a page still drives the fault/CoW
+        machinery exactly as a direct read would.
         """
+        cache: dict[int, bytes] = {}
         for key, ref in self._table.items():
-            yield key, mm.read_memory(ref.vaddr, ref.length)
+            yield key, _read_paged(mm, ref.vaddr, ref.length, cache)
 
     def table_snapshot(self) -> dict[bytes, ValueRef]:
         """Shallow copy of the key table, as inherited by a forked child."""
@@ -109,3 +116,30 @@ class KvStore:
     def flat_size(self) -> int:
         """Total bytes of stored values."""
         return sum(ref.length for ref in self._table.values())
+
+
+def _read_paged(
+    mm: AddressSpace, vaddr: int, length: int, cache: dict[int, bytes]
+) -> bytes:
+    """Read ``length`` bytes at ``vaddr``, whole pages at a time.
+
+    Pages are fetched through ``mm.read_memory`` (so faults, the TLB,
+    and CoW behave as for any other read) and memoized in ``cache`` for
+    the duration of one keyspace walk.
+    """
+    parts: list[bytes] = []
+    offset = 0
+    while offset < length:
+        here = vaddr + offset
+        base = page_align_down(here)
+        page = cache.get(base)
+        if page is None:
+            page = mm.read_memory(base, PAGE_SIZE)
+            cache[base] = page
+        in_page = here - base
+        chunk = min(length - offset, PAGE_SIZE - in_page)
+        parts.append(page[in_page : in_page + chunk])
+        offset += chunk
+    if len(parts) == 1:
+        return parts[0]
+    return b"".join(parts)

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro.analysis import hooks
 from repro.errors import InvalidAddressError, ProtectionFaultError
 from repro.mem import checkpoints as cp
@@ -47,6 +49,9 @@ MMAP_BASE = 0x5555_0000_0000
 STACK_TOP = 0x7FFF_FF00_0000
 
 ZERO_FRAME = 0
+
+_ACCESSED = np.uint64(int(PteFlags.ACCESSED))
+_PAGE_SHIFT = np.uint64(PAGE_SIZE.bit_length() - 1)
 
 CheckpointSubscriber = Callable[[CheckpointEvent], None]
 
@@ -283,15 +288,24 @@ class AddressSpace:
                     zapped += PTE_TABLE_SPAN // PAGE_SIZE
                 continue
             leaf = require_pte_table(pmd.get(idx))
-            for i in leaf.referencing_indices():
-                vaddr = base + i * PAGE_SIZE
-                if not lo <= vaddr < hi:
-                    continue
-                old = leaf.clear(i)
-                self._drop_frame(pte_frame(old))
-                self.tlb.flush_page(vaddr)
-                zapped += 1
             span_covered = lo <= base and base + PTE_TABLE_SPAN <= hi
+            ridx = leaf.referencing_array()
+            if len(ridx) and not span_covered:
+                vaddrs = base + ridx * PAGE_SIZE
+                ridx = ridx[(vaddrs >= lo) & (vaddrs < hi)]
+            if len(ridx):
+                words = leaf.entries()[ridx]
+                pages = (base + ridx * PAGE_SIZE).tolist()
+                leaf.clear_indices(ridx)
+                drop = [
+                    f
+                    for f in (words >> _PAGE_SHIFT).tolist()
+                    if f != ZERO_FRAME
+                ]
+                self.frames.put_many(drop)
+                self.rss -= len(drop)
+                self.tlb.flush_pages(pages)
+                zapped += len(pages)
             if leaf.present_count == 0 and span_covered:
                 pmd.clear(idx)
                 self._free_table_frame(leaf)
@@ -323,8 +337,7 @@ class AddressSpace:
         self.rss -= 1
 
     def _flush_tlb_range(self, lo: int, hi: int) -> None:
-        for vaddr in range(lo, hi, PAGE_SIZE):
-            self.tlb.flush_page(vaddr)
+        self.tlb.flush_range(lo, hi)
 
     # ------------------------------------------------------------------
     # faults
@@ -639,13 +652,32 @@ class AddressSpace:
 
     def estimate_wss(self) -> int:
         """Count accessed PTEs — the kernel's WSS estimator input."""
+        from repro.mem.hugepage import HugePage
+
         count = 0
         for vma in self.vmas:
-            for _, pte in self.page_table.iter_present_ptes(
+            for pmd, idx, base in self.page_table.iter_pmd_slots(
                 vma.start, vma.end
             ):
-                if pte & int(PteFlags.ACCESSED):
-                    count += 1
+                leaf = pmd.get(idx)
+                if leaf is None or isinstance(leaf, HugePage):
+                    continue
+                leaf = require_pte_table(leaf)
+                pidx = leaf.present_array()
+                if not len(pidx):
+                    continue
+                in_span = (
+                    vma.start <= base
+                    and base + PTE_TABLE_SPAN <= vma.end
+                )
+                if not in_span:
+                    vaddrs = base + pidx * PAGE_SIZE
+                    pidx = pidx[
+                        (vaddrs >= vma.start) & (vaddrs < vma.end)
+                    ]
+                count += int(
+                    np.count_nonzero(leaf.entries()[pidx] & _ACCESSED)
+                )
         return count
 
     def clear_accessed_bits(self) -> None:
@@ -663,8 +695,7 @@ class AddressSpace:
                 if leaf is None:
                     continue
                 leaf = require_pte_table(leaf)
-                for i in leaf.present_indices():
-                    leaf.remove_flags(i, PteFlags.ACCESSED)
+                leaf.clear_flags_present(PteFlags.ACCESSED)
 
     # ------------------------------------------------------------------
 

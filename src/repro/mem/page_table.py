@@ -31,8 +31,11 @@ from repro.mem.pte_table import PteTable
 from repro.units import (
     ENTRIES_PER_TABLE,
     PAGE_SIZE,
+    PGD_INDEX_SHIFT,
+    PMD_INDEX_SHIFT,
     PMD_TABLE_SPAN,
     PTE_TABLE_SPAN,
+    PUD_INDEX_SHIFT,
     PUD_TABLE_SPAN,
     pgd_index,
     pmd_index,
@@ -139,15 +142,52 @@ class PageTable:
         """Yield ``(pmd_table, slot, base_vaddr)`` over [start, end).
 
         Each yielded slot covers one PTE table's span (2 MiB).  Without
-        ``create``, absent paths are skipped.
+        ``create``, absent paths are skipped — by walking the directory
+        *tree* (only levels that exist) instead of probing every 2 MiB
+        slot of the range, so a sparse gigabyte costs three directory
+        lookups, not 512 failed walks.  Slot order is ascending either
+        way, and slots of an existing PMD are yielded even when empty
+        (callers decide what an empty slot means).
         """
-        vaddr = (start // PTE_TABLE_SPAN) * PTE_TABLE_SPAN
-        while vaddr < end:
-            found = self.walk_pmd(vaddr, create=create)
-            if found is not None:
+        if create:
+            vaddr = (start // PTE_TABLE_SPAN) * PTE_TABLE_SPAN
+            while vaddr < end:
+                found = self.walk_pmd(vaddr, create=True)
+                assert found is not None
                 pmd, idx = found
                 yield pmd, idx, vaddr
-            vaddr += PTE_TABLE_SPAN
+                vaddr += PTE_TABLE_SPAN
+            return
+        lo = (start // PTE_TABLE_SPAN) * PTE_TABLE_SPAN
+        if lo >= end:
+            return
+        last = ((end - 1) // PTE_TABLE_SPAN) * PTE_TABLE_SPAN
+        for gi in range(pgd_index(lo), pgd_index(last) + 1):
+            pud = self.pgd.get(gi)
+            if pud is None:
+                continue
+            pud = require_directory(pud, PUD)
+            g_base = gi << PGD_INDEX_SHIFT
+            u_start = pud_index(lo) if g_base <= lo else 0
+            u_end = (
+                pud_index(last)
+                if last < g_base + PUD_TABLE_SPAN
+                else ENTRIES_PER_TABLE - 1
+            )
+            for ui in range(u_start, u_end + 1):
+                pmd = pud.get(ui)
+                if pmd is None:
+                    continue
+                pmd = require_directory(pmd, PMD)
+                u_base = g_base | (ui << PUD_INDEX_SHIFT)
+                m_start = pmd_index(lo) if u_base <= lo else 0
+                m_end = (
+                    pmd_index(last)
+                    if last < u_base + PMD_TABLE_SPAN
+                    else ENTRIES_PER_TABLE - 1
+                )
+                for mi in range(m_start, m_end + 1):
+                    yield pmd, mi, u_base | (mi << PMD_INDEX_SHIFT)
 
     def iter_present_ptes(
         self, start: int, end: int
@@ -160,10 +200,16 @@ class PageTable:
             if leaf is None or isinstance(leaf, HugePage):
                 continue
             leaf = require_pte_table(leaf)
-            for i in leaf.present_indices():
-                vaddr = base + i * PAGE_SIZE
-                if start <= vaddr < end:
-                    yield vaddr, leaf.get(i)
+            pidx = leaf.present_array()
+            if not len(pidx):
+                continue
+            vaddrs = base + pidx * PAGE_SIZE
+            if not (start <= base and base + PTE_TABLE_SPAN <= end):
+                keep = (vaddrs >= start) & (vaddrs < end)
+                pidx = pidx[keep]
+                vaddrs = vaddrs[keep]
+            values = leaf.entries()[pidx].tolist()
+            yield from zip(vaddrs.tolist(), values)
 
     # -- statistics used by the cost model ---------------------------------------
 
@@ -218,13 +264,13 @@ class PageTable:
             if start <= base and base + PTE_TABLE_SPAN <= end:
                 touched += leaf.write_protect_all()
                 continue
-            for i in leaf.present_indices():
-                vaddr = base + i * PAGE_SIZE
-                if start <= vaddr < end:
-                    pte = leaf.get(i)
-                    if pte & int(PteFlags.RW):
-                        leaf.remove_flags(i, PteFlags.RW)
-                        touched += 1
+            lo_i = pte_index(start) if base < start else 0
+            hi_i = (
+                pte_index(end - 1) + 1
+                if end < base + PTE_TABLE_SPAN
+                else ENTRIES_PER_TABLE
+            )
+            touched += leaf.write_protect_slice(lo_i, hi_i)
         return touched
 
     def spans(self) -> dict[str, int]:

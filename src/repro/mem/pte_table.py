@@ -5,6 +5,14 @@ a physical frame, whose :class:`~repro.mem.page_struct.PageStruct` carries
 the ``trylock_page()`` lock used by Async-fork and the share counter used by
 ODF.  The array is materialized lazily so that sparse address spaces stay
 cheap.
+
+Hot operations are whole-table numpy ops (DESIGN.md §10): the present and
+referencing index sets are computed vectorized and *cached*, invalidated
+only when an entry's membership actually changes (flag-only updates such
+as the ACCESSED/DIRTY traffic of a fault storm keep the cache).  A flags
+change never moves an entry in or out of the present/referencing sets
+unless it touches the PRESENT/SPECIAL bits, which :meth:`set` detects on
+the raw words.
 """
 
 from __future__ import annotations
@@ -18,13 +26,28 @@ from repro.mem.flags import (
     pte_set_flags,
 )
 from repro.mem.page_struct import PageStruct
-from repro.units import ENTRIES_PER_TABLE
+from repro.units import ENTRIES_PER_TABLE, PAGE_SHIFT
+
+_PRESENT = np.uint64(int(PteFlags.PRESENT))
+_RW = np.uint64(int(PteFlags.RW))
+_NOT_RW = np.uint64(~int(PteFlags.RW) & 0xFFFF_FFFF_FFFF_FFFF)
+_REFERENCING = np.uint64(int(PteFlags.PRESENT) | int(PteFlags.SPECIAL))
+#: Bits whose change moves an entry in/out of the cached index sets.
+_MEMBERSHIP_BITS = int(PteFlags.PRESENT) | int(PteFlags.SPECIAL)
+_PAGE_SHIFT = np.uint64(PAGE_SHIFT)
 
 
 class PteTable:
     """A 512-entry leaf table of the radix page table."""
 
-    __slots__ = ("page", "_entries", "present_count")
+    __slots__ = (
+        "page",
+        "_entries",
+        "present_count",
+        "_present_idx",
+        "_ref_idx",
+        "scan_count",
+    )
 
     def __init__(self, page: PageStruct) -> None:
         #: ``struct page`` of the frame holding this table.
@@ -32,6 +55,12 @@ class PteTable:
         self._entries: np.ndarray | None = None
         #: Number of present entries, kept incrementally for cheap scans.
         self.present_count = 0
+        #: Cached ``np.nonzero`` results; ``None`` = must rescan.
+        self._present_idx: np.ndarray | None = None
+        self._ref_idx: np.ndarray | None = None
+        #: Full-array scans performed (regression-tested: a fault storm
+        #: must not rescan unchanged tables, see ISSUE 4 satellite 3).
+        self.scan_count = 0
 
     # -- entry access ----------------------------------------------------
 
@@ -39,6 +68,10 @@ class PteTable:
         if self._entries is None:
             self._entries = np.zeros(ENTRIES_PER_TABLE, dtype=np.uint64)
         return self._entries
+
+    def _invalidate(self) -> None:
+        self._present_idx = None
+        self._ref_idx = None
 
     def get(self, index: int) -> int:
         """Raw PTE value at ``index`` (0 when never set)."""
@@ -52,6 +85,8 @@ class PteTable:
         old = int(entries[index])
         entries[index] = np.uint64(value)
         self.present_count += int(pte_present(value)) - int(pte_present(old))
+        if (old ^ int(value)) & _MEMBERSHIP_BITS:
+            self._invalidate()
 
     def clear(self, index: int) -> int:
         """Clear an entry to "none present"; return the old value."""
@@ -69,18 +104,44 @@ class PteTable:
         self.set(index, pte_clear_flags(self.get(index), flags))
 
     def entries(self) -> np.ndarray:
-        """Read-only view of the raw entries (zeros if untouched)."""
+        """Read-only view of the raw entries (zeros if untouched).
+
+        Callers must not write through the returned array — mutations
+        bypass the present counter and the cached index sets.
+        """
         if self._entries is None:
             return np.zeros(ENTRIES_PER_TABLE, dtype=np.uint64)
         return self._entries
 
+    # -- index sets (cached) ----------------------------------------------
+
+    def present_array(self) -> np.ndarray:
+        """Indices of present entries as a cached numpy array."""
+        if self._present_idx is None:
+            if self._entries is None or self.present_count == 0:
+                self._present_idx = np.empty(0, dtype=np.intp)
+            else:
+                self.scan_count += 1
+                self._present_idx = np.nonzero(
+                    self._entries & _PRESENT
+                )[0]
+        return self._present_idx
+
+    def referencing_array(self) -> np.ndarray:
+        """Indices of frame-referencing entries as a cached numpy array."""
+        if self._ref_idx is None:
+            if self._entries is None:
+                self._ref_idx = np.empty(0, dtype=np.intp)
+            else:
+                self.scan_count += 1
+                self._ref_idx = np.nonzero(
+                    self._entries & _REFERENCING
+                )[0]
+        return self._ref_idx
+
     def present_indices(self) -> list[int]:
-        """Indices of present entries."""
-        if self._entries is None or self.present_count == 0:
-            return []
-        present_bit = np.uint64(int(PteFlags.PRESENT))
-        mask = (self._entries & present_bit) != 0
-        return [int(i) for i in np.nonzero(mask)[0]]
+        """Indices of present entries (plain ints)."""
+        return self.present_array().tolist()
 
     def referencing_indices(self) -> list[int]:
         """Indices of entries that hold a frame reference.
@@ -90,11 +151,23 @@ class PteTable:
         entries (PteFlags.SPECIAL) — which reclaim and teardown must
         release like any other mapping.
         """
-        if self._entries is None:
-            return []
-        bits = np.uint64(int(PteFlags.PRESENT) | int(PteFlags.SPECIAL))
-        mask = (self._entries & bits) != 0
-        return [int(i) for i in np.nonzero(mask)[0]]
+        return self.referencing_array().tolist()
+
+    def referencing_frames_array(self) -> np.ndarray:
+        """Frame numbers (non-zero) referenced here, as a numpy array.
+
+        The ``intp`` dtype makes the result directly usable as an index
+        into the allocator's map-count array (the bulk get/put arm).
+        """
+        idx = self.referencing_array()
+        if not len(idx):
+            return np.empty(0, dtype=np.intp)
+        frames = (self._entries[idx] >> _PAGE_SHIFT).astype(np.intp)
+        return frames[frames != 0]
+
+    def referencing_frames(self) -> list[int]:
+        """Frame numbers (non-zero) referenced by this table's entries."""
+        return self.referencing_frames_array().tolist()
 
     # -- bulk operations used by the fork engines --------------------------
 
@@ -102,21 +175,68 @@ class PteTable:
         """Clear the RW bit on every present entry; return how many."""
         if self._entries is None or self.present_count == 0:
             return 0
-        present_bit = np.uint64(int(PteFlags.PRESENT))
-        rw_bit = np.uint64(int(PteFlags.RW))
-        mask = (self._entries & present_bit) != 0
-        touched = int(np.count_nonzero(mask & ((self._entries & rw_bit) != 0)))
-        self._entries[mask] &= ~rw_bit
+        idx = self.present_array()
+        values = self._entries[idx]
+        touched = int(np.count_nonzero(values & _RW))
+        if touched:
+            self._entries[idx] = values & _NOT_RW
         return touched
 
+    def write_protect_slice(self, lo: int, hi: int) -> int:
+        """Clear RW on present entries with index in [lo, hi).
+
+        The boundary-table arm of ``write_protect_range``: the same
+        CoW protection downgrade as :meth:`write_protect_all`, clipped
+        so a partial ``mprotect`` does not spill over.
+        """
+        if self._entries is None or self.present_count == 0:
+            return 0
+        window = self._entries[lo:hi]
+        mask = (window & _PRESENT) != 0
+        touched = int(np.count_nonzero(window[mask] & _RW))
+        if touched:
+            window[mask] &= _NOT_RW
+        return touched
+
+    def clear_indices(self, idx: np.ndarray) -> None:
+        """Zero the entries at ``idx`` (the bulk zap arm).
+
+        Equivalent to ``clear(i)`` per index; the present counter drops
+        by however many of the cleared entries were present.
+        """
+        if self._entries is None or not len(idx):
+            return
+        values = self._entries[idx]
+        self.present_count -= int(np.count_nonzero(values & _PRESENT))
+        self._entries[idx] = 0
+        self._invalidate()
+
+    def clear_flags_present(self, flags: PteFlags) -> None:
+        """Remove ``flags`` from every present entry (WSS bit aging)."""
+        if self._entries is None or self.present_count == 0:
+            return
+        keep = np.uint64(~int(flags) & 0xFFFF_FFFF_FFFF_FFFF)
+        idx = self.present_array()
+        self._entries[idx] &= keep
+        if int(flags) & _MEMBERSHIP_BITS:  # pragma: no cover - not used
+            self._invalidate()
+
     def copy_entries_from(self, other: "PteTable") -> None:
-        """Replace this table's entries with a copy of ``other``'s."""
+        """Replace this table's entries with a copy of ``other``'s.
+
+        ``other``'s cached index sets stay valid for the copy (same
+        words, same membership), so they are shared rather than
+        rescanned — the arrays are read-only results of ``nonzero``.
+        """
         if other._entries is None:
+            self._invalidate()
             self._entries = None
             self.present_count = 0
             return
         self._entries = other._entries.copy()
         self.present_count = other.present_count
+        self._present_idx = other._present_idx
+        self._ref_idx = other._ref_idx
 
     def __len__(self) -> int:
         return ENTRIES_PER_TABLE

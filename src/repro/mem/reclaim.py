@@ -160,7 +160,9 @@ def change_prot_numa(mm: AddressSpace, start: int, end: int) -> int:
         if leaf is None:
             continue
         leaf = require_pte_table(leaf)
-        for i in leaf.present_indices():
+        # Cold path (NUMA balancing), and each entry keeps its own flag
+        # combination plus a traced per-page flush — stays scalar.
+        for i in leaf.present_indices():  # lint: allow(pte-loop)
             vaddr = base + i * PAGE_SIZE
             if not start <= vaddr < end:
                 continue

@@ -96,6 +96,62 @@ class Tlb:
                 "tlb.flush_page", obs.CAT_TLB, owner=self.owner, page=page
             )
 
+    def flush_pages(self, pages: list[int]) -> None:
+        """Invalidate many page-aligned addresses (a batch of INVLPGs).
+
+        Counter- and trace-identical to calling :meth:`flush_page` once
+        per page, in list order: ``flushes`` rises by ``len(pages)`` and,
+        with tracing active, one ``tlb.flush_page`` instant is emitted
+        per page.  The fast path only pays per-page Python cost for
+        pages actually cached.
+        """
+        if not pages:
+            return
+        if obs.ACTIVE:
+            for page in pages:  # lint: allow(pte-loop)
+                self.flush_page(page)
+            return
+        entries = self._entries
+        if entries:
+            pop = entries.pop
+            discard = self._writable.discard
+            for page in pages:
+                pop(page, None)
+                discard(page)
+        self._flushes.value += len(pages)
+
+    def flush_range(self, lo: int, hi: int) -> None:
+        """Invalidate every page in ``[lo, hi)`` (a range shootdown).
+
+        Equivalent to one :meth:`flush_page` per page in ascending
+        order — including the per-page ``flushes`` accounting the range
+        shootdown IPIs stand in for.
+        """
+        from repro.units import PAGE_SIZE
+
+        lo = page_align_down(lo)
+        npages = (hi - lo + PAGE_SIZE - 1) // PAGE_SIZE
+        if npages <= 0:
+            return
+        if obs.ACTIVE:
+            for page in range(lo, hi, PAGE_SIZE):  # lint: allow(pte-loop)
+                self.flush_page(page)
+            return
+        entries = self._entries
+        if entries:
+            if len(entries) <= npages:
+                drop = [p for p in entries if lo <= p < hi]
+            else:
+                drop = [
+                    p
+                    for p in range(lo, hi, PAGE_SIZE)
+                    if p in entries
+                ]
+            for page in drop:
+                del entries[page]
+                self._writable.discard(page)
+        self._flushes.value += npages
+
     def flush_all(self) -> None:
         """Invalidate everything (CR3 reload).
 

@@ -113,6 +113,62 @@ class TestRaisesAndShadows:
         assert MemoryError_ is SimMemoryError
 
 
+class TestPteLoop:
+    HOT = "src/repro/mem/cow.py"
+
+    def test_for_over_present_indices_in_hot_module(self):
+        src = "for i in leaf.present_indices():\n    pass\n"
+        assert rules(src, self.HOT) == ["pte-loop"]
+
+    def test_for_over_entries_in_hot_module(self):
+        src = "for pte in leaf.entries():\n    pass\n"
+        assert rules(src, self.HOT) == ["pte-loop"]
+
+    def test_enumerate_is_unwrapped(self):
+        src = "for i, f in enumerate(leaf.referencing_frames()):\n    pass\n"
+        assert rules(src, self.HOT) == ["pte-loop"]
+
+    def test_range_entries_per_table(self):
+        src = "for i in range(ENTRIES_PER_TABLE):\n    pass\n"
+        assert rules(src, self.HOT) == ["pte-loop"]
+
+    def test_comprehension_is_flagged(self):
+        src = "x = [leaf.get(i) for i in leaf.present_indices()]\n"
+        assert rules(src, self.HOT) == ["pte-loop"]
+
+    def test_every_hot_module_suffix_matches(self):
+        from repro.analysis.lint import _PTE_HOT_MODULES
+
+        src = "for i in leaf.present_indices():\n    pass\n"
+        for suffix in _PTE_HOT_MODULES:
+            assert rules(src, f"src/repro/{suffix}") == ["pte-loop"], suffix
+
+    def test_cold_module_is_not_flagged(self):
+        src = "for i in leaf.present_indices():\n    pass\n"
+        assert rules(src, "src/repro/kvs/store.py") == []
+        assert rules(src, "tests/mem/test_x.py") == []
+
+    def test_ordinary_loops_are_fine_in_hot_modules(self):
+        src = "for vma in mm.vmas:\n    pass\nfor i in range(8):\n    pass\n"
+        assert rules(src, self.HOT) == []
+
+    def test_allow_pragma_suppresses(self):
+        src = (
+            "for i in leaf.present_indices():  # lint: allow(pte-loop)\n"
+            "    pass\n"
+        )
+        assert rules(src, self.HOT) == []
+
+    def test_comprehension_pragma_on_iter_line(self):
+        src = (
+            "x = [\n"
+            "    leaf.get(i)\n"
+            "    for i in leaf.present_indices()  # lint: allow(pte-loop)\n"
+            "]\n"
+        )
+        assert rules(src, self.HOT) == []
+
+
 class TestPragmaAndOutput:
     def test_allow_pragma_suppresses(self):
         src = "import time\nx = time.time()  # lint: allow(wall-clock)\n"

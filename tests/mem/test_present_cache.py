@@ -1,0 +1,114 @@
+"""The cached present/referencing index sets avoid O(PTE) rescans.
+
+ISSUE 4, satellite 3: ``present_indices()`` used to rebuild its index
+list on every call, making innocent-looking loops (WSS estimation after
+a fault storm, zap sweeps) O(PTEs-in-process) instead of O(tables).
+The cache must
+
+* survive repeated reads (one scan, however many calls);
+* survive flag-only updates (ACCESSED/DIRTY traffic never moves an
+  entry in or out of the present set);
+* be invalidated by membership changes (map/unmap);
+* keep a fault storm confined to one table from rescanning the others.
+"""
+
+from __future__ import annotations
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.flags import PteFlags, make_pte
+from repro.mem.frames import FrameAllocator
+from repro.mem.page_struct import PageStruct
+from repro.mem.pte_table import PteTable
+from repro.units import PAGE_SIZE, PTE_TABLE_SPAN
+
+PRESENT_RW = PteFlags.PRESENT | PteFlags.RW
+
+
+class TestPteTableScanCount:
+    def test_repeated_reads_scan_once(self):
+        table = PteTable(PageStruct(frame=1))
+        for i in range(0, 40, 4):
+            table.set(i, make_pte(100 + i, PRESENT_RW))
+        assert table.scan_count == 0
+        expected = list(range(0, 40, 4))
+        for _ in range(5):
+            assert table.present_indices() == expected
+        assert table.scan_count == 1
+
+    def test_flag_only_updates_keep_the_cache(self):
+        table = PteTable(PageStruct(frame=1))
+        table.set(3, make_pte(7, PRESENT_RW))
+        table.present_indices()
+        scans = table.scan_count
+        # The fault-storm flag traffic: ACCESSED/DIRTY set, RW cleared.
+        table.add_flags(3, PteFlags.ACCESSED | PteFlags.DIRTY)
+        table.remove_flags(3, PteFlags.RW)
+        table.write_protect_all()
+        assert table.present_indices() == [3]
+        assert table.scan_count == scans
+
+    def test_membership_change_invalidates(self):
+        table = PteTable(PageStruct(frame=1))
+        table.set(3, make_pte(7, PRESENT_RW))
+        table.present_indices()
+        scans = table.scan_count
+        table.set(9, make_pte(8, PRESENT_RW))  # new present entry
+        assert table.present_indices() == [3, 9]
+        assert table.scan_count == scans + 1
+        table.clear(3)
+        assert table.present_indices() == [9]
+        assert table.scan_count == scans + 2
+
+    def test_empty_table_never_scans(self):
+        table = PteTable(PageStruct(frame=1))
+        assert table.present_indices() == []
+        assert table.referencing_indices() == []
+        assert table.scan_count == 0
+
+
+class TestFaultStormScansPerTable:
+    """A storm on one table costs O(tables), not O(PTEs), elsewhere."""
+
+    N_TABLES = 8
+
+    def _build(self):
+        frames = FrameAllocator()
+        mm = AddressSpace(frames, name="scan-reg")
+        vma = mm.mmap(self.N_TABLES * PTE_TABLE_SPAN)
+        # One resident page per leaf table so every table exists.
+        for t in range(self.N_TABLES):
+            mm.handle_fault(vma.start + t * PTE_TABLE_SPAN, write=True)
+        leaves = [
+            mm.page_table.walk_pte_table(
+                vma.start + t * PTE_TABLE_SPAN
+            )
+            for t in range(self.N_TABLES)
+        ]
+        assert all(leaf is not None for leaf in leaves)
+        mm.estimate_wss()  # warm every table's present cache
+        return mm, vma, leaves
+
+    def test_storm_on_one_table_rescans_only_that_table(self):
+        mm, vma, leaves = self._build()
+        before = [leaf.scan_count for leaf in leaves]
+
+        # 255 first-touch write faults, all inside table 0's 2 MiB span.
+        for i in range(1, 256):
+            mm.handle_fault(vma.start + i * PAGE_SIZE, write=True)
+        mm.estimate_wss()
+
+        after = [leaf.scan_count for leaf in leaves]
+        # The faults themselves scan nothing; the WSS pass rescans the
+        # one table whose membership changed...
+        assert after[0] == before[0] + 1
+        # ...and reuses every other table's cache untouched.
+        assert after[1:] == before[1:]
+
+    def test_rewriting_resident_pages_scans_nothing(self):
+        mm, vma, leaves = self._build()
+        before = [leaf.scan_count for leaf in leaves]
+        # Writes to already-present writable pages are pure flag traffic.
+        for t in range(self.N_TABLES):
+            mm.handle_fault(vma.start + t * PTE_TABLE_SPAN, write=True)
+        mm.estimate_wss()
+        assert [leaf.scan_count for leaf in leaves] == before

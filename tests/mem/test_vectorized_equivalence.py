@@ -1,0 +1,347 @@
+"""The vectorized substrate is observably identical to scalar semantics.
+
+Three layers of evidence:
+
+1. A hypothesis property test drives the numpy-backed
+   :class:`~repro.mem.pte_table.PteTable` and a pure-Python reference
+   implementation through randomized operation sequences and demands
+   identical PTE words, counters, and index lists.
+2. A randomized clone/write-protect/unmap/fault sequence over a real
+   :class:`~repro.mem.address_space.AddressSpace` is checked against a
+   simple dict model for mapcounts and TLB flush accounting.
+3. The pinned scenario of :mod:`mem.vec_fixture` must reproduce the
+   checked-in **pre-vectorization** digest bundle byte for byte — same
+   oracle digests, same RDB payload, same Chrome-trace hash.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.forks.default import DefaultFork
+from repro.mem.address_space import AddressSpace
+from repro.mem.cow import clone_pte_table_into
+from repro.mem.flags import PteFlags, make_pte, pte_frame, pte_present
+from repro.mem.frames import FrameAllocator
+from repro.mem.page_struct import PageStruct
+from repro.mem.pte_table import PteTable
+from repro.mem.vma import VmaProt
+from repro.units import ENTRIES_PER_TABLE, PAGE_SIZE
+
+from tests.mem.vec_fixture import FIXTURE_PATH, run_scenario
+
+FLAGS_ALL = (
+    PteFlags.PRESENT
+    | PteFlags.RW
+    | PteFlags.USER
+    | PteFlags.ACCESSED
+    | PteFlags.DIRTY
+    | PteFlags.SPECIAL
+    | PteFlags.SWAP
+)
+
+
+class ReferencePteTable:
+    """Pure-Python list-backed twin of :class:`PteTable`'s semantics."""
+
+    def __init__(self) -> None:
+        self.words = [0] * ENTRIES_PER_TABLE
+
+    @property
+    def present_count(self) -> int:
+        return sum(1 for w in self.words if w & int(PteFlags.PRESENT))
+
+    def get(self, index: int) -> int:
+        return self.words[index]
+
+    def set(self, index: int, value: int) -> None:
+        self.words[index] = int(value)
+
+    def clear(self, index: int) -> int:
+        old = self.words[index]
+        self.words[index] = 0
+        return old
+
+    def add_flags(self, index: int, flags: PteFlags) -> None:
+        self.words[index] |= int(flags)
+
+    def remove_flags(self, index: int, flags: PteFlags) -> None:
+        self.words[index] &= ~int(flags)
+
+    def present_indices(self) -> list[int]:
+        return [
+            i
+            for i, w in enumerate(self.words)
+            if w & int(PteFlags.PRESENT)
+        ]
+
+    def referencing_indices(self) -> list[int]:
+        bits = int(PteFlags.PRESENT) | int(PteFlags.SPECIAL)
+        return [i for i, w in enumerate(self.words) if w & bits]
+
+    def write_protect_all(self) -> int:
+        touched = 0
+        for i, w in enumerate(self.words):
+            if w & int(PteFlags.PRESENT) and w & int(PteFlags.RW):
+                touched += 1
+            if w & int(PteFlags.PRESENT):
+                self.words[i] = w & ~int(PteFlags.RW)
+        return touched
+
+    def copy_entries_from(self, other: "ReferencePteTable") -> None:
+        self.words = list(other.words)
+
+
+def _flags_strategy():
+    return st.integers(min_value=0, max_value=int(FLAGS_ALL)).map(
+        lambda bits: PteFlags(bits & int(FLAGS_ALL))
+    )
+
+
+_OPS = st.one_of(
+    st.tuples(
+        st.just("set"),
+        st.integers(0, ENTRIES_PER_TABLE - 1),
+        st.integers(0, 1 << 20),  # frame
+        _flags_strategy(),
+    ),
+    st.tuples(st.just("clear"), st.integers(0, ENTRIES_PER_TABLE - 1)),
+    st.tuples(
+        st.just("add_flags"),
+        st.integers(0, ENTRIES_PER_TABLE - 1),
+        _flags_strategy(),
+    ),
+    st.tuples(
+        st.just("remove_flags"),
+        st.integers(0, ENTRIES_PER_TABLE - 1),
+        _flags_strategy(),
+    ),
+    st.tuples(st.just("write_protect_all")),
+    st.tuples(st.just("copy")),
+)
+
+
+class TestReferenceEquivalence:
+    """PteTable vs the pure-Python reference, op for op."""
+
+    @settings(
+        max_examples=120,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=st.lists(_OPS, min_size=1, max_size=80))
+    def test_randomized_op_sequences(self, ops):
+        real = PteTable(PageStruct(frame=1))
+        ref = ReferencePteTable()
+        scratch_real = PteTable(PageStruct(frame=2))
+        scratch_ref = ReferencePteTable()
+
+        for op in ops:
+            kind = op[0]
+            if kind == "set":
+                _, index, frame, flags = op
+                word = make_pte(frame, flags)
+                real.set(index, word)
+                ref.set(index, word)
+            elif kind == "clear":
+                _, index = op
+                assert real.clear(index) == ref.clear(index)
+            elif kind == "add_flags":
+                _, index, flags = op
+                real.add_flags(index, flags)
+                ref.add_flags(index, flags)
+            elif kind == "remove_flags":
+                _, index, flags = op
+                real.remove_flags(index, flags)
+                ref.remove_flags(index, flags)
+            elif kind == "write_protect_all":
+                assert real.write_protect_all() == ref.write_protect_all()
+            elif kind == "copy":
+                scratch_real.copy_entries_from(real)
+                scratch_ref.copy_entries_from(ref)
+                assert (
+                    scratch_real.entries().tolist() == scratch_ref.words
+                )
+
+            # Full-state comparison after every op.
+            assert real.entries().tolist() == ref.words
+            assert real.present_count == ref.present_count
+            assert real.present_indices() == ref.present_indices()
+            assert (
+                real.referencing_indices() == ref.referencing_indices()
+            )
+
+    def test_present_indices_returns_plain_ints(self):
+        table = PteTable(PageStruct(frame=1))
+        table.set(7, make_pte(3, PteFlags.PRESENT))
+        indices = table.present_indices()
+        assert indices == [7]
+        assert all(type(i) is int for i in indices)
+
+
+class TestAddressSpaceModel:
+    """Randomized clone/wp/unmap/fault runs vs a dict bookkeeping model."""
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 2**16),
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["write", "read", "unmap", "protect"]),
+                st.integers(0, 1023),
+            ),
+            min_size=5,
+            max_size=60,
+        ),
+    )
+    def test_fault_unmap_protect_sequences(self, seed, ops):
+        frames = FrameAllocator()
+        mm = AddressSpace(frames, name=f"prop-{seed}")
+        vma = mm.mmap(1024 * PAGE_SIZE)
+        expected_flushes = 0
+        unmapped: set[int] = set()
+
+        for kind, page in ops:
+            vaddr = vma.start + page * PAGE_SIZE
+            pte = mm.page_table.get_pte(vaddr)
+            if kind == "write":
+                if page in unmapped:
+                    continue
+                present_writable = bool(
+                    pte_present(pte) and pte & int(PteFlags.RW)
+                )
+                mm.handle_fault(vaddr, write=True)
+                if not present_writable:
+                    # First touch, CoW break, and zero-page upgrade all
+                    # end with one INVLPG of the faulting page.
+                    expected_flushes += 1
+            elif kind == "read":
+                if page in unmapped:
+                    continue
+                if not pte_present(pte):
+                    mm.handle_fault(vaddr, write=False)
+            elif kind == "unmap":
+                if pte_present(pte):
+                    expected_flushes += 1  # one INVLPG per zapped page
+                mm.munmap(vaddr, PAGE_SIZE)
+                unmapped.add(page)
+            elif kind == "protect":
+                if page in unmapped:
+                    continue
+                mm.mprotect(vaddr, PAGE_SIZE, VmaProt.READ)
+                expected_flushes += 1  # range flush of one page
+                mm.mprotect(
+                    vaddr, PAGE_SIZE, VmaProt.READ | VmaProt.WRITE
+                )
+
+        assert mm.tlb.flushes == expected_flushes
+
+        # Mapcount ground truth: count references from live PTEs.
+        expected_mapcounts: dict[int, int] = {}
+        for vma_ in mm.vmas:
+            for _, pte in mm.page_table.iter_present_ptes(
+                vma_.start, vma_.end
+            ):
+                frame = pte_frame(pte)
+                if frame:
+                    expected_mapcounts[frame] = (
+                        expected_mapcounts.get(frame, 0) + 1
+                    )
+        for frame, count in expected_mapcounts.items():
+            assert frames.page(frame).mapcount == count
+
+    def test_clone_raises_mapcounts_once_per_reference(self):
+        frames = FrameAllocator()
+        src = PteTable(frames.alloc("pte-table"))
+        shared = frames.alloc("data")
+        shared.get()
+        shared.get()
+        src.set(1, make_pte(shared.frame, PteFlags.PRESENT | PteFlags.RW))
+        src.set(2, make_pte(shared.frame, PteFlags.PRESENT | PteFlags.RW))
+        solo = frames.alloc("data")
+        solo.get()
+        src.set(9, make_pte(solo.frame, PteFlags.PRESENT))
+        special = frames.alloc("data")
+        special.get()
+        src.set(4, make_pte(special.frame, PteFlags.SPECIAL))
+
+        dst = PteTable(frames.alloc("pte-table"))
+        copied = clone_pte_table_into(src, dst, frames)
+        assert copied == 3  # present entries only
+        # src held two references to the shared frame (mapcount 2) and
+        # the clone adds one per referencing PTE in dst.
+        assert shared.mapcount == 4
+        assert solo.mapcount == 2
+        assert special.mapcount == 2  # SPECIAL entries keep their frame
+        # Both sides are write-protected by the clone, so the tables are
+        # identical word for word.
+        assert dst.entries().tolist() == src.entries().tolist()
+        assert all(
+            not (w & int(PteFlags.RW))
+            for w in dst.entries().tolist()
+            if w & int(PteFlags.PRESENT)
+        )
+
+
+class TestDefaultForkEquivalence:
+    """A default fork's clone output matches entry-by-entry semantics."""
+
+    def test_child_tables_match_scalar_expectation(self):
+        frames = FrameAllocator()
+        from repro.kernel.task import Process
+
+        parent = Process(frames, name="eq-parent")
+        vma = parent.mm.mmap(4 * 512 * PAGE_SIZE)
+        for i in range(0, 2048, 3):
+            parent.mm.handle_fault(vma.start + i * PAGE_SIZE, write=True)
+        result = DefaultFork().fork(parent)
+        child = result.child
+        for vaddr, pte in parent.mm.page_table.iter_present_ptes(
+            vma.start, vma.end
+        ):
+            child_pte = child.mm.page_table.get_pte(vaddr)
+            assert child_pte == pte  # same frame, same (wp'ed) flags
+            assert not pte & int(PteFlags.RW)  # CoW armed on both sides
+
+
+class TestFixtureDigests:
+    """Same seed -> same oracle digests and Chrome trace, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return run_scenario()
+
+    def test_fixture_exists(self):
+        assert FIXTURE_PATH.exists(), (
+            "pre-vectorization fixture missing; regenerate with "
+            "PYTHONPATH=src python -m tests.mem.vec_fixture"
+        )
+
+    def test_oracle_digests_match_pre_vectorization(self, bundle):
+        stored = json.loads(FIXTURE_PATH.read_text())
+        for key in (
+            "fork_time_oracle",
+            "parent_oracle",
+            "async_child_oracle",
+            "default_child_oracle",
+            "odf_child_oracle",
+            "rdb_digest",
+        ):
+            assert bundle[key] == stored[key], f"{key} diverged"
+
+    def test_trace_export_byte_identical(self, bundle):
+        stored = json.loads(FIXTURE_PATH.read_text())
+        assert bundle["trace_events"] == stored["trace_events"]
+        assert bundle["trace_blake2b"] == stored["trace_blake2b"]
+
+    def test_counters_match_pre_vectorization(self, bundle):
+        stored = json.loads(FIXTURE_PATH.read_text())
+        assert bundle == stored
