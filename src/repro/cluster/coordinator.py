@@ -1,0 +1,230 @@
+"""Snapshot scheduling across co-located shards.
+
+The per-fork mechanism (default / ODF / Async-fork) decides how *long*
+one snapshot stalls its shard; the coordinator decides *when* each
+shard's BGSAVE starts, which is the deployment-level knob of the
+paper's §7 story: on a machine running many instances, simultaneous
+fork calls serialize in the kernel and a single incident hits every
+shard's tail at once, while staggering spreads the damage.
+
+Policies are deliberately small state machines driven by the shared
+simulated clock:
+
+``simultaneous``
+    Every ``period_ns``, all shards become due at the same instant —
+    the worst case (an operator cron firing ``BGSAVE`` everywhere).
+``staggered``
+    Same period, but shard ``i`` becomes due ``i * stagger_ns`` into
+    the round, so at most one fork call lands per gap.
+``dirty-pressure``
+    No wall-period at all: a shard becomes due once it has absorbed
+    ``threshold`` writes since its last save, and only one shard may
+    snapshot at a time — scheduling emerges from load, the closest
+    analogue of Redis's own ``save <seconds> <changes>`` rule plus an
+    operator serializing saves machine-wide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.obs import tracer as obs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import SimCluster
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """One BGSAVE the coordinator started."""
+
+    shard_id: int
+    #: Clock instant just before the fork call.
+    at_ns: int
+    #: Simulated time the fork call itself consumed (the parent stall).
+    fork_ns: int
+
+
+class SnapshotPolicy:
+    """Decides which shards are due for a snapshot at an instant."""
+
+    name = "abstract"
+
+    def bind(self, n_shards: int, start_ns: int) -> None:
+        """Called once by the coordinator before the first tick."""
+        raise NotImplementedError
+
+    def due_shards(self, now_ns: int) -> Iterable[int]:
+        """Shard ids whose snapshot should start now (may repeat until
+        :meth:`mark_started` acknowledges each)."""
+        raise NotImplementedError
+
+    def mark_started(self, shard_id: int, now_ns: int) -> None:
+        """Acknowledge that a due shard's BGSAVE actually began."""
+
+    def observe(self, cluster: "SimCluster") -> None:
+        """Read load signals (dirty counters) before a tick; optional."""
+
+
+class SimultaneousPolicy(SnapshotPolicy):
+    """All shards fork at the same instant, every ``period_ns``."""
+
+    name = "simultaneous"
+
+    def __init__(self, period_ns: int) -> None:
+        self.period_ns = period_ns
+        self._next_round_ns = 0
+        self._pending: set[int] = set()
+        self._n_shards = 0
+
+    def bind(self, n_shards: int, start_ns: int) -> None:
+        self._n_shards = n_shards
+        self._next_round_ns = start_ns + self.period_ns
+
+    def due_shards(self, now_ns: int) -> Iterable[int]:
+        if not self._pending and now_ns >= self._next_round_ns:
+            self._pending = set(range(self._n_shards))
+            self._next_round_ns += self.period_ns
+        return sorted(self._pending)
+
+    def mark_started(self, shard_id: int, now_ns: int) -> None:
+        self._pending.discard(shard_id)
+
+
+class StaggeredPolicy(SnapshotPolicy):
+    """Shard ``i`` forks ``i * stagger_ns`` into each round."""
+
+    name = "staggered"
+
+    def __init__(self, period_ns: int, stagger_ns: Optional[int] = None):
+        self.period_ns = period_ns
+        #: Default gap: spread the whole round evenly over the period.
+        self.stagger_ns = stagger_ns
+        self._round_start_ns = 0
+        self._pending: set[int] = set()
+        self._gap_ns = 0
+
+    def bind(self, n_shards: int, start_ns: int) -> None:
+        self._gap_ns = (
+            self.stagger_ns
+            if self.stagger_ns is not None
+            else self.period_ns // max(1, n_shards)
+        )
+        self._round_start_ns = start_ns + self.period_ns
+        self._pending = set(range(n_shards))
+        self._n_shards = n_shards
+
+    def due_shards(self, now_ns: int) -> Iterable[int]:
+        return sorted(
+            sid
+            for sid in self._pending
+            if now_ns >= self._round_start_ns + sid * self._gap_ns
+        )
+
+    def mark_started(self, shard_id: int, now_ns: int) -> None:
+        self._pending.discard(shard_id)
+        if not self._pending:
+            self._round_start_ns += self.period_ns
+            self._pending = set(range(self._n_shards))
+
+
+class DirtyPressurePolicy(SnapshotPolicy):
+    """Snapshot the dirtiest shard past a write threshold, one at a time."""
+
+    name = "dirty-pressure"
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self._dirty: dict[int, int] = {}
+        self._busy = False
+
+    def bind(self, n_shards: int, start_ns: int) -> None:
+        self._dirty = {sid: 0 for sid in range(n_shards)}
+
+    def observe(self, cluster: "SimCluster") -> None:
+        self._dirty = {
+            shard.shard_id: shard.dirty for shard in cluster.shards
+        }
+        self._busy = any(shard.snapshotting for shard in cluster.shards)
+
+    def due_shards(self, now_ns: int) -> Iterable[int]:
+        if self._busy:
+            return ()
+        over = [
+            (dirty, sid)
+            for sid, dirty in self._dirty.items()
+            if dirty >= self.threshold
+        ]
+        if not over:
+            return ()
+        _, dirtiest = max(over)
+        return (dirtiest,)
+
+
+def make_policy(
+    name: str,
+    period_ns: int,
+    n_shards: int,
+    dirty_threshold: int,
+) -> SnapshotPolicy:
+    """Build one policy by name (the experiment/CLI entry point)."""
+    if name == "simultaneous":
+        return SimultaneousPolicy(period_ns)
+    if name == "staggered":
+        return StaggeredPolicy(period_ns)
+    if name == "dirty-pressure":
+        return DirtyPressurePolicy(dirty_threshold)
+    raise ValueError(f"unknown snapshot policy {name!r}")
+
+
+class SnapshotCoordinator:
+    """Drives per-shard BGSAVEs according to one policy."""
+
+    def __init__(self, cluster: "SimCluster", policy: SnapshotPolicy):
+        self.cluster = cluster
+        self.policy = policy
+        #: Every snapshot the coordinator started, in trigger order.
+        self.triggered: list[TriggerEvent] = []
+        policy.bind(len(cluster.shards), cluster.clock.now)
+
+    def tick(self) -> list[TriggerEvent]:
+        """Start every due shard's snapshot; returns what was started.
+
+        Each started fork advances the shared clock by its parent-side
+        call cost, so the events carry per-shard fork durations the
+        workload driver folds into its queueing model.
+        """
+        clock = self.cluster.clock
+        self.policy.observe(self.cluster)
+        started: list[TriggerEvent] = []
+        for shard_id in self.policy.due_shards(clock.now):
+            shard = self.cluster.shards[shard_id]
+            if shard.snapshotting:
+                continue
+            before = clock.now
+            if not shard.begin_snapshot():
+                # Fork failed terminally; drop the attempt from the
+                # round rather than retrying forever.
+                self.policy.mark_started(shard_id, clock.now)
+                continue
+            event = TriggerEvent(shard_id, before, clock.now - before)
+            started.append(event)
+            self.triggered.append(event)
+            self.policy.mark_started(shard_id, clock.now)
+            if obs.ACTIVE:
+                obs.emit_instant(
+                    "cluster.trigger",
+                    obs.CAT_KVS,
+                    before,
+                    shard=shard_id,
+                    policy=self.policy.name,
+                    fork_ns=event.fork_ns,
+                )
+        return started
+
+    def rounds_completed(self) -> int:
+        """Snapshot rounds every shard has finished (the min across)."""
+        return min(
+            shard.snapshots_completed for shard in self.cluster.shards
+        )

@@ -1,0 +1,179 @@
+"""One cluster shard: a slot-aware server plus its supervision wiring.
+
+:class:`ShardedCommandServer` is a :class:`~repro.kvs.server.
+CommandServer` that owns a slot range and answers the Redis Cluster
+redirection protocol — ``MOVED`` for keys it does not serve,
+``CROSSSLOT`` for multi-key commands spanning slots — plus the
+``CLUSTER`` introspection subcommands clients bootstrap from.
+
+:class:`ClusterShard` bundles the engine, the server and a
+:class:`~repro.kvs.supervisor.SnapshotSupervisor`, and records the
+snapshot windows (fork start → child persist end) the experiments use to
+split disturbed from undisturbed queries per shard.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.slots import SlotMap, command_keys, key_slot
+from repro.kvs.engine import KvEngine, SnapshotJob
+from repro.kvs.resp import RespError, RespValue
+from repro.kvs.server import CommandServer, SavePoint
+from repro.kvs.supervisor import SnapshotSupervisor
+from repro.obs import tracer as obs
+
+CROSSSLOT_ERROR = "CROSSSLOT Keys in request don't hash to the same slot"
+
+
+class ShardedCommandServer(CommandServer):
+    """A ``CommandServer`` that serves one slot range and redirects."""
+
+    def __init__(
+        self,
+        engine: KvEngine,
+        shard_id: int,
+        slot_map: SlotMap,
+        save_points: tuple[SavePoint, ...] = (),
+        **kwargs,
+    ) -> None:
+        super().__init__(engine, save_points=save_points, **kwargs)
+        self.shard_id = shard_id
+        self.slot_map = slot_map
+        self._handlers[b"CLUSTER"] = self._cluster
+
+    def handle(self, command) -> RespValue:
+        redirect = self._redirect_for(command)
+        if redirect is not None:
+            # serverCron still runs on this event-loop iteration: a
+            # bounced command must keep an in-flight child copy moving.
+            self._background_cron()
+            return redirect
+        return super().handle(command)
+
+    def _redirect_for(self, command) -> Optional[RespError]:
+        if not isinstance(command, list) or not command:
+            return None
+        first = command[0]
+        if not isinstance(first, (bytes, bytearray)):
+            return None
+        keys = command_keys(bytes(first), command[1:])
+        if not keys:
+            return None
+        slots = {key_slot(key) for key in keys}
+        if len(slots) > 1:
+            return RespError(CROSSSLOT_ERROR)
+        slot = slots.pop()
+        if self.slot_map.shard_of_slot(slot) != self.shard_id:
+            return RespError(self.slot_map.moved_error(slot))
+        return None
+
+    def _cluster(self, args) -> RespValue:
+        """CLUSTER KEYSLOT|SLOTS|INFO|MYID (the client-facing subset)."""
+        if not args:
+            raise RespError(
+                "ERR wrong number of arguments for 'cluster' command"
+            )
+        sub = bytes(args[0]).upper()
+        if sub == b"KEYSLOT":
+            self._arity(args, 2, "cluster keyslot")
+            return key_slot(bytes(args[1]))
+        if sub == b"SLOTS":
+            rows = []
+            for rng in self.slot_map.ranges:
+                address = self.slot_map.address_of(rng.shard_id)
+                host, _, port = address.rpartition(":")
+                rows.append([rng.start, rng.end, [host.encode(), int(port)]])
+            return rows
+        if sub == b"MYID":
+            return f"{self.shard_id:040x}".encode()
+        if sub == b"INFO":
+            fields = {
+                "cluster_enabled": 1,
+                "cluster_state": "ok",
+                "cluster_slots_assigned": sum(
+                    r.end - r.start + 1 for r in self.slot_map.ranges
+                ),
+                "cluster_known_nodes": self.slot_map.n_shards,
+                "cluster_size": self.slot_map.n_shards,
+            }
+            return "".join(f"{k}:{v}\r\n" for k, v in fields.items()).encode()
+        raise RespError(f"ERR unknown CLUSTER subcommand {sub.decode()!r}")
+
+
+class ClusterShard:
+    """Engine + server + supervisor of one co-located instance."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        engine: KvEngine,
+        server: ShardedCommandServer,
+        supervisor: SnapshotSupervisor,
+    ) -> None:
+        self.shard_id = shard_id
+        self.engine = engine
+        self.server = server
+        self.supervisor = supervisor
+        #: ``(start_ns, end_ns)`` of every completed snapshot — fork
+        #: start through the end of the child's simulated disk write.
+        self.snapshot_windows: list[tuple[int, int]] = []
+        self.snapshots_failed = 0
+        self._window_start: Optional[int] = None
+        server.on_job_done = self._on_job_done
+
+    @property
+    def dirty(self) -> int:
+        """Writes since the last save point (the coordinator's signal)."""
+        return self.engine.store.dirty_since_save
+
+    @property
+    def snapshotting(self) -> bool:
+        """Whether a background save is in flight right now."""
+        return self.server._active_job is not None
+
+    @property
+    def snapshots_completed(self) -> int:
+        return self.server._completed_snapshots
+
+    def begin_snapshot(self) -> bool:
+        """Start one supervised BGSAVE; serverCron drains it.
+
+        Returns ``False`` when a job is already running or every fork
+        attempt failed (the supervisor has then refused writes).
+        """
+        if self.snapshotting:
+            return False
+        job = self.supervisor.begin_save()
+        if job is None:
+            return False
+        self.server.attach_job(job)
+        self._window_start = (
+            self.engine.clock.now - job.result.stats.parent_call_ns
+        )
+        return True
+
+    def _on_job_done(self, job, error) -> None:
+        self.supervisor.observe_completion(error)
+        if not isinstance(job, SnapshotJob):
+            return
+        if error is not None:
+            self.snapshots_failed += 1
+            self._window_start = None
+            return
+        start = self._window_start
+        if start is None:  # finished via a path that never attached here
+            start = self.engine.clock.now
+        end = self.engine.clock.now + job.report.persist_ns
+        self.snapshot_windows.append((start, end))
+        self._window_start = None
+        if obs.ACTIVE:
+            obs.emit(
+                f"cluster.shard{self.shard_id}.snapshot",
+                obs.CAT_KVS,
+                start,
+                end,
+                shard=self.shard_id,
+                fork_ns=job.report.fork_call_ns,
+                persist_ns=job.report.persist_ns,
+            )

@@ -1,0 +1,149 @@
+"""CRC16 hash slots and the cluster slot map.
+
+Redis Cluster routes every key to one of 16384 slots via
+``CRC16(key) mod 16384`` (CRC16-CCITT / XMODEM, polynomial 0x1021), with
+the *hash tag* rule: if the key contains ``{...}`` with a non-empty
+content, only that content is hashed, so ``{user1000}.following`` and
+``{user1000}.followers`` land on the same slot and stay multi-key
+addressable.  The slot map assigns contiguous slot ranges to shards, the
+way ``redis-cli --cluster create`` splits a fresh cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Redis Cluster's fixed key space.
+NUM_SLOTS = 16384
+
+#: First client-visible port, shard ``i`` listens on ``BASE_PORT + i``.
+BASE_PORT = 7000
+
+#: All shards live on the one simulated machine.
+HOST = "127.0.0.1"
+
+
+def _build_crc16_table() -> tuple[int, ...]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021) if crc & 0x8000 else (crc << 1)
+        table.append(crc & 0xFFFF)
+    return tuple(table)
+
+
+_CRC16_TABLE = _build_crc16_table()
+
+
+def crc16(data: bytes) -> int:
+    """CRC16-CCITT (XMODEM), the checksum Redis Cluster specifies."""
+    crc = 0
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _CRC16_TABLE[(crc >> 8) ^ byte]
+    return crc
+
+
+def hashable_part(key: bytes) -> bytes:
+    """Apply the hash-tag rule: hash only ``{tag}`` when present.
+
+    The tag is the content between the *first* ``{`` and the first
+    ``}`` after it; an empty tag (``{}``) falls back to the whole key,
+    exactly as the Redis Cluster specification describes.
+    """
+    open_brace = key.find(b"{")
+    if open_brace == -1:
+        return key
+    close_brace = key.find(b"}", open_brace + 1)
+    if close_brace == -1 or close_brace == open_brace + 1:
+        return key
+    return key[open_brace + 1 : close_brace]
+
+
+def key_slot(key) -> int:
+    """The hash slot of one key (str or bytes)."""
+    if isinstance(key, str):
+        key = key.encode()
+    return crc16(hashable_part(bytes(key))) % NUM_SLOTS
+
+
+#: Which argument positions are keys, per command.  ``"first"`` — only
+#: args[0]; ``"all"`` — every argument.  Commands absent from the table
+#: are keyless and execute on whichever shard receives them.
+COMMAND_KEY_SPEC: dict[bytes, str] = {
+    b"SET": "first",
+    b"GET": "first",
+    b"DEL": "all",
+    b"EXISTS": "all",
+}
+
+
+def command_keys(name: bytes, args) -> list[bytes]:
+    """The key arguments of one parsed command (empty if keyless)."""
+    spec = COMMAND_KEY_SPEC.get(name.upper())
+    if spec is None or not args:
+        return []
+    if spec == "first":
+        return [bytes(args[0])]
+    return [bytes(a) for a in args]
+
+
+@dataclass(frozen=True)
+class SlotRange:
+    """One contiguous run of slots owned by a shard (ends inclusive)."""
+
+    start: int
+    end: int
+    shard_id: int
+
+    def __contains__(self, slot: int) -> bool:
+        return self.start <= slot <= self.end
+
+
+class SlotMap:
+    """Contiguous even split of the 16384 slots over N shards."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1 or n_shards > NUM_SLOTS:
+            raise ValueError(f"need 1..{NUM_SLOTS} shards, got {n_shards}")
+        self.n_shards = n_shards
+        self.ranges: list[SlotRange] = []
+        per_shard, remainder = divmod(NUM_SLOTS, n_shards)
+        start = 0
+        for shard_id in range(n_shards):
+            width = per_shard + (1 if shard_id < remainder else 0)
+            self.ranges.append(SlotRange(start, start + width - 1, shard_id))
+            start += width
+        #: Dense slot -> shard lookup (routing is on every command).
+        self._owner = [0] * NUM_SLOTS
+        for rng in self.ranges:
+            for slot in range(rng.start, rng.end + 1):
+                self._owner[slot] = rng.shard_id
+
+    def shard_of_slot(self, slot: int) -> int:
+        """Owner shard of one slot."""
+        return self._owner[slot]
+
+    def shard_of_key(self, key) -> int:
+        """Owner shard of one key."""
+        return self._owner[key_slot(key)]
+
+    def range_of(self, shard_id: int) -> SlotRange:
+        """The contiguous slot range a shard serves."""
+        return self.ranges[shard_id]
+
+    def address_of(self, shard_id: int) -> str:
+        """``host:port`` of a shard, as written into MOVED replies."""
+        return f"{HOST}:{BASE_PORT + shard_id}"
+
+    def shard_of_address(self, address: str) -> int:
+        """Inverse of :meth:`address_of` (how clients follow MOVED)."""
+        host, _, port = address.rpartition(":")
+        shard_id = int(port) - BASE_PORT
+        if host != HOST or not 0 <= shard_id < self.n_shards:
+            raise ValueError(f"no shard listens on {address!r}")
+        return shard_id
+
+    def moved_error(self, slot: int) -> str:
+        """The redirect message for a slot this shard does not own."""
+        return f"MOVED {slot} {self.address_of(self._owner[slot])}"

@@ -17,6 +17,7 @@ from repro.experiments import (  # noqa: F401 - imported for registration
     fig14_15_threads,
     fig16_production,
     fig17_19_throughput,
+    figX_cluster,
     fig20_oos_time,
     fig21_aof,
     fig22_fork_call,

@@ -96,6 +96,19 @@ class ForkJob:
             return session.child_step()
         return 0
 
+    @property
+    def child_copy_done(self) -> bool:
+        """Whether the child needs no more cooperative parent help.
+
+        The default fork copies everything inside the call and ODF
+        copies lazily on faults, so both children can serialize right
+        away; only Async-fork has an in-flight copy to wait out.
+        """
+        session = self.result.session
+        if session is None or not hasattr(session, "child_step"):
+            return True
+        return session.done
+
     def _drain_child(self) -> None:
         """Run the copy to completion; raise if the session died."""
         session = self.result.session
@@ -158,9 +171,20 @@ class SnapshotJob(ForkJob):
         engine: "KvEngine",
         result: ForkResult,
         table: dict[bytes, ValueRef],
+        dirty_at_fork: int = 0,
     ) -> None:
         super().__init__(engine, result, table)
         self.report: Optional[SnapshotReport] = None
+        #: Writes the fork point absorbed from the dirty counter; given
+        #: back on a §4.4 rollback/abort so the save point re-fires.
+        self._dirty_at_fork = dirty_at_fork
+
+    def abort(self, reason: Optional[str] = None) -> None:
+        """Tear the job down; un-absorb the fork point's dirty count."""
+        if self._dirty_at_fork and self.report is None:
+            self.engine.store.dirty_since_save += self._dirty_at_fork
+            self._dirty_at_fork = 0
+        super().abort(reason=reason)
 
     def finish(self) -> SnapshotReport:
         """Complete the copy, serialize, and retire the child."""
@@ -185,7 +209,6 @@ class SnapshotJob(ForkJob):
             persist_ns=persist_ns,
         )
         self.done = True
-        self.engine.store.dirty_since_save = 0
         if obs.ACTIVE:
             obs.emit_instant(
                 "kvs.snapshot.finish",
@@ -363,7 +386,13 @@ class KvEngine:
             )
         table = self.store.table_snapshot()
         result = self.fork_engine.fork(self.process)
-        job = SnapshotJob(self, result, table)
+        job = SnapshotJob(
+            self, result, table, dirty_at_fork=self.store.dirty_since_save
+        )
+        # Redis resets server.dirty when the BGSAVE *starts*: writes
+        # landing during the snapshot window count toward the *next*
+        # save point, not the one this fork just satisfied.
+        self.store.dirty_since_save = 0
         self._active_job = job
         return job
 

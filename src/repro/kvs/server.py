@@ -16,7 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.errors import SnapshotInProgressError
+from repro.errors import (
+    DiskError,
+    ForkError,
+    KvsError,
+    SnapshotInProgressError,
+)
 from repro.kvs import resp
 from repro.kvs.engine import KvEngine, RewriteJob, SnapshotJob
 from repro.kvs.latency_monitor import LatencyMonitor
@@ -63,6 +68,17 @@ class CommandServer:
         self._last_save_ns = engine.clock.now
         self._active_job: Optional[object] = None
         self._completed_snapshots = 0
+        self._failed_jobs = 0
+        #: ``ok`` until a background save fails (Redis's
+        #: ``rdb_last_bgsave_status``); the next clean save resets it.
+        self._last_bgsave_status = "ok"
+        #: Optional hook ``fn(job, error_or_None)`` fired whenever a
+        #: background job retires — the cluster shard wires supervision
+        #: and snapshot-window accounting through it.
+        self.on_job_done: Optional[Callable] = None
+        #: Report of the most recent completed BGSAVE (cron may reap a
+        #: job between two commands, so callers need a place to find it).
+        self.last_snapshot_report = None
         self._handlers: dict[bytes, Callable] = {
             b"PING": self._ping,
             b"ECHO": self._echo,
@@ -114,18 +130,45 @@ class CommandServer:
     # ------------------------------------------------------------------
 
     def _background_cron(self) -> None:
-        """ServerCron: advance the child copy and evaluate save points."""
+        """ServerCron: advance the child copy, reap it, evaluate save points.
+
+        Mirrors Redis's serverCron: while a background job runs, each
+        tick steps the child cooperatively and — once the child's copy
+        needs no more parent help — completes the job through
+        :meth:`_job_done`, so ``LASTSAVE``/``INFO`` advance and the next
+        save point can fire without anyone draining the job by hand.
+        """
         if self._active_job is not None:
-            self._active_job.step_child()
+            job = self._active_job
+            job.step_child()
+            if job.failed or job.child_copy_done:
+                self._reap(job)
             return
         elapsed = self.engine.clock.now - self._last_save_ns
         dirty = self.engine.store.dirty_since_save
         if any(p.due(elapsed, dirty) for p in self.save_points):
             try:
-                self._active_job = self.engine.bgsave()
-                self._record_fork_latency(self._active_job)
+                self.attach_job(self.engine.bgsave())
             except SnapshotInProgressError:  # pragma: no cover - defensive
                 pass
+            except ForkError:
+                # §4.4 rollback inside the fork call: bgsave() restored
+                # the dirty counter, so the save point stays due and a
+                # later cron tick retries.
+                self._failed_jobs += 1
+                self._last_bgsave_status = "err"
+
+    def _reap(self, job) -> None:
+        """Finish (or bury) a background job whose child work is done."""
+        try:
+            job.finish()
+        except (DiskError, ForkError, KvsError) as exc:
+            # job.finish() already routed the failure through
+            # job.abort(); serverCron records it and frees the slot —
+            # it must never propagate an error into a client reply.
+            self._job_failed(job, exc)
+        else:
+            self._job_done(job)
 
     def _record_fork_latency(self, job) -> None:
         self.latency.record(
@@ -134,12 +177,27 @@ class CommandServer:
             at_ns=self.engine.clock.now,
         )
 
+    def attach_job(self, job) -> None:
+        """Adopt a background job so serverCron drives it to completion.
+
+        Used by the BGSAVE/BGREWRITEAOF handlers, the save-point cron,
+        and external snapshot coordinators (the cluster layer) alike.
+        """
+        if self._active_job is not None:
+            raise SnapshotInProgressError("a background job is running")
+        self._active_job = job
+        self._record_fork_latency(job)
+
     def finish_background_job(self):
         """Drain the active background job (tests and shutdown use this)."""
         if self._active_job is None:
             return None
         job = self._active_job
-        outcome = job.finish()
+        try:
+            outcome = job.finish()
+        except BaseException as exc:
+            self._job_failed(job, exc)
+            raise
         self._job_done(job)
         return outcome
 
@@ -147,7 +205,19 @@ class CommandServer:
         if isinstance(job, SnapshotJob):
             self._completed_snapshots += 1
             self._last_save_ns = self.engine.clock.now
+            self._last_bgsave_status = "ok"
+            self.last_snapshot_report = job.report
         self._active_job = None
+        if self.on_job_done is not None:
+            self.on_job_done(job, None)
+
+    def _job_failed(self, job, error) -> None:
+        self._failed_jobs += 1
+        if isinstance(job, SnapshotJob):
+            self._last_bgsave_status = "err"
+        self._active_job = None
+        if self.on_job_done is not None:
+            self.on_job_done(job, error)
 
     # ------------------------------------------------------------------
     # commands
@@ -205,8 +275,7 @@ class CommandServer:
         self._arity(args, 0, "bgsave")
         if self._active_job is not None:
             raise RespError("ERR Background save already in progress")
-        self._active_job = self.engine.bgsave()
-        self._record_fork_latency(self._active_job)
+        self.attach_job(self.engine.bgsave())
         return resp.SimpleString(b"Background saving started")
 
     def _bgrewriteaof(self, args) -> RespValue:
@@ -215,8 +284,7 @@ class CommandServer:
             raise RespError("ERR AOF is not enabled on this instance")
         if self._active_job is not None:
             raise RespError("ERR Background job already in progress")
-        self._active_job = self.engine.bgrewriteaof()
-        self._record_fork_latency(self._active_job)
+        self.attach_job(self.engine.bgrewriteaof())
         return resp.SimpleString(b"Background append only file "
                                  b"rewriting started")
 
@@ -234,8 +302,9 @@ class CommandServer:
         if sub == b"HISTORY":
             self._arity(args, 2, "latency history")
             samples = self.latency.history(bytes(args[1]).decode())
+            # Redis returns integer *milliseconds* per sample.
             return [
-                [s.at_ns // SEC, int(s.duration_ms * 1000)]
+                [s.at_ns // SEC, int(s.duration_ms)]
                 for s in samples
             ]
         if sub == b"LATEST":
@@ -246,8 +315,8 @@ class CommandServer:
                     [
                         event.encode(),
                         sample.at_ns // SEC,
-                        int(sample.duration_ms * 1000),
-                        int(worst * 1000),
+                        int(sample.duration_ms),
+                        int(worst),
                     ]
                 )
             return rows
@@ -265,8 +334,10 @@ class CommandServer:
             "db_keys": len(self.engine.store),
             "dirty_since_save": self.engine.store.dirty_since_save,
             "rdb_bgsave_in_progress": int(isinstance(job, SnapshotJob)),
+            "rdb_last_bgsave_status": self._last_bgsave_status,
             "aof_rewrite_in_progress": int(isinstance(job, RewriteJob)),
             "completed_snapshots": self._completed_snapshots,
+            "failed_background_jobs": self._failed_jobs,
             "rss_pages": self.engine.process.mm.rss,
         }
         text = "".join(f"{k}:{v}\r\n" for k, v in fields.items())

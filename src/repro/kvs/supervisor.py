@@ -35,6 +35,7 @@ from repro.errors import (
     DiskError,
     ForkError,
     SnapshotChildError,
+    SnapshotInProgressError,
     SnapshotWatchdogError,
 )
 from repro.faults.plan import FaultPlan
@@ -116,6 +117,49 @@ class SnapshotSupervisor:
     def rewrite(self) -> Optional[AppendOnlyFile]:
         """BGREWRITEAOF under the same supervision as :meth:`save`."""
         return self._supervised("rewrite")
+
+    def begin_save(self) -> Optional[ForkJob]:
+        """Start a supervised BGSAVE without draining it.
+
+        :meth:`save` forks *and* runs the child to completion inline,
+        which is right for chaos workloads but wrong for an event loop:
+        serverCron (or the cluster coordinator) wants the fork call
+        supervised — retried under the backoff policy, counted toward
+        demotion — while the child is drained cooperatively, one step
+        per served command.  The caller reports the eventual outcome
+        back through :meth:`observe_completion`.
+
+        Returns the in-flight job, or ``None`` when a job is already
+        running or every fork attempt failed (writes are then refused).
+        """
+        for attempt in range(self.policy.max_attempts):
+            try:
+                return self.engine.bgsave()
+            except SnapshotInProgressError:
+                return None
+            except ForkError as exc:
+                # §4.4 rollback inside the fork call itself.
+                self._note_rollback(self._reason_of(exc))
+            if attempt + 1 < self.policy.max_attempts:
+                self._backoff(attempt)
+        self._refuse_writes()
+        return None
+
+    def observe_completion(self, error: Optional[BaseException]) -> None:
+        """Feed a cooperatively-drained job's outcome to the state machine.
+
+        The counterpart of :meth:`begin_save`: serverCron reaped the job
+        and tells the supervisor whether it finished cleanly (drives
+        promotion / MISCONF clearing) or how it died (drives demotion
+        after repeated §4.4 rollbacks, or plain failure counting for
+        disk errors).
+        """
+        if error is None:
+            self._note_success()
+        elif isinstance(error, (ForkError, SnapshotChildError)):
+            self._note_rollback(self._reason_of(error))
+        else:
+            self.counters.record_job_failure(self._reason_of(error))
 
     def fsync(self) -> bool:
         """Supervised AOF fsync.

@@ -1,0 +1,107 @@
+"""Tier-1 smoke: a 4-shard cluster serving a few thousand commands.
+
+Boots the full stack — slot map, sharded servers, cluster client,
+staggered snapshot coordinator, shared clock and frame pool — routes a
+few thousand commands, and checks that a complete staggered snapshot
+round finishes with sane, deterministic latency accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import SimCluster
+from repro.cluster.coordinator import SnapshotCoordinator, StaggeredPolicy
+from repro.workload.cluster import (
+    ClusterWorkloadSpec,
+    build_cluster_workload,
+    prepopulate,
+    run_cluster_workload,
+)
+
+SPEC = ClusterWorkloadSpec(
+    count=3_000, n_keys=4_000, value_size=512, seed=11
+)
+
+
+def run_once():
+    cluster = SimCluster(n_shards=4, method="async")
+    workload = build_cluster_workload(SPEC)
+    prepopulate(cluster, workload)
+    duration = int(workload.arrivals_ns[-1])
+    coordinator = SnapshotCoordinator(
+        cluster, StaggeredPolicy(period_ns=duration // 3)
+    )
+    result = run_cluster_workload(
+        cluster, workload, coordinator=coordinator
+    )
+    return cluster, coordinator, result
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return run_once()
+
+
+class TestClusterSmoke:
+    def test_every_command_measured(self, smoke):
+        _, _, result = smoke
+        assert len(result.merged) == SPEC.count
+        assert sum(len(s) for s in result.per_shard.values()) == SPEC.count
+        assert int(result.merged.latencies_ns.min()) > 0
+
+    def test_commands_spread_over_all_shards(self, smoke):
+        _, _, result = smoke
+        assert all(len(s) > 0 for s in result.per_shard.values())
+
+    def test_staggered_round_completes(self, smoke):
+        cluster, coordinator, result = smoke
+        assert coordinator.rounds_completed() >= 1
+        assert all(n >= 1 for n in result.snapshots_completed.values())
+        for windows in result.snapshot_windows.values():
+            assert windows and all(end > start for start, end in windows)
+
+    def test_forks_were_staggered_not_simultaneous(self, smoke):
+        _, coordinator, _ = smoke
+        first_round = coordinator.triggered[:4]
+        assert sorted(e.shard_id for e in first_round) == [0, 1, 2, 3]
+        instants = [e.at_ns for e in first_round]
+        assert len(set(instants)) == len(instants)
+
+    def test_no_client_redirects_with_bootstrap(self, smoke):
+        _, _, result = smoke
+        assert result.moved_redirects == 0
+        assert result.refused_writes == 0
+
+    def test_shared_frame_pool(self, smoke):
+        cluster, _, _ = smoke
+        assert all(
+            shard.engine.frames is cluster.frames
+            for shard in cluster.shards
+        )
+
+    def test_shared_clock(self, smoke):
+        cluster, _, _ = smoke
+        assert all(
+            shard.engine.clock is cluster.clock
+            for shard in cluster.shards
+        )
+
+    def test_metrics_cover_every_shard(self, smoke):
+        cluster, _, _ = smoke
+        snap = cluster.metrics_snapshot()
+        for shard_id in range(4):
+            assert f"shard{shard_id}.engine.commands" in snap
+            assert snap[f"shard{shard_id}.snapshots.completed"] >= 1
+        assert "frames.allocated" in snap or any(
+            name.startswith("frames.") for name in snap
+        )
+
+    def test_same_seed_is_byte_identical(self, smoke):
+        _, _, first = smoke
+        _, _, second = run_once()
+        assert np.array_equal(
+            first.merged.latencies_ns, second.merged.latencies_ns
+        )
+        assert first.snapshot_windows == second.snapshot_windows

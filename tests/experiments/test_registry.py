@@ -28,6 +28,7 @@ EXPECTED_IDS = {
     "ablation",
     "sec3-thp",
     "chaos",
+    "figx-cluster",
 }
 
 

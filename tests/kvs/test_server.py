@@ -101,13 +101,19 @@ class TestBackgroundJobs:
         reply = send(server, "BGSAVE")
         assert b"Background saving started" in bytes(reply)
         send(server, "SET", "k", "mutated")
-        report = server.finish_background_job()
+        # Cron may already have reaped the job cooperatively.
+        report = server.finish_background_job() or server.last_snapshot_report
         from repro.kvs import rdb
 
         assert dict(rdb.load(report.file)) == {b"k": b"v"}
 
-    def test_double_bgsave_rejected(self, server):
-        send(server, "SET", "k", "v")
+    def test_double_bgsave_rejected(self):
+        # Enough data that the Async-fork child copy spans several PMD
+        # steps — the second BGSAVE must arrive while the first runs.
+        engine = KvEngine(fork_engine=AsyncFork())
+        server = CommandServer(engine)
+        for i in range(300):
+            send(server, "SET", f"k{i}", "x" * 16384)
         send(server, "BGSAVE")
         reply = send(server, "BGSAVE")
         assert isinstance(reply, RespError)
@@ -117,14 +123,17 @@ class TestBackgroundJobs:
         for i in range(20):
             send(server, "SET", f"k{i}", "x" * 600)
         send(server, "BGSAVE")
-        # Each subsequent command advances the Async-fork child.
+        # Each subsequent command advances the Async-fork child; once
+        # the copy drains, cron completes the job on its own.
         for _ in range(30):
             send(server, "PING")
         job = server._active_job
-        assert job is not None
-        session = job.result.session
-        assert session.done or session.stats.child_tables_copied > 0
-        server.finish_background_job()
+        if job is None:
+            assert server._completed_snapshots == 1
+        else:
+            session = job.result.session
+            assert session.done or session.stats.child_tables_copied > 0
+            server.finish_background_job()
 
     def test_bgrewriteaof_requires_aof(self, server):
         reply = send(server, "BGREWRITEAOF")
