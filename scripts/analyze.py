@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Run the ``repro-analyze`` checker suite without installing the package.
+
+Thin wrapper over :mod:`repro.analysis.cli`; defaults ``--root`` to the
+repository this script lives in.  See ``--help`` for the checker list,
+formats and seeding.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--root" not in argv:
+        argv = [*argv, "--root", str(REPO_ROOT)]
+    raise SystemExit(main(argv))

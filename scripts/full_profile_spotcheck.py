@@ -18,7 +18,7 @@ from repro.workload.generators import redis_benchmark_workload
 def main() -> None:
     for size in (16, 64):
         for method in ("default", "odf", "async"):
-            t0 = time.time()
+            t0 = time.time()  # lint: allow(wall-clock)
             workload = redis_benchmark_workload(5_000_000, size, seed=1000)
             result = simulate_snapshot(
                 SnapshotSimConfig(
@@ -37,7 +37,7 @@ def main() -> None:
                 f"syncs={result.counts['proactive_syncs']:6d} "
                 f"faults={result.counts['table_faults']:6d} "
                 f"min_qps={result.min_snapshot_qps():7.0f} "
-                f"[{time.time() - t0:.0f}s]",
+                f"[{time.time() - t0:.0f}s]",  # lint: allow(wall-clock)
                 flush=True,
             )
 

@@ -20,5 +20,11 @@ from repro.analysis.lint import main  # noqa: E402
 
 
 if __name__ == "__main__":
-    argv = sys.argv[1:] or [str(SRC / "repro")]
+    argv = sys.argv[1:]
+    positional = list(argv)
+    if "--format" in positional:
+        i = positional.index("--format")
+        del positional[i : i + 2]
+    if not positional:
+        argv = [*argv, str(SRC / "repro")]
     raise SystemExit(main(argv))

@@ -1,0 +1,99 @@
+"""``repro-analyze``: one CLI over every registered checker.
+
+Usage::
+
+    repro-analyze --all                      # every checker, text output
+    repro-analyze --check races --check lint # a subset
+    repro-analyze --all --format json        # deterministic JSON
+    repro-analyze --all --format sarif -o report.sarif
+    repro-analyze --list                     # what is available
+
+Exit status: 1 when any ``error``-severity finding was produced, 2 on
+usage errors, 0 otherwise.  Reports are a pure function of the tree and
+``--seed`` — run it twice, diff the bytes, get nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis import framework
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="run the repro static/dynamic analysis checkers",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every registered checker"
+    )
+    parser.add_argument(
+        "--check", action="append", default=[], metavar="NAME",
+        help="run one checker by name (repeatable)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list checkers and exit"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="seed for the dynamic workloads (default: 7)",
+    )
+    parser.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="repository root (default: current directory)",
+    )
+    parser.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, cls in framework.REGISTRY.items():
+            print(f"{name:10s} {cls.description}")
+        return 0
+
+    names = list(framework.REGISTRY) if args.all else args.check
+    if not names:
+        parser.print_usage(sys.stderr)
+        print(
+            "repro-analyze: pick --all or at least one --check NAME",
+            file=sys.stderr,
+        )
+        return 2
+
+    root = Path(args.root).resolve()
+    try:
+        results = framework.run_checks(names, root, seed=args.seed)
+    except KeyError as exc:
+        print(f"repro-analyze: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    renderer = {
+        "text": framework.render_text,
+        "json": framework.render_json,
+        "sarif": framework.render_sarif,
+    }[args.format]
+    report = renderer(results, args.seed)
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+    else:
+        sys.stdout.write(report)
+    return 1 if any(r.errors for r in results) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

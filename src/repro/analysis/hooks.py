@@ -3,9 +3,26 @@
 The low-level substrate (:mod:`repro.mem.page_struct`,
 :mod:`repro.mem.vma`, :mod:`repro.kernel.clock`,
 :mod:`repro.mem.address_space`) notifies these registries on lock
-traffic and address-space creation.  The registries are empty by
-default and every call site guards on truthiness, so the instrumented
-paths cost one attribute read when no checker is installed.
+traffic, address-space creation, memory-substrate accesses and
+synchronization edges.  The registries are empty by default and every
+call site guards on truthiness, so the instrumented paths cost one
+attribute read when no checker is installed.
+
+Logical contexts
+----------------
+The simulation is cooperative and single-threaded, but it *models*
+concurrent actors: the parent's user path, the child's user path, the
+async-fork copy threads.  :func:`push_context`/:func:`pop_context`
+maintain a stack of context keys so checkers (the happens-before race
+detector in :mod:`repro.analysis.race`) can attribute every event to
+the logical actor performing it.  Context keys are plain hashables —
+``"main"`` (the driver), ``("user", mm_name)`` (a process's user
+path), ``("copy", child_name, worker_id)`` (a copy thread).
+
+Pushing or popping a context creates **no** happens-before edge: the
+driver's interleaving is one schedule, and ordering must come only
+from the explicit synchronization the kernel actually has (locks,
+kernel sections, TLB shootdowns, fork/exit edges).
 
 This module must not import anything from :mod:`repro` — it sits below
 the whole dependency graph.
@@ -13,6 +30,7 @@ the whole dependency graph.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable
 
 #: Lock classes reported through :data:`LOCK_HOOKS`.
@@ -25,6 +43,28 @@ LOCK_HOOKS: list[Callable[[str, str, object], None]] = []
 
 #: ``fn(mm)`` called from ``AddressSpace.__init__``.
 MM_HOOKS: list[Callable[[object], None]] = []
+
+#: ``fn(op, space, key)`` with ``op`` in {'read','write','atomic'} and
+#: ``space`` in {'pte','frame','mapcount'}; ``key`` identifies the
+#: object (a frame number).  Fired by the memory substrate on every
+#: instrumented access.
+ACCESS_HOOKS: list[Callable[[str, str, object], None]] = []
+
+#: ``fn(kind, src, dst)`` — an explicit happens-before edge between two
+#: logical contexts.  ``kind`` is a label ('fork', 'publish', 'join',
+#: 'tlb-flush'); ``src`` is a context key or ``None`` for the current
+#: context; ``dst`` is a context key (for 'tlb-flush' the *owner name*
+#: of the flushed TLB, which checkers map to that process's user
+#: context).
+EDGE_HOOKS: list[Callable[[str, object, object], None]] = []
+
+#: The logical-context stack; index -1 is the current context.
+CONTEXT_STACK: list[object] = ["main"]
+
+#: While positive, :func:`notify_access` drops events (checker-internal
+#: reads such as MMSAN audits and snapshot-oracle fingerprinting must
+#: not appear as program accesses).
+_suppress_depth = 0
 
 
 def notify_lock(event: str, lock_class: str, key: object) -> None:
@@ -39,7 +79,66 @@ def notify_mm_created(mm: object) -> None:
         fn(mm)
 
 
+def notify_access(op: str, space: str, key: object) -> None:
+    """Report one memory-substrate access (unless suppressed)."""
+    if _suppress_depth:
+        return
+    for fn in list(ACCESS_HOOKS):
+        fn(op, space, key)
+
+
+def notify_edge(kind: str, src: object, dst: object) -> None:
+    """Report an explicit happens-before edge between contexts."""
+    for fn in list(EDGE_HOOKS):
+        fn(kind, src, dst)
+
+
+# -- logical contexts ----------------------------------------------------
+
+
+def current_context() -> object:
+    """The context key of the logical actor currently executing."""
+    return CONTEXT_STACK[-1]
+
+
+def push_context(key: object) -> None:
+    """Enter a logical context (no happens-before edge implied)."""
+    CONTEXT_STACK.append(key)
+
+
+def pop_context() -> None:
+    """Leave the innermost logical context."""
+    if len(CONTEXT_STACK) > 1:
+        CONTEXT_STACK.pop()
+
+
+@contextmanager
+def context(key: object):
+    """Scope a logical context over a block."""
+    push_context(key)
+    try:
+        yield
+    finally:
+        pop_context()
+
+
+@contextmanager
+def suppressed():
+    """Scope in which accesses are invisible (checker-internal reads)."""
+    global _suppress_depth
+    _suppress_depth += 1
+    try:
+        yield
+    finally:
+        _suppress_depth -= 1
+
+
 def clear() -> None:
-    """Remove every installed hook (test isolation)."""
+    """Remove every installed hook and reset contexts (test isolation)."""
+    global _suppress_depth
     LOCK_HOOKS.clear()
     MM_HOOKS.clear()
+    ACCESS_HOOKS.clear()
+    EDGE_HOOKS.clear()
+    del CONTEXT_STACK[1:]
+    _suppress_depth = 0

@@ -32,6 +32,22 @@ Rules
     Python loop there silently reverts the vectorization.  Deliberate
     scalar fallbacks (e.g. the tracing arms, cold NUMA paths) carry the
     allow pragma.
+``hook-leak``
+    Non-test code appending a callback to one of the
+    :mod:`repro.analysis.hooks` collector lists (``LOCK_HOOKS``,
+    ``MM_HOOKS``, ``ACCESS_HOOKS``, ``EDGE_HOOKS``) in a module with no
+    paired ``.remove`` on the same collector.  A hook with no teardown
+    path survives into every later run and skews both perf numbers and
+    checker state.
+
+Alias resolution
+----------------
+Call targets are resolved through the import table *before* matching,
+and the table is built in a pre-pass over the whole module so calls
+that lexically precede their import still resolve.  ``from X import *``
+of the clock/RNG modules pre-populates the names those modules are
+known to export, and simple rebinds (``t = time`` / ``now = t.time``)
+propagate the alias to the new name.
 
 A finding on a line containing ``# lint: allow(<rule>)`` is suppressed.
 """
@@ -40,6 +56,7 @@ from __future__ import annotations
 
 import ast
 import builtins
+import json
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -67,6 +84,37 @@ _WALL_CLOCK_DATETIME = frozenset(
 #: generator constructors themselves fall under ``rng-construction``.
 _NP_RANDOM_OK = frozenset(
     {"Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+)
+
+#: Draws from the process-global RNG exported by ``random`` — the names
+#: a ``from random import *`` pulls into a module's namespace.
+_RANDOM_GLOBAL_FUNCS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "getstate", "lognormvariate",
+        "normalvariate", "paretovariate", "randbytes", "randint", "random",
+        "randrange", "sample", "seed", "setstate", "shuffle", "triangular",
+        "uniform", "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: What a star-import of each watched module binds, as ``name -> dotted``.
+_STAR_NAMESPACES: dict[str, dict[str, str]] = {
+    "time": {name: f"time.{name}" for name in _WALL_CLOCK_TIME_FUNCS},
+    "datetime": {
+        "datetime": "datetime.datetime",
+        "date": "datetime.date",
+    },
+    "random": {
+        **{name: f"random.{name}" for name in _RANDOM_GLOBAL_FUNCS},
+        "Random": "random.Random",
+        "SystemRandom": "random.SystemRandom",
+    },
+}
+
+#: The collector lists in :mod:`repro.analysis.hooks` (rule ``hook-leak``).
+_HOOK_COLLECTORS = frozenset(
+    {"LOCK_HOOKS", "MM_HOOKS", "ACCESS_HOOKS", "EDGE_HOOKS"}
 )
 
 #: Builtin exception names for the shadow rule.
@@ -120,6 +168,16 @@ class LintFinding:
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
 
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (stable key set, machine consumers)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
 
 class _ImportTracker:
     """Map local names to the dotted module paths they alias."""
@@ -137,7 +195,28 @@ class _ImportTracker:
         if node.level or node.module is None:
             return  # relative imports never reach stdlib/numpy
         for alias in node.names:
+            if alias.name == "*":
+                # ``from time import *`` binds the module's exports as
+                # bare names; pre-populate the ones we know about.
+                self.aliases.update(_STAR_NAMESPACES.get(node.module, {}))
+                continue
             self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def visit_assign(self, node: ast.Assign) -> None:
+        """Propagate aliases through simple rebinds (``t = time``)."""
+        targets = [t for t in node.targets if isinstance(t, ast.Name)]
+        if not targets:
+            return
+        dotted = None
+        if isinstance(node.value, (ast.Name, ast.Attribute)):
+            dotted = self.resolve_call(node.value)
+        for target in targets:
+            if dotted is not None and dotted != target.id:
+                self.aliases[target.id] = dotted
+            else:
+                # Rebound to something we can't follow — drop any stale
+                # alias rather than report on the wrong target.
+                self.aliases.pop(target.id, None)
 
     def resolve_call(self, func: ast.expr) -> str | None:
         """Dotted path of a call target, alias-resolved, else ``None``."""
@@ -164,6 +243,14 @@ class _Linter(ast.NodeVisitor):
         self.pte_hot = any(
             posix_path.endswith(suffix) for suffix in _PTE_HOT_MODULES
         )
+        self.is_test = (
+            "/tests/" in posix_path
+            or module_name.startswith("test_")
+            or module_name == "conftest"
+        )
+        #: ``hook-leak`` bookkeeping: append sites and removed collectors.
+        self._hook_appends: list[tuple[ast.Call, str]] = []
+        self._hook_removes: set[str] = set()
 
     # -- helpers ---------------------------------------------------------
 
@@ -190,13 +277,42 @@ class _Linter(ast.NodeVisitor):
         self.imports.visit_import_from(node)
         self.generic_visit(node)
 
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.imports.visit_assign(node)
+        self.generic_visit(node)
+
     # -- calls -----------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
         target = self.imports.resolve_call(node.func)
         if target is not None:
             self._check_call_target(node, target)
+            self._track_hook_call(node, target)
         self.generic_visit(node)
+
+    def _track_hook_call(self, node: ast.Call, target: str) -> None:
+        parts = target.split(".")
+        if len(parts) < 2 or parts[-2] not in _HOOK_COLLECTORS:
+            return
+        if parts[-1] == "append":
+            self._hook_appends.append((node, parts[-2]))
+        elif parts[-1] in ("remove", "clear"):
+            self._hook_removes.add(parts[-2])
+
+    def finalize(self) -> None:
+        """Emit the module-scoped findings (``hook-leak``)."""
+        if self.is_test:
+            return
+        for node, collector in self._hook_appends:
+            if collector in self._hook_removes:
+                continue
+            self._report(
+                node,
+                "hook-leak",
+                f"{collector}.append without a paired {collector}.remove "
+                "in this module; the hook outlives its checker — pair "
+                "install/uninstall",
+            )
 
     def _check_call_target(self, node: ast.Call, target: str) -> None:
         parts = target.split(".")
@@ -354,7 +470,16 @@ def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
         ]
     module_name = Path(path).stem
     linter = _Linter(path, source.splitlines(), module_name)
+    # Import pre-pass: a call that lexically precedes its import (late
+    # imports at function scope, bodies defined above the import block)
+    # must still resolve through the alias table.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            linter.imports.visit_import(node)
+        elif isinstance(node, ast.ImportFrom):
+            linter.imports.visit_import_from(node)
     linter.visit(tree)
+    linter.finalize()
     return sorted(linter.findings, key=lambda f: (f.line, f.col, f.rule))
 
 
@@ -384,8 +509,23 @@ def lint_paths(paths: Iterable[str | Path]) -> list[LintFinding]:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point: exit 1 when any finding is reported."""
     args = list(sys.argv[1:] if argv is None else argv)
+    fmt = "text"
+    if "--format" in args:
+        i = args.index("--format")
+        try:
+            fmt = args[i + 1]
+        except IndexError:
+            print("lint_repro: --format needs an argument", file=sys.stderr)
+            return 2
+        del args[i : i + 2]
+        if fmt not in ("text", "json"):
+            print(f"lint_repro: unknown format {fmt!r}", file=sys.stderr)
+            return 2
     if not args:
-        print("usage: lint_repro.py PATH [PATH ...]", file=sys.stderr)
+        print(
+            "usage: lint_repro.py [--format text|json] PATH [PATH ...]",
+            file=sys.stderr,
+        )
         return 2
     try:
         findings = lint_paths(args)
@@ -393,12 +533,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"lint_repro: cannot read {exc.filename}: {exc.strerror}",
               file=sys.stderr)
         return 2
-    for finding in findings:
-        print(finding.format())
-    if findings:
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    if fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "count": len(findings),
+                    "findings": [f.to_dict() for f in findings],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":

@@ -54,28 +54,33 @@ class LockDep:
         #: First witnessed ordering per ``(earlier_class, later_class)``.
         self.edges: dict[tuple[str, str], str] = {}
         self.violations: list[LockOrderViolation] = []
+        #: Occurrences per ``(kind, first, second)`` edge.  ``violations``
+        #: keeps only the first witness of each edge (so long runs stay
+        #: bounded); the count preserves how often it re-fired.
+        self.violation_counts: dict[tuple[str, str, str], int] = {}
         self._reported: set[tuple[str, str, str]] = set()
         self._installed = False
 
     # -- lifecycle -------------------------------------------------------
 
     def install(self) -> None:
-        """Start receiving lock events."""
-        if not self._installed:
+        """Start receiving lock events (re-arms after ``hooks.clear()``)."""
+        if self._on_lock not in hooks.LOCK_HOOKS:
             hooks.LOCK_HOOKS.append(self._on_lock)
-            self._installed = True
+        self._installed = True
 
     def uninstall(self) -> None:
         """Stop receiving lock events."""
-        if self._installed:
+        if self._on_lock in hooks.LOCK_HOOKS:
             hooks.LOCK_HOOKS.remove(self._on_lock)
-            self._installed = False
+        self._installed = False
 
     def reset(self) -> None:
         """Forget held locks, edges and violations (test isolation)."""
         self.held.clear()
         self.edges.clear()
         self.violations.clear()
+        self.violation_counts.clear()
         self._reported.clear()
 
     # -- event handling --------------------------------------------------
@@ -123,6 +128,9 @@ class LockDep:
 
     def _record(self, violation: LockOrderViolation) -> None:
         dedup = (violation.kind, violation.first, violation.second)
+        self.violation_counts[dedup] = (
+            self.violation_counts.get(dedup, 0) + 1
+        )
         if dedup in self._reported:
             return
         self._reported.add(dedup)

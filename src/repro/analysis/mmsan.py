@@ -40,6 +40,7 @@ import weakref
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro.analysis import hooks
 from repro.errors import MmsanViolationError
 from repro.mem.flags import pte_frame, pte_present, pte_writable
 from repro.mem.frames import FrameAllocator
@@ -176,6 +177,19 @@ class Mmsan:
         ``strict_leaks`` additionally reports unreachable frames with a
         zero mapcount, which only a teardown-shaped test can assert.
         """
+        # Checker-internal reads must not appear as program accesses to
+        # the race detector.
+        with hooks.suppressed():
+            return self._audit(
+                pmd_markers=pmd_markers, strict_leaks=strict_leaks
+            )
+
+    def _audit(
+        self,
+        *,
+        pmd_markers: bool = False,
+        strict_leaks: bool = False,
+    ) -> list[MmsanViolation]:
         v: list[MmsanViolation] = []
         mms = self.mms()
 

@@ -26,6 +26,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.analysis import hooks
 from repro.errors import SnapshotConsistencyError
 from repro.mem.flags import PteFlags, pte_frame, pte_present
 from repro.mem.hugepage import HUGE_PAGE_SIZE, HugePage
@@ -73,6 +74,13 @@ class SnapshotOracle:
     @classmethod
     def capture(cls, mm) -> "SnapshotOracle":
         """Fingerprint ``mm``'s logical memory right now."""
+        # Checker-internal reads must not appear as program accesses to
+        # the race detector.
+        with hooks.suppressed():
+            return cls._capture(mm)
+
+    @classmethod
+    def _capture(cls, mm) -> "SnapshotOracle":
         pages: dict[int, bytes] = {}
         huge: dict[int, bytes] = {}
         for base, child in cls._iter_pmd_slots(mm):
@@ -122,6 +130,12 @@ class SnapshotOracle:
         still matches the fingerprint (any parent write would have
         forced a proactive synchronization first, §4.3).
         """
+        with hooks.suppressed():
+            return self._verify(child_mm, pending_parent)
+
+    def _verify(
+        self, child_mm, pending_parent=None
+    ) -> list[SnapshotMismatch]:
         child = SnapshotOracle.capture(child_mm)
         mismatches: list[SnapshotMismatch] = []
 

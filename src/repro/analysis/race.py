@@ -1,0 +1,448 @@
+"""Vector-clock happens-before race detection over substrate events.
+
+The paper's whole §4 design — the PTE-table page lock, the two-way
+pointer, the proactive-synchronization checkpoints, the TLB shootdowns
+— exists to order the async copy threads against the parent's
+concurrent user activity.  MMSAN spot-checks known end-state
+invariants; this module instead *proves synchronization sufficiency*:
+every pair of conflicting memory-substrate accesses must be ordered by
+the happens-before relation induced by the synchronization the
+simulated kernel actually performed, or it is a race.
+
+Model
+-----
+**Contexts.**  Logical actors (``main``, ``user:<mm>``,
+``copy:<child>:<n>``) come from :mod:`repro.analysis.hooks`'s context
+stack.  Each carries a vector clock.  Pushing/popping a context is not
+an edge — the cooperative driver's interleaving is one schedule, and
+only real synchronization may order accesses.
+
+**Sync edges.**
+
+* lock/kernel-section release → later acquire of the same
+  ``(class, key)`` (page locks by frame, kernel sections by reason,
+  two-way pointers by identity);
+* a TLB shootdown is a synchronous rendezvous: the initiating context
+  and the flushed process's user context join each other's clocks
+  (IPI + wait-for-ack is a two-way barrier);
+* explicit ``fork``/``publish``/``join`` edges emitted by the fork
+  engines (fork-point ordering, table publication to the child's
+  walker, copy-thread exit).
+
+**Conflicts.**  Accesses carry a space (``pte`` — leaf-table words,
+``frame`` — frame contents, ``mapcount``) and an op.  A *write/write*
+or *read-after-write* pair on the same object, unordered by
+happens-before, is a race.  A write after an earlier unordered read is
+**not** flagged: PTE stores are atomic 8-byte words (no torn reads),
+and "hardware walker reads a table the child is concurrently
+write-protecting" is exactly the benign interleaving §4.2 argues safe
+— the bug class is using the *stale* value afterwards, which the
+read-after-write direction catches (a missing shootdown leaves the
+later read unordered).  ``atomic`` ops (ACCESSED/DIRTY bit updates,
+map-count inc/dec — atomic RMWs in the kernel) never conflict.
+
+The detector is deterministic: contexts are interned in first-use
+order, sites are repo-relative ``file:line`` stacks, and reports
+serialize with sorted keys — same seed, byte-identical report.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.analysis import hooks
+from repro.errors import DataRaceError
+
+#: Frames of call stack captured per access site.
+STACK_DEPTH = 5
+
+#: Files whose frames are elided from captured stacks (detector plumbing).
+_ELIDED = ("race.py", "hooks.py")
+
+
+class VectorClock:
+    """A mapping ``context-id -> logical tick`` with join/increment.
+
+    The algebra the detector relies on (and the property tests check):
+    ``join`` is commutative, associative and idempotent with identity
+    ``VectorClock()``; ``increment`` strictly grows exactly one
+    component; ``a <= join(a, b)`` for all ``a, b``.
+    """
+
+    __slots__ = ("ticks",)
+
+    def __init__(self, ticks: Optional[dict[int, int]] = None) -> None:
+        self.ticks: dict[int, int] = dict(ticks) if ticks else {}
+
+    def copy(self) -> "VectorClock":
+        """An independent snapshot of this clock."""
+        return VectorClock(self.ticks)
+
+    def get(self, cid: int) -> int:
+        """The tick recorded for context ``cid`` (0 if never seen)."""
+        return self.ticks.get(cid, 0)
+
+    def increment(self, cid: int) -> None:
+        """Advance ``cid``'s own component by one."""
+        self.ticks[cid] = self.ticks.get(cid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place component-wise maximum (receive other's knowledge)."""
+        mine = self.ticks
+        for cid, tick in other.ticks.items():
+            if mine.get(cid, 0) < tick:
+                mine[cid] = tick
+
+    @staticmethod
+    def joined(a: "VectorClock", b: "VectorClock") -> "VectorClock":
+        """Functional join (for the algebra's property tests)."""
+        out = a.copy()
+        out.join(b)
+        return out
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return all(
+            other.ticks.get(cid, 0) >= tick
+            for cid, tick in self.ticks.items()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return {c: t for c, t in self.ticks.items() if t} == {
+            c: t for c, t in other.ticks.items() if t
+        }
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as key
+        return hash(frozenset(self.ticks.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{c}:{t}" for c, t in sorted(self.ticks.items())
+        )
+        return f"VectorClock({{{inner}}})"
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One side of a reported race."""
+
+    context: str
+    op: str
+    #: Repo-relative ``file:line`` frames, innermost first.
+    stack: tuple[str, ...]
+    #: ``class[key]`` of every lock held at the access.
+    locks: tuple[str, ...]
+
+    def format(self) -> str:
+        where = self.stack[0] if self.stack else "?"
+        held = f" holding {{{', '.join(self.locks)}}}" if self.locks else ""
+        return f"{self.op} by {self.context} at {where}{held}"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Two conflicting accesses with no happens-before edge between them."""
+
+    space: str
+    key: object
+    first: AccessSite
+    second: AccessSite
+    #: Human-readable description of the edge that would have ordered them.
+    missing_edge: str
+
+    def format(self) -> str:
+        lines = [
+            f"data race on {self.space}[{self.key}]:",
+            f"  first:  {self.first.format()}",
+        ]
+        lines.extend(f"          {s}" for s in self.first.stack[1:])
+        lines.append(f"  second: {self.second.format()}")
+        lines.extend(f"          {s}" for s in self.second.stack[1:])
+        lines.append(f"  missing edge: {self.missing_edge}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (deterministic field order)."""
+        return {
+            "space": self.space,
+            "key": str(self.key),
+            "first": {
+                "context": self.first.context,
+                "op": self.first.op,
+                "stack": list(self.first.stack),
+                "locks": list(self.first.locks),
+            },
+            "second": {
+                "context": self.second.context,
+                "op": self.second.op,
+                "stack": list(self.second.stack),
+                "locks": list(self.second.locks),
+            },
+            "missing_edge": self.missing_edge,
+        }
+
+
+#: The last write to one object: ``(cid, tick, raw_stack, held_locks)``.
+#: Reads are never recorded — a write after an unordered read is benign
+#: here (atomic PTE stores), so only the last write can seed a race.
+_WriteRecord = tuple[int, int, tuple, tuple]
+
+
+class RaceDetector:
+    """Happens-before race detector fed by the analysis hooks."""
+
+    def __init__(self, stack_depth: int = STACK_DEPTH) -> None:
+        self.stack_depth = stack_depth
+        self.races: list[RaceReport] = []
+        #: Events processed, per space (diagnostics for reports).
+        self.event_counts: dict[str, int] = {}
+        self._installed = False
+        # Context interning: key -> id, plus per-id label and clock.
+        self._ctx_ids: dict[object, int] = {}
+        self._labels: list[str] = []
+        self._clocks: list[VectorClock] = []
+        # Release clocks per (lock_class, key) sync object.
+        self._sync: dict[tuple[str, object], VectorClock] = {}
+        # Locks currently held (cooperative model: one global stack).
+        self._held: list[tuple[str, object]] = []
+        # Stable display ids for identity-keyed locks (two-way pointers).
+        self._interned_keys: dict[tuple[str, object], int] = {}
+        self._reported: set[tuple] = set()
+        # Per-object last-write records: (space, key) -> _WriteRecord.
+        self._writes: dict[tuple[str, object], _WriteRecord] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def install(self) -> None:
+        """Start receiving substrate events."""
+        if self._installed:
+            return
+        hooks.ACCESS_HOOKS.append(self._on_access)
+        hooks.LOCK_HOOKS.append(self._on_lock)
+        hooks.EDGE_HOOKS.append(self._on_edge)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Stop receiving substrate events."""
+        if not self._installed:
+            return
+        hooks.ACCESS_HOOKS.remove(self._on_access)
+        hooks.LOCK_HOOKS.remove(self._on_lock)
+        hooks.EDGE_HOOKS.remove(self._on_edge)
+        self._installed = False
+
+    def reset(self) -> None:
+        """Forget all state (test isolation)."""
+        self.races.clear()
+        self.event_counts.clear()
+        self._ctx_ids.clear()
+        self._labels.clear()
+        self._clocks.clear()
+        self._sync.clear()
+        self._held.clear()
+        self._interned_keys.clear()
+        self._reported.clear()
+        self._writes.clear()
+
+    def assert_clean(self) -> None:
+        """Raise :class:`DataRaceError` if any race was recorded."""
+        if self.races:
+            raise DataRaceError(
+                "\n".join(r.format() for r in self.races), self.races
+            )
+
+    # -- context plumbing ------------------------------------------------
+
+    def _ctx(self, key: object) -> int:
+        cid = self._ctx_ids.get(key)
+        if cid is None:
+            cid = len(self._clocks)
+            self._ctx_ids[key] = cid
+            self._labels.append(self._label(key))
+            clock = VectorClock()
+            clock.increment(cid)
+            self._clocks.append(clock)
+        return cid
+
+    @staticmethod
+    def _label(key: object) -> str:
+        if isinstance(key, tuple):
+            return ":".join(str(part) for part in key)
+        return str(key)
+
+    def _current(self) -> int:
+        return self._ctx(hooks.current_context())
+
+    def _lock_label(self, lock_class: str, key: object) -> str:
+        if lock_class == hooks.TWO_WAY_POINTER:
+            # Identity keys (id(pointer)) are not stable across runs;
+            # intern them in first-use order for deterministic reports.
+            stable = self._interned_keys.setdefault(
+                (lock_class, key), len(self._interned_keys)
+            )
+            return f"{lock_class}#{stable}"
+        return f"{lock_class}[{key}]"
+
+    # -- stacks ----------------------------------------------------------
+
+    @staticmethod
+    def _relpath(filename: str) -> str:
+        posix = filename.replace("\\", "/")
+        for marker in ("/src/", "/tests/", "/scripts/"):
+            cut = posix.rfind(marker)
+            if cut >= 0:
+                return posix[cut + 1 :]
+        return posix.rsplit("/", 1)[-1]
+
+    def _raw_stack(self) -> tuple:
+        """Capture ``(filename, lineno)`` frames; format lazily at report."""
+        out: list[tuple[str, int]] = []
+        frame = sys._getframe(2)
+        while frame is not None and len(out) < self.stack_depth:
+            filename = frame.f_code.co_filename
+            if not filename.endswith(_ELIDED):
+                out.append((filename, frame.f_lineno))
+            frame = frame.f_back
+        return tuple(out)
+
+    def _site(self, op: str, cid: int, raw_stack: tuple, held: tuple) -> AccessSite:
+        return AccessSite(
+            context=self._labels[cid],
+            op=op,
+            stack=tuple(
+                f"{self._relpath(filename)}:{lineno}"
+                for filename, lineno in raw_stack
+            ),
+            locks=tuple(
+                self._lock_label(cls, key) for cls, key in held
+            ),
+        )
+
+    # -- event handlers --------------------------------------------------
+
+    def _on_lock(self, event: str, lock_class: str, key: object) -> None:
+        cid = self._current()
+        clock = self._clocks[cid]
+        sync_key = (lock_class, key)
+        if event == "acquire":
+            released = self._sync.get(sync_key)
+            if released is not None:
+                clock.join(released)
+            clock.increment(cid)
+            self._held.append(sync_key)
+        else:
+            self._sync[sync_key] = clock.copy()
+            clock.increment(cid)
+            for i in range(len(self._held) - 1, -1, -1):
+                if self._held[i] == sync_key:
+                    del self._held[i]
+                    break
+
+    def _on_edge(self, kind: str, src: object, dst: object) -> None:
+        if kind == "tlb-flush":
+            # Synchronous shootdown: IPI + wait-for-ack is a rendezvous,
+            # so initiator and target exchange clocks both ways.
+            initiator = self._current()
+            target = self._ctx(("user", dst))
+            if initiator == target:
+                return
+            self._clocks[target].join(self._clocks[initiator])
+            self._clocks[initiator].join(self._clocks[target])
+            self._clocks[initiator].increment(initiator)
+            self._clocks[target].increment(target)
+            return
+        src_cid = self._current() if src is None else self._ctx(src)
+        dst_cid = self._ctx(dst)
+        if src_cid == dst_cid:
+            return
+        self._clocks[dst_cid].join(self._clocks[src_cid])
+        self._clocks[src_cid].increment(src_cid)
+
+    def _on_access(self, op: str, space: str, key: object) -> None:
+        self.event_counts[space] = self.event_counts.get(space, 0) + 1
+        if op == "atomic":
+            # Atomic RMWs (A/D bit updates, map-count inc/dec) never
+            # race: the hardware/kernel performs them atomically.
+            return
+        cid = self._current()
+        clock = self._clocks[cid]
+        write = self._writes.get((space, key))
+        conflict = (
+            write is not None
+            and write[0] != cid
+            and clock.get(write[0]) < write[1]
+        )
+        if conflict:
+            self._report(space, key, write, op, cid)
+        if op == "write":
+            self._writes[(space, key)] = (
+                cid,
+                clock.get(cid),
+                self._raw_stack(),
+                tuple(self._held),
+            )
+
+    # -- reporting -------------------------------------------------------
+
+    def _report(
+        self,
+        space: str,
+        key: object,
+        write: _WriteRecord,
+        op: str,
+        cid: int,
+    ) -> None:
+        first = self._site("write", write[0], write[2], write[3])
+        second = self._site(op, cid, self._raw_stack(), tuple(self._held))
+        dedup = (
+            space,
+            first.context,
+            first.stack[:1],
+            second.context,
+            second.stack[:1],
+        )
+        if dedup in self._reported:
+            return
+        self._reported.add(dedup)
+        self.races.append(
+            RaceReport(
+                space=space,
+                key=key,
+                first=first,
+                second=second,
+                missing_edge=self._missing_edge(first, second),
+            )
+        )
+
+    @staticmethod
+    def _missing_edge(first: AccessSite, second: AccessSite) -> str:
+        common = sorted(set(first.locks) & set(second.locks))
+        if common:
+            hint = (
+                f"both sides hold {{{', '.join(common)}}} but no "
+                "release→acquire of it separates the accesses"
+            )
+        else:
+            hint = "no release→acquire on any common lock connects them"
+        target = second.context
+        if target.startswith("user:"):
+            hint += (
+                f"; a TLB shootdown of '{target[len('user:'):]}' between "
+                "the accesses would establish the edge"
+            )
+        return hint
+
+
+@contextmanager
+def detecting(stack_depth: int = STACK_DEPTH) -> Iterator[RaceDetector]:
+    """Scope a freshly installed detector over a block."""
+    detector = RaceDetector(stack_depth=stack_depth)
+    detector.install()
+    try:
+        yield detector
+    finally:
+        detector.uninstall()

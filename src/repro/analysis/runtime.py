@@ -47,10 +47,12 @@ class Supervisor:
         self._started = False
 
     def start(self) -> None:
-        if self._started:
-            return
+        # Membership-based so a test-scoped ``hooks.clear()`` (the
+        # analysis suites wipe the registries for isolation) can be
+        # undone by calling start() again.
         self.lockdep.install()
-        hooks.MM_HOOKS.append(self._on_mm_created)
+        if self._on_mm_created not in hooks.MM_HOOKS:
+            hooks.MM_HOOKS.append(self._on_mm_created)
         self._started = True
 
     def stop(self) -> None:

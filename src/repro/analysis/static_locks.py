@@ -1,0 +1,295 @@
+"""Static lock-order extraction: the AST companion to lockdep.
+
+Runtime lockdep (:mod:`repro.analysis.lockdep`) witnesses the lock
+orders a particular schedule happened to execute.  This pass reads the
+*source*: for every function in the tree it extracts the sequence of
+simulated-lock acquisitions —
+
+* ``X.trylock()``  — the PTE-table page lock (:data:`hooks.PAGE_LOCK`),
+* ``X.lock()``     — the async-fork two-way pointer,
+* ``with ....kernel_section(...)`` — the kernel-section bracket —
+
+and builds a static lock-order graph: an edge ``A -> B`` means some
+function acquires class ``B`` while (lexically) still holding class
+``A``.  :func:`cross_check` then compares the two views:
+
+* a cycle between classes in the static graph is an inversion waiting
+  for the right schedule;
+* an edge witnessed at runtime but absent statically means the order is
+  composed *across* functions (caller holds ``A``, callee takes ``B``)
+  — exactly the pattern a per-function reviewer cannot see;
+* a static edge never witnessed at runtime is an untested lock path.
+
+The extraction is an approximation: a ``trylock`` is considered held
+from the call until an ``unlock()`` on the same receiver text (or the
+function's end), which matches how every call site in the tree is
+written — the loser of a trylock backs off immediately.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis import hooks
+
+#: The repo's documented hierarchy (lockdep's docstring, DESIGN.md):
+#: earlier classes may hold while acquiring later ones, never reverse.
+CANONICAL_ORDER = (
+    hooks.TWO_WAY_POINTER,
+    hooks.KERNEL_SECTION,
+    hooks.PAGE_LOCK,
+)
+
+
+@dataclass(frozen=True)
+class StaticAcquisition:
+    """One lock acquisition found in source."""
+
+    lock_class: str
+    line: int
+    receiver: str
+
+    def format(self) -> str:
+        return f"{self.lock_class}({self.receiver}) at line {self.line}"
+
+
+@dataclass
+class StaticLockGraph:
+    """Per-function acquisition sequences and the derived order graph."""
+
+    #: ``qualname -> acquisitions in lexical order``; only functions
+    #: that acquire at least one lock appear.
+    acquisitions: dict[str, list[StaticAcquisition]] = field(
+        default_factory=dict
+    )
+    #: ``(first_class, second_class) -> sorted witnesses`` (the second
+    #: class was acquired while the first was held, in one function).
+    edges: dict[tuple[str, str], list[str]] = field(default_factory=dict)
+
+    def add_edge(self, first: str, second: str, witness: str) -> None:
+        witnesses = self.edges.setdefault((first, second), [])
+        if witness not in witnesses:
+            witnesses.append(witness)
+            witnesses.sort()
+
+    def inversions(self) -> list[tuple[str, str]]:
+        """Class pairs ordered both ways somewhere in the source."""
+        return sorted(
+            (a, b)
+            for (a, b) in self.edges
+            if a < b and (b, a) in self.edges
+        )
+
+    def canonical_violations(self) -> list[tuple[str, str]]:
+        """Static edges contradicting :data:`CANONICAL_ORDER`."""
+        rank = {name: i for i, name in enumerate(CANONICAL_ORDER)}
+        return sorted(
+            (a, b)
+            for (a, b) in self.edges
+            if a in rank and b in rank and rank[a] > rank[b]
+        )
+
+
+class _FunctionScanner:
+    """Lexical walk of one function body tracking held lock classes."""
+
+    def __init__(self, graph: StaticLockGraph, qualname: str, path: str) -> None:
+        self.graph = graph
+        self.qualname = qualname
+        self.path = path
+        #: Currently held ``(lock_class, receiver_text)``, oldest first.
+        self.held: list[tuple[str, str]] = []
+        self.seq: list[StaticAcquisition] = []
+
+    # -- recording -------------------------------------------------------
+
+    def _acquire(self, lock_class: str, receiver: str, line: int) -> None:
+        acq = StaticAcquisition(lock_class, line, receiver)
+        self.seq.append(acq)
+        witness = f"{self.path}:{line} ({self.qualname})"
+        for held_class, _ in self.held:
+            if held_class != lock_class:
+                self.graph.add_edge(held_class, lock_class, witness)
+        self.held.append((lock_class, receiver))
+
+    def _release(self, receiver: str) -> None:
+        for i in range(len(self.held) - 1, -1, -1):
+            if self.held[i][1] == receiver:
+                del self.held[i]
+                return
+        # ``unlock()`` on a receiver we never saw acquire (release-only
+        # helper, or the acquire is in a caller): drop the newest
+        # non-section hold as the best guess, else ignore.
+        for i in range(len(self.held) - 1, -1, -1):
+            if self.held[i][0] != hooks.KERNEL_SECTION:
+                del self.held[i]
+                return
+
+    # -- traversal -------------------------------------------------------
+
+    def scan(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._node(stmt)
+
+    def _node(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested defs are scanned as their own functions
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._with(node)
+            return
+        if isinstance(node, ast.Call):
+            self._call(node)
+        for child in ast.iter_child_nodes(node):
+            self._node(child)
+
+    def _with(self, node: ast.With | ast.AsyncWith) -> None:
+        sections = 0
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "kernel_section"
+            ):
+                reason = "?"
+                if expr.args and isinstance(expr.args[0], ast.Constant):
+                    reason = str(expr.args[0].value)
+                self._acquire(hooks.KERNEL_SECTION, reason, expr.lineno)
+                sections += 1
+                for arg in expr.args:
+                    self._node(arg)
+            else:
+                self._node(expr)
+        for stmt in node.body:
+            self._node(stmt)
+        for _ in range(sections):
+            for i in range(len(self.held) - 1, -1, -1):
+                if self.held[i][0] == hooks.KERNEL_SECTION:
+                    del self.held[i]
+                    break
+
+    def _call(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or node.args or node.keywords:
+            return
+        receiver = ast.unparse(func.value)
+        if func.attr == "trylock":
+            self._acquire(hooks.PAGE_LOCK, receiver, node.lineno)
+        elif func.attr == "lock":
+            self._acquire(hooks.TWO_WAY_POINTER, receiver, node.lineno)
+        elif func.attr == "unlock":
+            self._release(receiver)
+
+    def finish(self) -> None:
+        if self.seq:
+            self.graph.acquisitions[self.qualname] = self.seq
+
+
+def _iter_functions(
+    tree: ast.Module, module: str
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every function with its dotted qualname, in source order."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{child.name}"
+                yield qual, child
+                yield from walk(child, qual)
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}.{child.name}")
+            else:
+                yield from walk(child, prefix)
+
+    yield from walk(tree, module)
+
+
+def scan_source(
+    source: str, path: str, graph: Optional[StaticLockGraph] = None
+) -> StaticLockGraph:
+    """Extract acquisitions from one module's source into ``graph``."""
+    if graph is None:
+        graph = StaticLockGraph()
+    tree = ast.parse(source, filename=path)
+    module = Path(path).stem
+    for qualname, func in _iter_functions(tree, module):
+        scanner = _FunctionScanner(graph, qualname, path)
+        scanner.scan(func.body)
+        scanner.finish()
+    return graph
+
+
+def build_graph(paths: Iterable[str | Path]) -> StaticLockGraph:
+    """Scan files/directories (recursively) into one graph."""
+    graph = StaticLockGraph()
+    for raw in paths:
+        p = Path(raw)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for file in files:
+            scan_source(file.read_text(encoding="utf-8"), str(file), graph)
+    return graph
+
+
+def cross_check(
+    static: StaticLockGraph,
+    runtime_edges: dict[tuple[str, str], str],
+) -> list[dict]:
+    """Compare the static graph against runtime lockdep edges.
+
+    Returns finding dicts with ``kind`` in ``static-inversion``,
+    ``canonical-violation``, ``dynamic-only-edge`` and
+    ``static-only-edge`` — sorted, deterministic.
+    """
+    findings: list[dict] = []
+    for a, b in static.inversions():
+        findings.append({
+            "kind": "static-inversion",
+            "first": a,
+            "second": b,
+            "detail": (
+                f"source acquires {a} and {b} in both orders: "
+                f"{static.edges[(a, b)][0]} vs {static.edges[(b, a)][0]}"
+            ),
+        })
+    for a, b in static.canonical_violations():
+        findings.append({
+            "kind": "canonical-violation",
+            "first": a,
+            "second": b,
+            "detail": (
+                f"{static.edges[(a, b)][0]} acquires {b} while holding "
+                f"{a}, against the documented "
+                f"{' -> '.join(CANONICAL_ORDER)} hierarchy"
+            ),
+        })
+    for (a, b) in sorted(runtime_edges):
+        if a == b:
+            continue
+        if (a, b) not in static.edges:
+            findings.append({
+                "kind": "dynamic-only-edge",
+                "first": a,
+                "second": b,
+                "detail": (
+                    f"runtime witnessed {runtime_edges[(a, b)]} but no "
+                    f"single function statically acquires {b} under "
+                    f"{a}: the order is composed across functions — "
+                    "not checkable by per-function review"
+                ),
+            })
+    for (a, b) in sorted(static.edges):
+        if (a, b) not in runtime_edges:
+            findings.append({
+                "kind": "static-only-edge",
+                "first": a,
+                "second": b,
+                "detail": (
+                    f"{static.edges[(a, b)][0]} orders {a} -> {b} but "
+                    "no runtime schedule has witnessed it (untested "
+                    "lock path)"
+                ),
+            })
+    return findings

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.analysis import runtime
+from repro.analysis import hooks, runtime
 from repro.config import AsyncForkConfig
 from repro.errors import ForkError, OutOfMemoryError
 from repro.faults.plan import SITE_CHILD_COPY, FaultPlan
@@ -80,6 +80,13 @@ class AsyncFork(ForkEngine):
 
     def fork(self, parent: Process) -> ForkResult:
         """Algorithm 1, parent part (lines 1-6)."""
+        # fork() is a syscall: the upper-level copy, the PMD protection
+        # and any consecutive-snapshot sync run on the parent's own
+        # user path.
+        with hooks.context(("user", parent.mm.name)):
+            return self._fork(parent)
+
+    def _fork(self, parent: Process) -> ForkResult:
         from repro.errors import ConfigurationError
         from repro.mem.hugepage import count_huge_mappings
 
@@ -199,6 +206,15 @@ class AsyncForkSession(ForkSession):
         shard_round_robin(
             list(child.mm.vmas), self._workers, _VmaCopyCursor
         )
+        if hooks.EDGE_HOOKS:
+            # Spawning the copy threads orders them after everything the
+            # parent did up to the fork call.
+            for worker in self._workers:
+                hooks.notify_edge(
+                    "fork",
+                    None,
+                    ("copy", child.mm.name, worker.worker_id),
+                )
         parent.mm.subscribe(self._on_checkpoint)
 
     # ------------------------------------------------------------------
@@ -235,8 +251,10 @@ class AsyncForkSession(ForkSession):
                     self._hung_steps = max(1, spec.magnitude)
                 return 0
         copied = 0
+        child_name = self.child.mm.name
         for worker in self._workers:
-            copied += self._worker_step(worker)
+            with hooks.context(("copy", child_name, worker.worker_id)):
+                copied += self._worker_step(worker)
         if all(w.idle for w in self._workers):
             self._complete()
         return copied
@@ -362,6 +380,15 @@ class AsyncForkSession(ForkSession):
 
     def _complete(self) -> None:
         self.active = False
+        if hooks.EDGE_HOOKS:
+            # Joining the copy threads: the child may run (and the
+            # parent may retire the session) only after every worker's
+            # writes are visible.
+            child_ctx = ("user", self.child.mm.name)
+            for worker in self._workers:
+                src = ("copy", self.child.mm.name, worker.worker_id)
+                hooks.notify_edge("join", src, child_ctx)
+                hooks.notify_edge("join", src, hooks.current_context())
         if not self.failed and self.child.state is ProcessState.KERNEL_COPY:
             self.child.state = ProcessState.RUNNING
         self._teardown()
@@ -412,14 +439,17 @@ class AsyncForkSession(ForkSession):
                 leaf, child_leaf, self.parent.mm.frames
             )
             child_pmd.set(child_idx, child_leaf)
+            if hooks.EDGE_HOOKS:
+                # The table is published to the child's walker the
+                # moment the PMD slot is filled.
+                hooks.notify_edge(
+                    "publish", None, ("user", self.child.mm.name)
+                )
             # Lines 11-12 / 20-21: PMD writable again, PTEs write-protected
             # (done inside the clone) to preserve the CoW strategy.
             pmd.set_write_protected(idx, False)
-            # The clone also write-protected the *parent's* PTEs (the data
-            # pages are CoW-shared now); shoot down any writable
-            # translations the parent still caches for this span.
             span = (base // PTE_TABLE_SPAN) * PTE_TABLE_SPAN
-            self.parent.mm._flush_tlb_range(span, span + PTE_TABLE_SPAN)
+            self._shootdown_parent_span(span)
             if reason is not None:
                 self.stats.parent_pte_entries += copied
             elif obs.ACTIVE:
@@ -435,6 +465,17 @@ class AsyncForkSession(ForkSession):
             return "copied"
         finally:
             leaf.page.unlock()
+
+    def _shootdown_parent_span(self, span: int) -> None:
+        """Shoot down the parent's TLB for a just-copied table's span.
+
+        The clone write-protected the *parent's* PTEs (the data pages
+        are CoW-shared now); any writable translation the parent still
+        caches for the span must die, or a parent store lands in a
+        frame the child's snapshot references (the shootdown PR 1's
+        checkers found missing).
+        """
+        self.parent.mm._flush_tlb_range(span, span + PTE_TABLE_SPAN)
 
     # ------------------------------------------------------------------
     # parent side: proactive synchronization (Algorithm 1, lines 7-14)

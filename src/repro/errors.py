@@ -167,3 +167,12 @@ class LockOrderError(AnalysisError):
         super().__init__(message)
         #: The :class:`repro.analysis.lockdep.LockOrderViolation` record.
         self.violation = violation
+
+
+class DataRaceError(AnalysisError):
+    """The happens-before race detector found conflicting accesses."""
+
+    def __init__(self, message: str, races: list | None = None) -> None:
+        super().__init__(message)
+        #: The :class:`repro.analysis.race.RaceReport` records.
+        self.races = list(races or [])

@@ -6,6 +6,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.analysis import hooks
 from repro.kernel.clock import Clock
 from repro.kernel.costs import DEFAULT_COSTS, CostModel
 from repro.kernel.task import Process
@@ -133,6 +134,10 @@ class ForkEngine(abc.ABC):
                 pointer = TwoWayPointer(vma, child_vma)
                 vma.peer = pointer
                 child_vma.peer = pointer
+        if hooks.EDGE_HOOKS:
+            # Everything the parent did before fork() happens-before
+            # everything the child ever does.
+            hooks.notify_edge("fork", None, ("user", child.mm.name))
         return child
 
     def _copy_upper_levels(

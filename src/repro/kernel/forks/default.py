@@ -7,7 +7,7 @@ copy is ≥97 % of the call), so every query arriving meanwhile waits.
 
 from __future__ import annotations
 
-from repro.analysis import runtime
+from repro.analysis import hooks, runtime
 from repro.errors import OutOfMemoryError, ForkError
 from repro.kernel.forks.base import ForkEngine, ForkResult, ForkStats
 from repro.obs import phases as obs_phases
@@ -25,6 +25,11 @@ class DefaultFork(ForkEngine):
 
     def fork(self, parent: Process) -> ForkResult:
         """Clone the whole page table inside the parent's call."""
+        # fork() is a syscall: the copy is the parent's own user path.
+        with hooks.context(("user", parent.mm.name)):
+            return self._fork(parent)
+
+    def _fork(self, parent: Process) -> ForkResult:
         stats = ForkStats()
         probe = runtime.fork_probe(self, parent)
         start = self.clock.now
@@ -49,6 +54,9 @@ class DefaultFork(ForkEngine):
         # Write-protecting the parent's PTEs invalidates cached
         # translations; the kernel flushes the TLB before returning.
         parent.mm.tlb.flush_all()
+        if hooks.EDGE_HOOKS:
+            # The copy is complete before the child first runs.
+            hooks.notify_edge("publish", None, ("user", child.mm.name))
         stats.parent_call_ns = self.clock.now - start
         result = ForkResult(child=child, stats=stats)
         probe.completed(result)

@@ -16,7 +16,7 @@ snapshot view stays intact.
 
 from __future__ import annotations
 
-from repro.analysis import runtime
+from repro.analysis import hooks, runtime
 from repro.errors import ForkError, OutOfMemoryError
 from repro.kernel.forks.base import (
     ForkEngine,
@@ -42,6 +42,11 @@ class OnDemandFork(ForkEngine):
 
     def fork(self, parent: Process) -> ForkResult:
         """Share the PTE leaf tables; return in microseconds."""
+        # fork() is a syscall: the sharing is the parent's own user path.
+        with hooks.context(("user", parent.mm.name)):
+            return self._fork(parent)
+
+    def _fork(self, parent: Process) -> ForkResult:
         stats = ForkStats()
         probe = runtime.fork_probe(self, parent)
         start = self.clock.now
@@ -61,6 +66,10 @@ class OnDemandFork(ForkEngine):
             self.clock.advance(self.costs.odf_fork_ns(counts))
             if obs.ACTIVE:
                 obs_phases.emit_fork_phases("odf", counts, self.costs, start)
+        if hooks.EDGE_HOOKS:
+            # The share (PMD writes, share counts) is complete before
+            # the child first runs.
+            hooks.notify_edge("publish", None, ("user", child.mm.name))
         stats.parent_call_ns = self.clock.now - start
         session = OdfSession(self, parent, child, stats)
         result = ForkResult(child=child, stats=stats, session=session)
@@ -171,11 +180,18 @@ class OdfSession(ForkSession):
         self.stats.table_faults += 1
         # Flush this process's TLB for the span: its PTE identities changed.
         mm.tlb.flush_all()
-        # clone_pte_table_into also write-protected the remaining sharer's
-        # entries in the (still shared) source table — the data pages are
-        # CoW-shared from here on.  That protection downgrade needs a
-        # shootdown on the other side too, or a stale writable translation
-        # survives there (the Table 1 class of bug MMSAN flags).
+        self._shootdown_other(mm)
+
+    def _shootdown_other(self, mm: AddressSpace) -> None:
+        """Shoot down the *other* sharer's TLB after a table unshare.
+
+        ``clone_pte_table_into`` also write-protected the remaining
+        sharer's entries in the (still shared) source table — the data
+        pages are CoW-shared from here on.  That protection downgrade
+        needs a shootdown on the other side too, or a stale writable
+        translation survives there (the Table 1 class of bug MMSAN
+        flags, and the shootdown PR 1's checkers found missing).
+        """
         other_mm = (
             self.child.mm if mm is self.parent.mm else self.parent.mm
         )

@@ -47,7 +47,11 @@ def encode(value: RespValue) -> bytes:
     if isinstance(value, SimpleString):
         return b"+" + bytes(value) + CRLF
     if isinstance(value, RespError):
-        return b"-" + value.message.encode() + CRLF
+        # Simple errors are line-framed: a message carrying CR/LF (an
+        # unknown command name echoed back, say) would desynchronize
+        # the stream, so sanitize them to spaces as Redis does.
+        message = value.message.replace("\r", " ").replace("\n", " ")
+        return b"-" + message.encode() + CRLF
     if isinstance(value, bool):
         raise TypeError("RESP2 has no boolean; reply with an integer")
     if isinstance(value, int):

@@ -15,6 +15,7 @@ resolves the data-page CoW as usual.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Optional
 
 import numpy as np
@@ -54,6 +55,30 @@ _ACCESSED = np.uint64(int(PteFlags.ACCESSED))
 _PAGE_SHIFT = np.uint64(PAGE_SIZE.bit_length() - 1)
 
 CheckpointSubscriber = Callable[[CheckpointEvent], None]
+
+
+def _user_path(method):
+    """Attribute a syscall entry point to the ``('user', mm)`` context.
+
+    The race detector needs every access tagged with the logical actor
+    performing it; these methods are the process's own user path (page
+    faults, memory access, VMA syscalls).  Checkpoint subscribers fired
+    inside run in the same context — proactive synchronization *is*
+    work done by the parent's syscall, per §4.2.  When no tracker is
+    installed the wrapper costs one truthiness check.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        if not (hooks.ACCESS_HOOKS or hooks.EDGE_HOOKS):
+            return method(self, *args, **kwargs)
+        hooks.push_context(("user", self.name))
+        try:
+            return method(self, *args, **kwargs)
+        finally:
+            hooks.pop_context()
+
+    return wrapper
 
 
 class AddressSpace:
@@ -174,6 +199,7 @@ class AddressSpace:
         self.fire(cp.VMA_MERGE, base, base + length, vma=vma)
         return self.vmas.insert(vma, merge=False)
 
+    @_user_path
     def munmap(self, start: int, length: int) -> int:
         """Remove mappings over [start, start+length); returns pages zapped.
 
@@ -193,6 +219,7 @@ class AddressSpace:
             self.vmas.remove(vma)
         return zapped
 
+    @_user_path
     def mprotect(self, start: int, length: int, prot: VmaProt) -> None:
         """Change protection over a range (do_mprotect_pkey)."""
         lo, hi = aligned_range(start, length)
@@ -207,6 +234,7 @@ class AddressSpace:
                 self.page_table.write_protect_range(vma.start, vma.end)
                 self._flush_tlb_range(vma.start, vma.end)
 
+    @_user_path
     def madvise_dontneed(self, start: int, length: int) -> int:
         """MADV_DONTNEED: drop pages but keep the VMA (madvise_vma)."""
         lo, hi = aligned_range(start, length)
@@ -215,6 +243,7 @@ class AddressSpace:
         self.fire(cp.MADVISE_VMA, lo, hi)
         return self._zap(lo, hi, checkpoint=None)
 
+    @_user_path
     def mremap(self, vma: Vma, new_length: int) -> Vma:
         """Resize a VMA in place (vma_to_resize)."""
         new_end = vma.start + new_length
@@ -230,11 +259,13 @@ class AddressSpace:
             vma.end = new_end
         return vma
 
+    @_user_path
     def mlock(self, start: int, length: int) -> None:
         """Lock a range (mlock_fixup checkpoint; no PTE change modelled)."""
         lo, hi = aligned_range(start, length)
         self.fire(cp.MLOCK_FIXUP, lo, hi)
 
+    @_user_path
     def expand_stack(self, vma: Vma, new_start: int) -> Vma:
         """Grow a stack VMA downwards (expand_downwards)."""
         new_start = page_align_down(new_start)
@@ -316,6 +347,7 @@ class AddressSpace:
             )
         return zapped
 
+    @_user_path
     def zap_pmd_range(self, lo: int, hi: int) -> int:
         """OOM-killer style reclaim: zap with per-PMD checkpoints."""
         return self._zap(lo, hi, checkpoint=cp.ZAP_PMD_RANGE)
@@ -343,6 +375,7 @@ class AddressSpace:
     # faults
     # ------------------------------------------------------------------
 
+    @_user_path
     def handle_fault(self, vaddr: int, write: bool) -> int:
         """Resolve a page fault at ``vaddr``; returns the mapped frame.
 
@@ -559,6 +592,7 @@ class AddressSpace:
     # user-space access (drives faults and the TLB)
     # ------------------------------------------------------------------
 
+    @_user_path
     def write_memory(self, vaddr: int, data: bytes) -> None:
         """Store bytes at a virtual address, faulting pages in as needed."""
         from repro.mem.hugepage import HUGE_PAGE_SIZE, huge_base
@@ -585,6 +619,7 @@ class AddressSpace:
             self.tlb.insert(page_lo, frame, writable=True)
             offset += chunk
 
+    @_user_path
     def read_memory(self, vaddr: int, length: int) -> bytes:
         """Load bytes, using the TLB first — stale entries *will* be used.
 
@@ -638,6 +673,7 @@ class AddressSpace:
                 return pte_frame(pte)
         return self.handle_fault(vaddr, write=True)
 
+    @_user_path
     def follow_page(self, vaddr: int) -> int:
         """get_user_pages-style pinning access (follow_page_pte)."""
         page_lo = page_align_down(vaddr)
@@ -680,6 +716,7 @@ class AddressSpace:
                 )
         return count
 
+    @_user_path
     def clear_accessed_bits(self) -> None:
         """Age the accessed bits, as the WSS estimation loop does.
 
@@ -705,9 +742,10 @@ class AddressSpace:
         Used by tests as the ground truth "point-in-time" image.
         """
         image: dict[int, bytes] = {}
-        for vma in self.vmas:
-            for vaddr, pte in self.page_table.iter_present_ptes(
-                vma.start, vma.end
-            ):
-                image[vaddr] = self.frames.read(pte_frame(pte))
+        with hooks.suppressed():
+            for vma in self.vmas:
+                for vaddr, pte in self.page_table.iter_present_ptes(
+                    vma.start, vma.end
+                ):
+                    image[vaddr] = self.frames.read(pte_frame(pte))
         return image

@@ -19,6 +19,7 @@ from typing import Callable, Iterator, Optional
 
 import numpy as np
 
+from repro.analysis import hooks
 from repro.errors import OutOfMemoryError
 from repro.faults.plan import SITE_FRAME_ALLOC, FaultPlan, FaultSpec
 from repro.mem.page_struct import MapCountStore, PageStruct
@@ -225,6 +226,9 @@ class FrameAllocator:
         """
         if len(frames) == 0:
             return
+        if hooks.ACCESS_HOOKS:
+            for frame in frames:
+                hooks.notify_access("atomic", "mapcount", int(frame))
         np.add.at(self._mapcounts.arr, frames, 1)
 
     def put_many(self, frames: list[int]) -> int:
@@ -235,7 +239,10 @@ class FrameAllocator:
         the scalar path exactly.  Returns how many references dropped.
         """
         arr = self._mapcounts.arr
+        notify = bool(hooks.ACCESS_HOOKS)
         for frame in frames:
+            if notify:
+                hooks.notify_access("atomic", "mapcount", int(frame))
             count = int(arr[frame]) - 1
             if count < 0:
                 raise RuntimeError(
@@ -265,6 +272,8 @@ class FrameAllocator:
         """Read bytes from a frame (zero-filled if never written)."""
         if frame != 0 and frame not in self._pages:
             raise KeyError(f"frame {frame} is not allocated")
+        if hooks.ACCESS_HOOKS and frame != 0:
+            hooks.notify_access("read", "frame", frame)
         if length is None:
             length = PAGE_SIZE - offset
         self._check_span(offset, length)
@@ -279,6 +288,8 @@ class FrameAllocator:
             raise ValueError("the zero page is immutable")
         if frame not in self._pages:
             raise KeyError(f"frame {frame} is not allocated")
+        if hooks.ACCESS_HOOKS:
+            hooks.notify_access("write", "frame", frame)
         self._check_span(offset, len(data))
         buf = self._contents.get(frame)
         if buf is None:
@@ -288,6 +299,10 @@ class FrameAllocator:
 
     def copy_contents(self, src: int, dst: int) -> None:
         """Copy a whole frame (the CoW page copy)."""
+        if hooks.ACCESS_HOOKS:
+            if src != 0:
+                hooks.notify_access("read", "frame", src)
+            hooks.notify_access("write", "frame", dst)
         buf = self._contents.get(src)
         if buf is not None:
             self._contents[dst] = bytearray(buf)

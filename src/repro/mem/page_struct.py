@@ -126,6 +126,8 @@ class PageStruct:
 
     def get(self) -> None:
         """Increment the map count (a new PTE references the frame)."""
+        if hooks.ACCESS_HOOKS:
+            hooks.notify_access("atomic", "mapcount", self.frame)
         self.mapcount += 1
 
     def put(self) -> int:
@@ -134,5 +136,7 @@ class PageStruct:
             raise RuntimeError(
                 f"frame {self.frame}: put() below zero mapcount"
             )
+        if hooks.ACCESS_HOOKS:
+            hooks.notify_access("atomic", "mapcount", self.frame)
         self.mapcount -= 1
         return self.mapcount

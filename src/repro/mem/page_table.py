@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from repro.analysis import hooks
 from repro.mem.directory import (
     PGD,
     PMD,
@@ -108,6 +109,11 @@ class PageTable:
         leaf = self.walk_pte_table(vaddr)
         if leaf is None:
             return 0
+        if hooks.ACCESS_HOOKS:
+            # The hardware walker's read — the chokepoint the race
+            # detector watches (direct ``PteTable.get`` stays silent:
+            # checker audits peek through it).
+            hooks.notify_access("read", "pte", leaf.page.frame)
         return leaf.get(pte_index(vaddr))
 
     def set_pte(self, vaddr: int, value: int) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis import hooks
 from repro.mem.flags import (
     PteFlags,
     pte_clear_flags,
@@ -35,6 +36,9 @@ _REFERENCING = np.uint64(int(PteFlags.PRESENT) | int(PteFlags.SPECIAL))
 #: Bits whose change moves an entry in/out of the cached index sets.
 _MEMBERSHIP_BITS = int(PteFlags.PRESENT) | int(PteFlags.SPECIAL)
 _PAGE_SHIFT = np.uint64(PAGE_SHIFT)
+#: Flag updates touching only these bits are atomic RMWs to the race
+#: detector (the hardware walker's ACCESSED/DIRTY maintenance).
+_AD_BITS = int(PteFlags.ACCESSED) | int(PteFlags.DIRTY)
 
 
 class PteTable:
@@ -81,6 +85,11 @@ class PteTable:
 
     def set(self, index: int, value: int) -> None:
         """Store a raw PTE value, maintaining the present counter."""
+        if hooks.ACCESS_HOOKS:
+            hooks.notify_access("write", "pte", self.page.frame)
+        self._store(index, value)
+
+    def _store(self, index: int, value: int) -> None:
         entries = self._materialize()
         old = int(entries[index])
         entries[index] = np.uint64(value)
@@ -97,11 +106,17 @@ class PteTable:
 
     def add_flags(self, index: int, flags: PteFlags) -> None:
         """Set flag bits on one entry."""
-        self.set(index, pte_set_flags(self.get(index), flags))
+        if hooks.ACCESS_HOOKS:
+            op = "atomic" if not (int(flags) & ~_AD_BITS) else "write"
+            hooks.notify_access(op, "pte", self.page.frame)
+        self._store(index, pte_set_flags(self.get(index), flags))
 
     def remove_flags(self, index: int, flags: PteFlags) -> None:
         """Clear flag bits on one entry."""
-        self.set(index, pte_clear_flags(self.get(index), flags))
+        if hooks.ACCESS_HOOKS:
+            op = "atomic" if not (int(flags) & ~_AD_BITS) else "write"
+            hooks.notify_access(op, "pte", self.page.frame)
+        self._store(index, pte_clear_flags(self.get(index), flags))
 
     def entries(self) -> np.ndarray:
         """Read-only view of the raw entries (zeros if untouched).
@@ -179,6 +194,8 @@ class PteTable:
         values = self._entries[idx]
         touched = int(np.count_nonzero(values & _RW))
         if touched:
+            if hooks.ACCESS_HOOKS:
+                hooks.notify_access("write", "pte", self.page.frame)
             self._entries[idx] = values & _NOT_RW
         return touched
 
@@ -195,6 +212,8 @@ class PteTable:
         mask = (window & _PRESENT) != 0
         touched = int(np.count_nonzero(window[mask] & _RW))
         if touched:
+            if hooks.ACCESS_HOOKS:
+                hooks.notify_access("write", "pte", self.page.frame)
             window[mask] &= _NOT_RW
         return touched
 
@@ -206,6 +225,8 @@ class PteTable:
         """
         if self._entries is None or not len(idx):
             return
+        if hooks.ACCESS_HOOKS:
+            hooks.notify_access("write", "pte", self.page.frame)
         values = self._entries[idx]
         self.present_count -= int(np.count_nonzero(values & _PRESENT))
         self._entries[idx] = 0
@@ -215,6 +236,9 @@ class PteTable:
         """Remove ``flags`` from every present entry (WSS bit aging)."""
         if self._entries is None or self.present_count == 0:
             return
+        if hooks.ACCESS_HOOKS:
+            op = "atomic" if not (int(flags) & ~_AD_BITS) else "write"
+            hooks.notify_access(op, "pte", self.page.frame)
         keep = np.uint64(~int(flags) & 0xFFFF_FFFF_FFFF_FFFF)
         idx = self.present_array()
         self._entries[idx] &= keep
@@ -228,6 +252,9 @@ class PteTable:
         words, same membership), so they are shared rather than
         rescanned — the arrays are read-only results of ``nonzero``.
         """
+        if hooks.ACCESS_HOOKS:
+            hooks.notify_access("read", "pte", other.page.frame)
+            hooks.notify_access("write", "pte", self.page.frame)
         if other._entries is None:
             self._invalidate()
             self._entries = None

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis import hooks
 from repro.obs import tracer as obs
 from repro.obs.registry import MetricsRegistry
 from repro.units import page_align_down
@@ -87,6 +88,8 @@ class Tlb:
 
     def flush_page(self, vaddr: int) -> None:
         """Invalidate the entry for one page (INVLPG)."""
+        if hooks.EDGE_HOOKS:
+            hooks.notify_edge("tlb-flush", None, self.owner)
         page = page_align_down(vaddr)
         self._entries.pop(page, None)
         self._writable.discard(page)
@@ -111,6 +114,8 @@ class Tlb:
             for page in pages:  # lint: allow(pte-loop)
                 self.flush_page(page)
             return
+        if hooks.EDGE_HOOKS:
+            hooks.notify_edge("tlb-flush", None, self.owner)
         entries = self._entries
         if entries:
             pop = entries.pop
@@ -137,6 +142,8 @@ class Tlb:
             for page in range(lo, hi, PAGE_SIZE):  # lint: allow(pte-loop)
                 self.flush_page(page)
             return
+        if hooks.EDGE_HOOKS:
+            hooks.notify_edge("tlb-flush", None, self.owner)
         entries = self._entries
         if entries:
             if len(entries) <= npages:
@@ -159,6 +166,8 @@ class Tlb:
         hardware reloads CR3 regardless of residency, and the shootdown
         IPI cost the counter stands in for is paid either way.
         """
+        if hooks.EDGE_HOOKS:
+            hooks.notify_edge("tlb-flush", None, self.owner)
         dropped = len(self._entries)
         self._entries.clear()
         self._writable.clear()

@@ -1,0 +1,223 @@
+"""The checker registry, report rendering and the repro-analyze CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import framework
+from repro.analysis.cli import main
+from repro.analysis.framework import (
+    CheckResult,
+    Checker,
+    Finding,
+    REGISTRY,
+    Severity,
+    register,
+    render_json,
+    render_sarif,
+    render_text,
+    report_dict,
+    run_checks,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _result(findings=(), name="demo", stats=None):
+    return CheckResult(
+        checker=name,
+        description="a demo checker",
+        findings=list(findings),
+        stats=dict(stats or {}),
+    )
+
+
+def _finding(severity=Severity.ERROR, location="src/x.py:3", rule="r"):
+    return Finding(
+        checker="demo",
+        severity=severity,
+        rule=rule,
+        message="something happened",
+        location=location,
+    )
+
+
+class TestRegistry:
+    def test_all_checkers_registered(self):
+        assert set(REGISTRY) == {"lint", "locks", "mmsan", "races"}
+
+    def test_registration_order_is_execution_order(self):
+        assert list(REGISTRY) == ["lint", "locks", "mmsan", "races"]
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(Checker):
+            name = "lint"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register(Dup)
+
+    def test_unknown_checker_raises_keyerror(self):
+        with pytest.raises(KeyError, match="no-such-checker"):
+            run_checks(["no-such-checker"], REPO_ROOT)
+
+    def test_descriptions_are_set(self):
+        for cls in REGISTRY.values():
+            assert cls.description
+
+
+class TestSeverity:
+    def test_ranks_order_error_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.NOTE.rank
+
+    def test_errors_counts_only_errors(self):
+        result = _result([
+            _finding(Severity.ERROR),
+            _finding(Severity.WARNING),
+            _finding(Severity.NOTE),
+        ])
+        assert result.errors == 1
+
+
+class TestRenderers:
+    def test_report_dict_shape(self):
+        payload = report_dict([_result([_finding()])], seed=3)
+        assert payload["tool"] == "repro-analyze"
+        assert payload["seed"] == 3
+        assert payload["errors"] == 1
+        (check,) = payload["checks"]
+        assert check["checker"] == "demo"
+        (f,) = check["findings"]
+        assert f["severity"] == "error"
+        assert f["location"] == "src/x.py:3"
+
+    def test_render_json_is_sorted_and_newline_terminated(self):
+        out = render_json([_result()], seed=1)
+        assert out.endswith("\n")
+        assert json.loads(out)["errors"] == 0
+        assert out == render_json([_result()], seed=1)
+
+    def test_render_text_mentions_status(self):
+        clean = render_text([_result()], seed=1)
+        assert "== demo: ok" in clean
+        dirty = render_text([_result([_finding()])], seed=1)
+        assert "1 error(s)" in dirty
+        assert "[error] demo/r @ src/x.py:3" in dirty
+
+    def test_sarif_physical_location_for_file_line(self):
+        out = render_sarif([_result([_finding()])], seed=1)
+        log = json.loads(out)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        (entry,) = run["results"]
+        assert entry["ruleId"] == "demo/r"
+        assert entry["level"] == "error"
+        loc = entry["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/x.py"
+        assert loc["region"]["startLine"] == 3
+
+    def test_sarif_logical_location_for_labels(self):
+        finding = _finding(location="engine:async")
+        log = json.loads(render_sarif([_result([finding])], seed=1))
+        (entry,) = log["runs"][0]["results"]
+        (loc,) = entry["locations"]
+        assert loc["logicalLocations"][0]["name"] == "engine:async"
+
+    def test_sarif_rules_deduped_and_sorted(self):
+        findings = [_finding(rule="b"), _finding(rule="a"), _finding(rule="a")]
+        log = json.loads(render_sarif([_result(findings)], seed=1))
+        ids = [r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]]
+        assert ids == ["demo/a", "demo/b"]
+
+
+class TestSanitize:
+    def test_id_sized_keys_replaced(self):
+        raw = "two-way-pointer[140234567890123] then page[7]"
+        assert framework._sanitize(raw) == "two-way-pointer[#] then page[7]"
+
+    def test_small_keys_survive(self):
+        assert framework._sanitize("page[12345]") == "page[12345]"
+
+
+class TestRunChecks:
+    def test_subset_runs_in_registry_order(self):
+        results = run_checks(["races", "lint"], REPO_ROOT, seed=7)
+        assert [r.checker for r in results] == ["lint", "races"]
+
+    def test_lint_checker_is_clean_on_tree(self):
+        (result,) = run_checks(["lint"], REPO_ROOT, seed=7)
+        assert result.errors == 0
+        assert "src/repro" in str(result.stats["paths"])
+
+    def test_locks_checker_no_errors_and_stats(self):
+        (result,) = run_checks(["locks"], REPO_ROOT, seed=7)
+        assert result.errors == 0
+        assert result.stats["functions_with_locks"]
+        assert result.stats["runtime_edges"]
+        # The one known gap: a static edge no workload exercises yet.
+        assert all(
+            f.severity is not Severity.ERROR for f in result.findings
+        )
+
+    def test_races_checker_clean_with_event_counts(self):
+        (result,) = run_checks(["races"], REPO_ROOT, seed=7)
+        assert result.errors == 0
+        assert result.stats["events"]["pte"] > 0
+        assert "chaos-storm" in result.stats["scenarios"]
+        assert "page-migration" in result.stats["scenarios"]
+
+
+class TestCli:
+    def test_list_exits_zero(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY:
+            assert name in out
+
+    def test_no_selection_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_checker_is_usage_error(self, capsys):
+        code = main(["--check", "bogus", "--root", str(REPO_ROOT)])
+        assert code == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_clean_check_exits_zero(self, capsys):
+        code = main([
+            "--check", "lint", "--format", "json", "--root", str(REPO_ROOT),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        code = main([
+            "--check", "lint", "--format", "json",
+            "--root", str(REPO_ROOT), "-o", str(target),
+        ])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        assert json.loads(target.read_text())["tool"] == "repro-analyze"
+
+    def test_error_findings_gate_exit_code(self, tmp_path, capsys):
+        # A tree with a lint error: bare wall-clock call in src/repro.
+        bad = tmp_path / "src" / "repro"
+        bad.mkdir(parents=True)
+        (bad / "clockuser.py").write_text(
+            "import time\n\ndef f():\n    return time.time()\n"
+        )
+        code = main([
+            "--check", "lint", "--format", "json", "--root", str(tmp_path),
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] >= 1
+        rules = {
+            f["rule"]
+            for c in payload["checks"]
+            for f in c["findings"]
+        }
+        assert "wall-clock" in rules

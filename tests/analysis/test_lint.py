@@ -229,3 +229,155 @@ class TestCli:
         )
         assert proc.returncode == 1
         assert "wall-clock" in proc.stdout
+
+
+class TestAliasEscapes:
+    """Regressions: calls that used to slip past the alias resolution."""
+
+    def test_star_import_time(self):
+        assert rules("from time import *\nt = perf_counter()\n") == [
+            "wall-clock"
+        ]
+
+    def test_star_import_random(self):
+        assert rules("from random import *\nshuffle([1, 2])\n") == [
+            "global-random"
+        ]
+
+    def test_star_import_random_constructor(self):
+        assert rules("from random import *\nr = Random(3)\n") == [
+            "rng-construction"
+        ]
+
+    def test_star_import_system_random_stays_ok(self):
+        assert rules("from random import *\ns = SystemRandom()\n") == []
+
+    def test_star_import_datetime(self):
+        assert rules("from datetime import *\nd = datetime.now()\n") == [
+            "wall-clock"
+        ]
+
+    def test_star_import_unknown_module_is_ignored(self):
+        assert rules("from os.path import *\njoin('a', 'b')\n") == []
+
+    def test_call_before_import(self):
+        # Late imports must still resolve for bodies defined above them.
+        src = "def f():\n    return time.time()\nimport time\n"
+        assert rules(src) == ["wall-clock"]
+
+    def test_function_scope_import(self):
+        src = (
+            "def f():\n"
+            "    import time\n"
+            "    return time.perf_counter()\n"
+        )
+        assert rules(src) == ["wall-clock"]
+
+    def test_assign_rebind_module(self):
+        assert rules("import time\nt = time\nx = t.monotonic()\n") == [
+            "wall-clock"
+        ]
+
+    def test_assign_rebind_function(self):
+        assert rules("import time\nnow = time.time\nnow()\n") == [
+            "wall-clock"
+        ]
+
+    def test_rebind_chain(self):
+        src = "import random\nr = random\nq = r\nq.randint(0, 1)\n"
+        assert rules(src) == ["global-random"]
+
+    def test_rebind_to_unrelated_object_drops_alias(self):
+        # `now` stops pointing at the clock; calling it is fine.
+        src = (
+            "import time\n"
+            "now = time.time\n"
+            "now = 7\n"
+            "now()\n"
+        )
+        assert rules(src) == []
+
+
+class TestHookLeak:
+    LEAK = (
+        "from repro.analysis import hooks\n"
+        "hooks.ACCESS_HOOKS.append(print)\n"
+    )
+
+    def test_append_without_remove(self):
+        assert rules(self.LEAK) == ["hook-leak"]
+
+    def test_paired_remove_elsewhere_in_module(self):
+        src = (
+            "from repro.analysis import hooks\n"
+            "def install(fn):\n"
+            "    hooks.LOCK_HOOKS.append(fn)\n"
+            "def uninstall(fn):\n"
+            "    hooks.LOCK_HOOKS.remove(fn)\n"
+        )
+        assert rules(src) == []
+
+    def test_remove_on_other_collector_does_not_pair(self):
+        src = (
+            "from repro.analysis import hooks\n"
+            "hooks.EDGE_HOOKS.append(print)\n"
+            "hooks.LOCK_HOOKS.remove(print)\n"
+        )
+        assert rules(src) == ["hook-leak"]
+
+    def test_from_imported_collector(self):
+        src = (
+            "from repro.analysis.hooks import MM_HOOKS\n"
+            "MM_HOOKS.append(print)\n"
+        )
+        assert rules(src) == ["hook-leak"]
+
+    def test_test_files_are_exempt(self):
+        assert lint_source(self.LEAK, "tests/analysis/test_x.py") == []
+        assert lint_source(self.LEAK, "test_whatever.py") == []
+        assert lint_source(self.LEAK, "tests/conftest.py") == []
+
+    def test_pragma_suppresses(self):
+        src = (
+            "from repro.analysis import hooks\n"
+            "hooks.EDGE_HOOKS.append(print)  # lint: allow(hook-leak)\n"
+        )
+        assert rules(src) == []
+
+    def test_append_on_ordinary_list_is_fine(self):
+        assert rules("items = []\nitems.append(1)\n") == []
+
+
+class TestJsonFormat:
+    def test_json_output_shape(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\nstamp = time.time()\n")
+        assert main(["--format", "json", str(target)]) == 1
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert report["count"] == 1
+        (finding,) = report["findings"]
+        assert finding["rule"] == "wall-clock"
+        assert finding["line"] == 2
+
+    def test_json_clean_tree(self, capsys):
+        assert main(["--format", "json", str(REPO_ROOT / "src" / "repro")]) == 0
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert report == {"count": 0, "findings": []}
+
+    def test_unknown_format_is_usage_error(self, capsys):
+        assert main(["--format", "yaml", "x.py"]) == 2
+
+    def test_script_json_default_path(self):
+        proc = subprocess.run(
+            [sys.executable, str(LINT_SCRIPT), "--format", "json"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        import json
+
+        assert json.loads(proc.stdout)["count"] == 0

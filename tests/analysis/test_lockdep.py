@@ -136,3 +136,35 @@ class TestLifecycle:
         assert page.trylock()
         page.unlock()
         assert tracker.held == []
+
+
+class TestViolationCounts:
+    """Dedup keeps one witness but the per-edge count keeps re-fires."""
+
+    def test_counts_every_occurrence(self, dep):
+        # First acquire is legal; the two re-acquires each count.
+        for _ in range(3):
+            hooks.notify_lock("acquire", hooks.PAGE_LOCK, 3)
+        key = ("double-acquire", hooks.PAGE_LOCK, hooks.PAGE_LOCK)
+        assert len(dep.violations) == 1
+        assert dep.violation_counts[key] == 2
+
+    def test_inversion_count_per_edge(self, dep):
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, 1)
+        hooks.notify_lock("acquire", hooks.KERNEL_SECTION, "a")
+        hooks.notify_lock("release", hooks.KERNEL_SECTION, "a")
+        hooks.notify_lock("release", hooks.PAGE_LOCK, 1)
+        for key in (2, 3):
+            hooks.notify_lock("acquire", hooks.KERNEL_SECTION, "b")
+            hooks.notify_lock("acquire", hooks.PAGE_LOCK, key)
+            hooks.notify_lock("release", hooks.PAGE_LOCK, key)
+            hooks.notify_lock("release", hooks.KERNEL_SECTION, "b")
+        inv = ("order-inversion", hooks.KERNEL_SECTION, hooks.PAGE_LOCK)
+        assert [v.kind for v in dep.violations] == ["order-inversion"]
+        assert dep.violation_counts[inv] == 2
+
+    def test_reset_clears_counts(self, dep):
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, 3)
+        hooks.notify_lock("acquire", hooks.PAGE_LOCK, 3)
+        dep.reset()
+        assert dep.violation_counts == {}

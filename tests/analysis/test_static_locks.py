@@ -1,0 +1,226 @@
+"""Static lock-order extraction and the static/runtime cross-check."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import hooks, static_locks
+from repro.analysis.static_locks import (
+    CANONICAL_ORDER,
+    StaticLockGraph,
+    build_graph,
+    cross_check,
+    scan_source,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def scan(source: str) -> StaticLockGraph:
+    return scan_source(source, "mod.py")
+
+
+class TestExtraction:
+    def test_trylock_is_a_page_acquisition(self):
+        graph = scan(
+            "def f(leaf):\n"
+            "    leaf.page.trylock()\n"
+            "    leaf.page.unlock()\n"
+        )
+        (acq,) = graph.acquisitions["mod.f"]
+        assert acq.lock_class == hooks.PAGE_LOCK
+        assert acq.receiver == "leaf.page"
+        assert acq.line == 2
+
+    def test_lock_is_a_pointer_acquisition(self):
+        graph = scan("def f(ptr):\n    ptr.lock()\n    ptr.unlock()\n")
+        (acq,) = graph.acquisitions["mod.f"]
+        assert acq.lock_class == hooks.TWO_WAY_POINTER
+
+    def test_kernel_section_with_reason(self):
+        graph = scan(
+            "def f(clk):\n"
+            "    with clk.kernel_section('fork'):\n"
+            "        pass\n"
+        )
+        (acq,) = graph.acquisitions["mod.f"]
+        assert acq.lock_class == hooks.KERNEL_SECTION
+        assert acq.receiver == "fork"
+
+    def test_functions_without_locks_are_absent(self):
+        graph = scan("def f():\n    return 1\n")
+        assert graph.acquisitions == {}
+
+    def test_methods_get_dotted_qualnames(self):
+        graph = scan(
+            "class C:\n"
+            "    def m(self, p):\n"
+            "        p.trylock()\n"
+        )
+        assert list(graph.acquisitions) == ["mod.C.m"]
+
+    def test_nested_defs_scan_separately(self):
+        graph = scan(
+            "def outer(a):\n"
+            "    a.trylock()\n"
+            "    def inner(b):\n"
+            "        b.lock()\n"
+            "    a.unlock()\n"
+        )
+        # inner's pointer acquire must NOT appear under outer's page hold.
+        assert graph.edges == {}
+        assert {q for q in graph.acquisitions} == {
+            "mod.outer", "mod.outer.inner"
+        }
+
+    def test_calls_with_args_are_not_lock_calls(self):
+        graph = scan("def f(x):\n    x.trylock(1)\n    x.lock(y=2)\n")
+        assert graph.acquisitions == {}
+
+
+class TestEdges:
+    NESTED = (
+        "def f(clk, leaf):\n"
+        "    with clk.kernel_section('cow'):\n"
+        "        leaf.page.trylock()\n"
+        "        leaf.page.unlock()\n"
+    )
+
+    def test_nested_acquire_records_edge(self):
+        graph = scan(self.NESTED)
+        edge = (hooks.KERNEL_SECTION, hooks.PAGE_LOCK)
+        assert edge in graph.edges
+        assert graph.edges[edge] == ["mod.py:3 (mod.f)"]
+
+    def test_unlock_ends_the_hold(self):
+        graph = scan(
+            "def f(a, b):\n"
+            "    a.page.trylock()\n"
+            "    a.page.unlock()\n"
+            "    b.lock()\n"
+        )
+        assert graph.edges == {}
+
+    def test_section_ends_at_with_exit(self):
+        graph = scan(
+            "def f(clk, p):\n"
+            "    with clk.kernel_section('fork'):\n"
+            "        pass\n"
+            "    p.trylock()\n"
+        )
+        assert graph.edges == {}
+
+    def test_same_class_nesting_is_not_an_edge(self):
+        graph = scan(
+            "def f(a, b):\n"
+            "    a.page.trylock()\n"
+            "    b.page.trylock()\n"
+        )
+        assert graph.edges == {}
+
+    def test_witnesses_dedupe_and_sort(self):
+        graph = scan(self.NESTED + "\n" + self.NESTED.replace("f(", "g("))
+        edge = (hooks.KERNEL_SECTION, hooks.PAGE_LOCK)
+        witnesses = graph.edges[edge]
+        assert witnesses == sorted(witnesses)
+        assert len(witnesses) == len(set(witnesses))
+
+
+class TestGraphQueries:
+    def test_inversions_need_both_directions(self):
+        graph = StaticLockGraph()
+        graph.add_edge("a", "b", "w1")
+        assert graph.inversions() == []
+        graph.add_edge("b", "a", "w2")
+        assert graph.inversions() == [("a", "b")]
+
+    def test_canonical_violations(self):
+        graph = StaticLockGraph()
+        # With the hierarchy: pointer -> section -> page.
+        graph.add_edge(hooks.TWO_WAY_POINTER, hooks.PAGE_LOCK, "ok")
+        graph.add_edge(hooks.PAGE_LOCK, hooks.KERNEL_SECTION, "bad")
+        assert graph.canonical_violations() == [
+            (hooks.PAGE_LOCK, hooks.KERNEL_SECTION)
+        ]
+
+    def test_unknown_classes_are_ignored_by_canonical(self):
+        graph = StaticLockGraph()
+        graph.add_edge("mystery", hooks.PAGE_LOCK, "w")
+        assert graph.canonical_violations() == []
+
+
+class TestCrossCheck:
+    def test_clean_views_agree(self):
+        graph = StaticLockGraph()
+        graph.add_edge("a", "b", "w")
+        findings = cross_check(graph, {("a", "b"): "runtime"})
+        assert findings == []
+
+    def test_static_inversion_reported(self):
+        graph = StaticLockGraph()
+        graph.add_edge("a", "b", "w1")
+        graph.add_edge("b", "a", "w2")
+        kinds = [f["kind"] for f in cross_check(
+            graph, {("a", "b"): "r", ("b", "a"): "r"}
+        )]
+        assert "static-inversion" in kinds
+
+    def test_canonical_violation_reported(self):
+        graph = StaticLockGraph()
+        graph.add_edge(hooks.PAGE_LOCK, hooks.TWO_WAY_POINTER, "bad")
+        findings = cross_check(
+            graph, {(hooks.PAGE_LOCK, hooks.TWO_WAY_POINTER): "r"}
+        )
+        kinds = [f["kind"] for f in findings]
+        assert "canonical-violation" in kinds
+
+    def test_dynamic_only_edge(self):
+        findings = cross_check(StaticLockGraph(), {("a", "b"): "witness"})
+        (finding,) = findings
+        assert finding["kind"] == "dynamic-only-edge"
+        assert "composed across functions" in finding["detail"]
+
+    def test_static_only_edge(self):
+        graph = StaticLockGraph()
+        graph.add_edge("a", "b", "w")
+        (finding,) = cross_check(graph, {})
+        assert finding["kind"] == "static-only-edge"
+        assert "untested" in finding["detail"]
+
+    def test_deterministic_order(self):
+        graph = StaticLockGraph()
+        graph.add_edge("a", "b", "w")
+        graph.add_edge("c", "d", "w")
+        runtime = {("x", "y"): "r", ("p", "q"): "r"}
+        assert cross_check(graph, runtime) == cross_check(graph, runtime)
+
+
+class TestRealTree:
+    """The extraction finds the tree's actual lock sites."""
+
+    def test_known_acquisition_sites(self):
+        graph = build_graph([SRC_REPRO])
+        quals = set(graph.acquisitions)
+        # ODF's unshare takes the PTE-table page lock...
+        assert any("_unshare_at" in q for q in quals), quals
+        # ...and the two-way pointer is locked by vma synchronization.
+        pointer_users = {
+            q for q, seq in graph.acquisitions.items()
+            if any(a.lock_class == hooks.TWO_WAY_POINTER for a in seq)
+        }
+        assert pointer_users, quals
+
+    def test_tree_has_no_static_inversions(self):
+        graph = build_graph([SRC_REPRO])
+        assert graph.inversions() == []
+        assert graph.canonical_violations() == []
+
+    def test_kernel_section_to_page_edge_exists(self):
+        graph = build_graph([SRC_REPRO])
+        assert (hooks.KERNEL_SECTION, hooks.PAGE_LOCK) in graph.edges
+
+    def test_canonical_order_matches_hook_classes(self):
+        assert set(CANONICAL_ORDER) == {
+            hooks.TWO_WAY_POINTER, hooks.KERNEL_SECTION, hooks.PAGE_LOCK
+        }

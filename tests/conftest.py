@@ -39,6 +39,7 @@ def _reset_checker_state():
     supervisor = runtime.current()
     if supervisor is not None:
         supervisor.reset_transient()
+        supervisor.start()  # re-arm hooks a previous test cleared
     yield
     if supervisor is not None:
         supervisor.reset_transient()
