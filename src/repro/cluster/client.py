@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.slots import NUM_SLOTS, command_keys, key_slot
+from repro.errors import TooManyRedirectsError
 from repro.kvs import resp
 from repro.kvs.resp import RespError, encode_command
 from repro.sim.network import NetworkLink
@@ -87,9 +88,12 @@ class ClusterClient:
             slot, shard_id = moved
             self._owner[slot] = shard_id
             self.moved_redirects += 1
-        raise RuntimeError(
+        raise TooManyRedirectsError(
             f"command {parts[0]!r} still redirected after "
-            f"{self.max_redirects} MOVED hops"
+            f"{self.max_redirects} MOVED hops; the slot map views "
+            "disagree about the owner (stale reshard or failover?)",
+            command=parts[0],
+            redirects=self.max_redirects,
         )
 
     def _parse_moved(self, value) -> Optional[tuple[int, int]]:

@@ -128,6 +128,16 @@ class ClusterShard:
         return self.engine.store.dirty_since_save
 
     @property
+    def mode(self) -> str:
+        """The supervisor's degradation mode (``async``/``fallback``).
+
+        A demoted shard snapshots with the *default* fork — its next
+        BGSAVE stalls for the full page-table copy, which scheduling
+        policies and drills must account for.
+        """
+        return self.supervisor.mode
+
+    @property
     def snapshotting(self) -> bool:
         """Whether a background save is in flight right now."""
         return self.server._active_job is not None

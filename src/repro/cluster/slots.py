@@ -119,6 +119,14 @@ class SlotMap:
         for rng in self.ranges:
             for slot in range(rng.start, rng.end + 1):
                 self._owner[slot] = rng.shard_id
+        #: Per-shard address overrides (set by failover promotion when a
+        #: replica at a non-default address takes over the shard).
+        self._addresses: dict[int, str] = {}
+        #: Reverse lookup for overridden addresses.
+        self._address_shards: dict[str, int] = {}
+        #: Bumped on every topology repair (promotion); clients compare
+        #: epochs to notice their cached view went stale.
+        self.epoch = 0
 
     def shard_of_slot(self, slot: int) -> int:
         """Owner shard of one slot."""
@@ -134,13 +142,40 @@ class SlotMap:
 
     def address_of(self, shard_id: int) -> str:
         """``host:port`` of a shard, as written into MOVED replies."""
+        override = self._addresses.get(shard_id)
+        if override is not None:
+            return override
         return f"{HOST}:{BASE_PORT + shard_id}"
+
+    def set_address(self, shard_id: int, address: str) -> None:
+        """Repoint one shard at a new serving node (failover repair).
+
+        After a replica promotion the shard id keeps its slots but is
+        served from the promoted node's address; MOVED replies and
+        ``CLUSTER SLOTS`` reflect the repair immediately, and the map
+        epoch bumps so cached client views can detect staleness.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(f"no shard {shard_id} in this map")
+        old = self._addresses.pop(shard_id, None)
+        if old is not None:
+            self._address_shards.pop(old, None)
+        self._addresses[shard_id] = address
+        self._address_shards[address] = shard_id
+        self.epoch += 1
 
     def shard_of_address(self, address: str) -> int:
         """Inverse of :meth:`address_of` (how clients follow MOVED)."""
+        override = self._address_shards.get(address)
+        if override is not None:
+            return override
         host, _, port = address.rpartition(":")
         shard_id = int(port) - BASE_PORT
-        if host != HOST or not 0 <= shard_id < self.n_shards:
+        if (
+            host != HOST
+            or not 0 <= shard_id < self.n_shards
+            or shard_id in self._addresses
+        ):
             raise ValueError(f"no shard listens on {address!r}")
         return shard_id
 

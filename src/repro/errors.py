@@ -138,6 +138,52 @@ class WritesRefusedError(KvsError):
     """
 
 
+class TooManyRedirectsError(KvsError):
+    """A routed command chased MOVED redirects past the client's bound.
+
+    A misrouted or mutually-stale slot map (two shards each claiming
+    the other owns a slot — possible transiently after a reshard or a
+    failover promotion) would otherwise bounce a command forever; the
+    cluster client caps the hops and raises this instead.
+    """
+
+    def __init__(
+        self, message: str, *, command: bytes = b"", redirects: int = 0
+    ) -> None:
+        super().__init__(message)
+        #: The command name that kept bouncing.
+        self.command = command
+        #: MOVED hops followed before giving up.
+        self.redirects = redirects
+
+
+class ReplicationError(KvsError):
+    """Base class for replication-layer failures."""
+
+
+class NoReplicasError(ReplicationError):
+    """A write was refused by the min-replicas gate.
+
+    Mirrors Redis's ``NOREPLICAS Not enough good replicas to write``:
+    with ``min-replicas-to-write`` configured, a master whose healthy
+    (connected, low-lag) replica count falls below the floor refuses
+    writes rather than accepting data that a failover could lose.
+    """
+
+
+class MasterDownError(ReplicationError):
+    """A command reached a master that is no longer alive."""
+
+
+class StaleSyncError(ReplicationError):
+    """A PSYNC could not be satisfied partially or fully.
+
+    Raised when the replica's offset has fallen off the backlog *and*
+    the full-resync path failed (every supervised fork attempt rolled
+    back, or the RDB ship was cut) — the replica stays detached.
+    """
+
+
 class AnalysisError(ReproError):
     """Base class for failures reported by the correctness checkers."""
 

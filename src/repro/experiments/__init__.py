@@ -18,6 +18,7 @@ from repro.experiments import (  # noqa: F401 - imported for registration
     fig16_production,
     fig17_19_throughput,
     figX_cluster,
+    figx_failover,
     fig20_oos_time,
     fig21_aof,
     fig22_fork_call,

@@ -23,11 +23,15 @@ from repro.faults.plan import (
     SITE_CHILD_COPY,
     SITE_DISK_WRITE,
     SITE_FRAME_ALLOC,
+    SITE_MASTER_CRON,
     SITE_NET_SEND,
     SITE_RDB_BYTES,
+    SITE_REPL_SEND,
     FaultEvent,
     FaultPlan,
     FaultSpec,
+    known_sites,
+    register_site,
 )
 
 __all__ = [
@@ -41,10 +45,14 @@ __all__ = [
     "SITE_CHILD_COPY",
     "SITE_DISK_WRITE",
     "SITE_FRAME_ALLOC",
+    "SITE_MASTER_CRON",
     "SITE_NET_SEND",
     "SITE_RDB_BYTES",
+    "SITE_REPL_SEND",
     "bitrot",
     "corrupt_aof_bytes",
     "corrupt_snapshot",
+    "known_sites",
+    "register_site",
     "truncate",
 ]

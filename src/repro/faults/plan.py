@@ -52,8 +52,13 @@ SITE_CHILD_COPY = "kernel.fork.child-copy"
 SITE_NET_SEND = "sim.network.send"
 SITE_RDB_BYTES = "kvs.rdb.bytes"
 SITE_AOF_BYTES = "kvs.aof.bytes"
+SITE_REPL_SEND = "repl.link.send"
+SITE_MASTER_CRON = "repl.master.cron"
 
-#: Every known injection site.
+#: The original single-machine sites — the default pool
+#: :meth:`FaultPlan.storm` draws from (kept stable so storm schedules
+#: replay identically across releases; replication drills schedule
+#: their ``repl.*`` faults explicitly).
 ALL_SITES = (
     SITE_FRAME_ALLOC,
     SITE_DISK_WRITE,
@@ -64,7 +69,10 @@ ALL_SITES = (
     SITE_AOF_BYTES,
 )
 
-#: Fault kinds each site knows how to act on.
+#: The site registry: every known injection site mapped to the fault
+#: kinds it knows how to act on.  Both :class:`FaultSpec` construction
+#: and :meth:`FaultPlan.fire` validate against it, so a typo'd site
+#: name fails loudly instead of silently never firing.
 KINDS_BY_SITE: dict[str, tuple[str, ...]] = {
     SITE_FRAME_ALLOC: ("oom",),
     SITE_DISK_WRITE: ("io-error", "stall"),
@@ -73,7 +81,36 @@ KINDS_BY_SITE: dict[str, tuple[str, ...]] = {
     SITE_NET_SEND: ("partition", "rtt-spike"),
     SITE_RDB_BYTES: ("bitrot", "truncate"),
     SITE_AOF_BYTES: ("torn-tail",),
+    SITE_REPL_SEND: ("partition", "rtt-spike"),
+    SITE_MASTER_CRON: ("sigkill",),
 }
+
+
+def known_sites() -> tuple[str, ...]:
+    """Every registered injection site, sorted."""
+    return tuple(sorted(KINDS_BY_SITE))
+
+
+def register_site(site: str, kinds: tuple[str, ...]) -> str:
+    """Register an extension injection site with its allowed kinds.
+
+    Layers outside the core stack declare their sites here before
+    building specs against them.  Re-registering an existing site with
+    identical kinds is a no-op; changing its kinds is refused (specs
+    already validated against the old contract would silently drift).
+    """
+    if not site or not kinds:
+        raise ConfigurationError("a site needs a name and >= 1 kind")
+    existing = KINDS_BY_SITE.get(site)
+    if existing is not None:
+        if tuple(existing) != tuple(kinds):
+            raise ConfigurationError(
+                f"site {site!r} already registered with kinds "
+                f"{existing}; refusing to redefine as {tuple(kinds)}"
+            )
+        return site
+    KINDS_BY_SITE[site] = tuple(kinds)
+    return site
 
 
 @dataclass
@@ -175,7 +212,16 @@ class FaultPlan:
         and ``magnitude`` off it) or ``None``.  At most one spec fires
         per hit; every matching spec still advances its ``seen``
         counter, so stacked specs trigger at well-defined hits.
+
+        Firing an unregistered site raises
+        :class:`~repro.errors.ConfigurationError` — a typo'd site name
+        on either end (spec or instrumentation point) fails loudly.
         """
+        if site not in KINDS_BY_SITE:
+            raise ConfigurationError(
+                f"unknown fault site {site!r}; known: "
+                f"{', '.join(known_sites())}"
+            )
         self.site_hits[site] = self.site_hits.get(site, 0) + 1
         winner: Optional[FaultSpec] = None
         for spec in self.specs:
@@ -240,6 +286,12 @@ class FaultPlan:
         are drawn per kind: stalls/spikes in the 0.1–2 ms range, hangs
         in the 4–48 step range, corruption touching 1–8 bytes.
         """
+        for site in sites:
+            if site not in KINDS_BY_SITE:
+                raise ConfigurationError(
+                    f"unknown fault site {site!r}; known: "
+                    f"{', '.join(known_sites())}"
+                )
         plan = cls(seed)
         rng = plan.rng
         for _ in range(max(0, faults)):

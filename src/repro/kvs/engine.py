@@ -16,7 +16,7 @@ the copy plus serialization in one go.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.config import EngineConfig
 from repro.errors import (
@@ -283,6 +283,14 @@ class KvEngine:
         #: Set by :mod:`repro.kvs.recovery` when this engine was booted
         #: from persistence artifacts.
         self.last_recovery = None
+        #: Optional hook ``fn(op, key, value_or_None)`` fired after every
+        #: accepted write — the replication master propagates through it
+        #: so server-path and direct writes replicate alike.
+        self.on_write: Optional[Callable] = None
+        #: Optional gate invoked before every write; raising (e.g.
+        #: :class:`~repro.errors.NoReplicasError`) refuses the command.
+        #: The replication layer installs its min-replicas check here.
+        self.write_gate: Optional[Callable] = None
 
     @property
     def clock(self) -> Clock:
@@ -327,16 +335,20 @@ class KvEngine:
                 "MISCONF: background saving is failing; "
                 "writes are disabled until a save succeeds"
             )
+        if self.write_gate is not None:
+            self.write_gate()
 
     def set(self, key, value: bytes) -> None:
         """SET key value."""
         self._check_writes_allowed()
-        self.store.set(key, value)
+        normalized = key.encode() if isinstance(key, str) else key
+        data = value.encode() if isinstance(value, str) else value
+        self.store.set(normalized, data)
         if self.aof is not None:
-            normalized = key.encode() if isinstance(key, str) else key
-            data = value.encode() if isinstance(value, str) else value
             self.aof.append(aof_mod.AofRecord("SET", normalized, data))
         self.commands_processed += 1
+        if self.on_write is not None:
+            self.on_write("SET", normalized, data)
 
     def get(self, key) -> Optional[bytes]:
         """GET key."""
@@ -346,11 +358,13 @@ class KvEngine:
     def delete(self, key) -> bool:
         """DEL key."""
         self._check_writes_allowed()
-        existed = self.store.delete(key)
+        normalized = key.encode() if isinstance(key, str) else key
+        existed = self.store.delete(normalized)
         if self.aof is not None and existed:
-            normalized = key.encode() if isinstance(key, str) else key
             self.aof.append(aof_mod.AofRecord("DEL", normalized))
         self.commands_processed += 1
+        if existed and self.on_write is not None:
+            self.on_write("DEL", normalized, None)
         return existed
 
     def execute(self, command: str, *args):

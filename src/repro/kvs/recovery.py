@@ -76,6 +76,27 @@ def load_snapshot(engine: KvEngine, snapshot: rdb.SnapshotFile) -> int:
     return count
 
 
+def reload_snapshot(engine: KvEngine, snapshot: rdb.SnapshotFile) -> int:
+    """Replace a live engine's dataset with a snapshot image.
+
+    The replica side of a replication full sync: Redis flushes the old
+    dataset before loading the master's RDB stream.  The engine's AOF
+    (if any) restarts from the compact form of the loaded image, so the
+    replica's persistence lineage matches its new dataset.
+    """
+    for key in list(engine.store.keys()):
+        engine.store.delete(key)
+    count = load_snapshot(engine, snapshot)
+    if engine.aof is not None:
+        engine.aof.records = list(
+            aof_mod.compact_commands(rdb.load(snapshot))
+        )
+        engine.aof.rewrite_buffer = []
+        engine.aof.rewriting = False
+    engine.store.dirty_since_save = 0
+    return count
+
+
 def load_aof(engine: KvEngine, log: AppendOnlyFile) -> int:
     """Replay an AOF into an engine; returns keys in the final state."""
     state = replay(log.records)

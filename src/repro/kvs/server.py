@@ -79,6 +79,9 @@ class CommandServer:
         #: Report of the most recent completed BGSAVE (cron may reap a
         #: job between two commands, so callers need a place to find it).
         self.last_snapshot_report = None
+        #: Optional hook returning extra ``INFO`` fields; the
+        #: replication layer attaches its role/offset/link section here.
+        self.info_extra: Optional[Callable[[], dict]] = None
         self._handlers: dict[bytes, Callable] = {
             b"PING": self._ping,
             b"ECHO": self._echo,
@@ -340,5 +343,7 @@ class CommandServer:
             "failed_background_jobs": self._failed_jobs,
             "rss_pages": self.engine.process.mm.rss,
         }
+        if self.info_extra is not None:
+            fields.update(self.info_extra())
         text = "".join(f"{k}:{v}\r\n" for k, v in fields.items())
         return text.encode()

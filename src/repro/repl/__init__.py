@@ -1,0 +1,68 @@
+"""Replication and failover on top of the fork-based snapshot engines.
+
+The paper measures what ``fork()`` costs a *standalone* instance; this
+package carries the same mechanism into the deployment where it hurts
+most often in production: master->replica **full synchronization**,
+which begins with exactly the BGSAVE fork the paper instruments.  A
+full sync here runs through the real engine path (default/ODF/Async
+fork, supervised retry/demotion, simulated disk) and ships the image
+over a bandwidth-limited link; after that the replica follows a
+PSYNC-style offset stream, partial-resyncs after short partitions
+(no second fork), and can be elected and promoted when the master dies.
+
+Layer map:
+
+* :mod:`~repro.repl.backlog` — the offset-addressed stream ring
+  (``+CONTINUE`` vs ``+FULLRESYNC`` decisions live here);
+* :mod:`~repro.repl.link` — RTT + bandwidth transfer model with the
+  ``repl.link.send`` fault site;
+* :mod:`~repro.repl.replica` — the replica node: its own engine,
+  protocol state, stale-read flagging;
+* :mod:`~repro.repl.master` — write propagation, WAIT acking, the
+  min-replicas write gate, fork-backed full sync, heartbeats;
+* :mod:`~repro.repl.detector` — quorum heartbeat-timeout detection;
+* :mod:`~repro.repl.failover` — election, AOF crash-repair, promotion,
+  and the cluster slot-map repair.
+"""
+
+from repro.repl.backlog import (
+    BacklogEntry,
+    ReplicationBacklog,
+    derive_replid,
+)
+from repro.repl.detector import FailureDetector
+from repro.repl.failover import (
+    FailoverCoordinator,
+    FailoverReport,
+    promote_into_cluster,
+)
+from repro.repl.link import ReplLink
+from repro.repl.master import (
+    FullSyncReport,
+    ReplicaSession,
+    ReplicationMaster,
+)
+from repro.repl.replica import (
+    STATE_DISCONNECTED,
+    STATE_ONLINE,
+    STATE_SYNCING,
+    ReplicaNode,
+)
+
+__all__ = [
+    "BacklogEntry",
+    "FailoverCoordinator",
+    "FailoverReport",
+    "FailureDetector",
+    "FullSyncReport",
+    "ReplLink",
+    "ReplicaNode",
+    "ReplicaSession",
+    "ReplicationBacklog",
+    "ReplicationMaster",
+    "STATE_DISCONNECTED",
+    "STATE_ONLINE",
+    "STATE_SYNCING",
+    "derive_replid",
+    "promote_into_cluster",
+]

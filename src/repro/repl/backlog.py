@@ -1,0 +1,117 @@
+"""The replication backlog: PSYNC offsets over a bounded command ring.
+
+Redis replication is a byte stream: every write the master accepts is
+appended to the replication stream, and ``master_repl_offset`` counts
+the bytes ever produced.  A bounded *backlog* keeps the most recent
+tail of that stream so a replica that briefly disconnects can ask for
+``PSYNC <replid> <offset>`` and receive just the bytes it missed
+(``+CONTINUE``) instead of forcing a new fork + RDB transfer
+(``+FULLRESYNC``).
+
+This module reproduces that accounting over
+:class:`~repro.kvs.aof.AofRecord` commands: each record occupies its
+``encoded_size()`` bytes of the stream, offsets are record-aligned
+(replicas only ever ack at record boundaries, as real replicas ack at
+command boundaries), and eviction drops whole records from the head
+once the ring exceeds its capacity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass
+
+from repro.kvs.aof import AofRecord
+
+
+def derive_replid(seed: int, epoch: int = 0) -> str:
+    """A deterministic 40-hex replication id (Redis uses 40 hex chars).
+
+    Seeded so whole failover drills replay bit-identically; the epoch
+    distinguishes the ids minted across successive promotions.
+    """
+    material = f"replid:{seed}:{epoch}".encode()
+    return hashlib.blake2b(material, digest_size=20).hexdigest()
+
+
+@dataclass(frozen=True)
+class BacklogEntry:
+    """One stream record plus the offset range it occupies."""
+
+    start: int
+    end: int
+    record: AofRecord
+
+
+class ReplicationBacklog:
+    """Bounded ring of the master's most recent replication stream."""
+
+    def __init__(
+        self,
+        replid: str,
+        capacity_bytes: int = 1 << 20,
+        start_offset: int = 0,
+    ) -> None:
+        if capacity_bytes < 1:
+            raise ValueError("backlog capacity must be positive")
+        self.replid = replid
+        #: A promoted master remembers its previous lineage (PSYNC2's
+        #: ``replid2``) so replicas of the old master can still partial
+        #: resync against history produced before the switch.
+        self.replid2: str = ""
+        self.capacity_bytes = capacity_bytes
+        #: Bytes ever appended to the stream (Redis master_repl_offset).
+        self.master_offset = start_offset
+        #: Offset of the first byte still buffered.
+        self.start_offset = start_offset
+        self._entries: deque[BacklogEntry] = deque()
+        self._buffered_bytes = 0
+        #: Whole records evicted from the head so far.
+        self.evicted_records = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes currently held in the ring."""
+        return self._buffered_bytes
+
+    def append(self, record: AofRecord) -> int:
+        """Append one write to the stream; returns the new offset."""
+        size = record.encoded_size()
+        entry = BacklogEntry(
+            self.master_offset, self.master_offset + size, record
+        )
+        self._entries.append(entry)
+        self._buffered_bytes += size
+        self.master_offset = entry.end
+        while self._buffered_bytes > self.capacity_bytes and self._entries:
+            evicted = self._entries.popleft()
+            self._buffered_bytes -= evicted.end - evicted.start
+            self.start_offset = evicted.end
+            self.evicted_records += 1
+        return self.master_offset
+
+    def can_resync_from(self, replid: str, offset: int) -> bool:
+        """Whether ``PSYNC replid offset`` can be served partially.
+
+        The replica must share our lineage (current replid, or the
+        pre-promotion ``replid2``) and its offset must still be covered
+        by the ring: ``start_offset <= offset <= master_offset``.
+        """
+        if replid not in (self.replid, self.replid2) or not replid:
+            return False
+        return self.start_offset <= offset <= self.master_offset
+
+    def records_since(self, offset: int) -> list[BacklogEntry]:
+        """Every buffered entry starting at or after ``offset``."""
+        return [e for e in self._entries if e.start >= offset]
+
+    def describe(self) -> str:
+        """Stable one-line rendering (used in journals/digests)."""
+        return (
+            f"backlog(replid={self.replid[:8]},off={self.master_offset},"
+            f"start={self.start_offset},buf={self._buffered_bytes})"
+        )

@@ -1,0 +1,78 @@
+"""Failure detection: heartbeat timeouts with a replica quorum.
+
+Redis Sentinel separates *subjective* down (one observer stopped
+hearing the master) from *objective* down (enough observers agree).
+The same split matters here: a replica whose own link is partitioned
+must not trigger a failover by itself while the master happily serves
+the others.  :class:`FailureDetector` reads each replica's
+``last_master_contact_ns`` — advanced by heartbeats, stream records and
+sync payloads alike — and declares the master down only when at least
+``quorum`` replicas have been silent past the timeout.
+
+Everything is pulled from the replicas' own clocks-of-last-contact, so
+the detector carries no duplicate bookkeeping that could drift from the
+nodes; ``down_since`` records the first simulated instant the quorum
+was met, which is where a drill's recovery stopwatch starts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.obs import tracer as obs
+from repro.repl.replica import ReplicaNode
+from repro.units import ms
+
+
+class FailureDetector:
+    """Quorum heartbeat-timeout detection over a set of replicas."""
+
+    def __init__(
+        self,
+        replicas: Sequence[ReplicaNode],
+        timeout_ns: int = ms(1),
+        quorum: int = 1,
+    ) -> None:
+        if quorum < 1:
+            raise ValueError("quorum must be >= 1")
+        self.replicas = list(replicas)
+        self.timeout_ns = timeout_ns
+        self.quorum = min(quorum, max(1, len(self.replicas)))
+        #: First simulated instant the quorum agreed the master is down.
+        self.down_since: Optional[int] = None
+        self.checks = 0
+
+    def suspecting(self, now: int) -> list[str]:
+        """Names of replicas that have not heard the master in time.
+
+        Sorted for determinism; a replica that never connected (contact
+        time 0 with ``now`` past the timeout) counts as suspecting too —
+        it genuinely cannot reach a master.
+        """
+        return sorted(
+            node.name
+            for node in self.replicas
+            if now - node.last_master_contact_ns > self.timeout_ns
+        )
+
+    def check(self, now: int) -> bool:
+        """Evaluate objective-down at ``now``; records ``down_since``.
+
+        Returns ``True`` while the quorum holds.  A master heard again
+        by enough replicas clears the verdict (a partition that healed
+        before anyone acted).
+        """
+        self.checks += 1
+        down = len(self.suspecting(now)) >= self.quorum
+        if down and self.down_since is None:
+            self.down_since = now
+            if obs.ACTIVE:
+                obs.emit_instant(
+                    "repl.detector.down",
+                    obs.CAT_KVS,
+                    now,
+                    suspecting=",".join(self.suspecting(now)),
+                )
+        elif not down and self.down_since is not None:
+            self.down_since = None
+        return down

@@ -1,0 +1,83 @@
+"""The master->replica network link: RTT plus bandwidth, injectable.
+
+Replication traffic differs from the client link in one important way:
+payloads are large.  A full sync ships a whole RDB image (hundreds of
+megabytes at the paper's instance sizes), so a pure round-trip model
+would make a 16 GB transfer free.  :class:`ReplLink` therefore charges
+``rtt + bytes/bandwidth`` per send, defaulting to the Figure 16 cloud
+deployment's 3 Gb/s pipe.
+
+Every send passes through the fault plan's ``repl.link.send`` site with
+a ``what`` tag (``heartbeat``/``stream``/``rdb``/``ack``), so a drill
+can partition exactly the RDB ship of replica 1 while replica 0's
+stream keeps flowing.  ``partition`` raises
+:class:`~repro.errors.NetworkPartitionError`; ``rtt-spike`` adds the
+spec's magnitude in nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import NetworkPartitionError
+from repro.faults.plan import SITE_REPL_SEND, FaultPlan
+from repro.obs import tracer as obs
+from repro.units import us
+
+#: Default replication RTT: same within-region figure as the client link.
+DEFAULT_RTT_NS = us(200)
+
+#: 3 Gb/s (the paper's production network) in bytes per nanosecond.
+DEFAULT_BANDWIDTH_BYTES_PER_NS = 0.375
+
+
+@dataclass
+class ReplLink:
+    """One master->replica connection through the simulated network."""
+
+    name: str = "replica0"
+    rtt_ns: int = DEFAULT_RTT_NS
+    bandwidth_bytes_per_ns: float = DEFAULT_BANDWIDTH_BYTES_PER_NS
+    fault_plan: Optional[FaultPlan] = None
+    #: Successful sends / payload bytes moved.
+    sends: int = 0
+    bytes_sent: int = 0
+    #: Sends lost to injected partitions.
+    partitions_hit: int = 0
+    #: Extra nanoseconds accumulated from injected RTT spikes.
+    spike_ns_total: int = 0
+
+    def transfer_ns(self, payload: int = 0, what: str = "stream") -> int:
+        """Ship ``payload`` bytes; returns the transfer time in ns.
+
+        Raises :class:`~repro.errors.NetworkPartitionError` when a
+        ``partition`` fault fires for this send — the caller decides
+        whether that means a dropped heartbeat, a broken stream, or a
+        failed full sync.
+        """
+        cost = self.rtt_ns + int(payload / self.bandwidth_bytes_per_ns)
+        if self.fault_plan is not None:
+            spec = self.fault_plan.fire(
+                SITE_REPL_SEND, replica=self.name, what=what, payload=payload
+            )
+            if spec is not None:
+                if spec.kind == "partition":
+                    self.partitions_hit += 1
+                    raise NetworkPartitionError(
+                        f"injected partition on {self.name} ({what} send)"
+                    )
+                cost += spec.magnitude  # 'rtt-spike'
+                self.spike_ns_total += spec.magnitude
+        self.sends += 1
+        self.bytes_sent += payload
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "repl.send",
+                obs.CAT_IO,
+                replica=self.name,
+                what=what,
+                payload=payload,
+                cost_ns=cost,
+            )
+        return cost

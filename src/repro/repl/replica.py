@@ -1,0 +1,186 @@
+"""The replica node: a second engine kept in sync over the stream.
+
+A replica is a full :class:`~repro.kvs.engine.KvEngine` of its own —
+its dataset lives in simulated memory, it keeps an AOF, and after a
+promotion it forks for BGSAVE like any master.  What makes it a replica
+is the sync protocol state it carries:
+
+``state``
+    ``disconnected`` -> ``syncing`` (an RDB transfer is in flight) ->
+    ``online`` (applying the live stream).
+``replid`` / ``applied_offset``
+    The lineage and position it would present in ``PSYNC replid
+    offset`` — exactly the pair the master's backlog checks to decide
+    ``+CONTINUE`` vs ``+FULLRESYNC``.
+``acked_offset``
+    The last position the master has seen acknowledged (``REPLCONF
+    ACK``); ``WAIT`` counts replicas by this, not by ``applied_offset``.
+
+Reads on a replica are served locally and may be *stale*: when the
+master has not been heard from within ``stale_after_ns`` (or the node
+is still syncing), :meth:`get` flags the read, reproducing the
+``replica-serve-stale-data`` decision every Redis operator has to make.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.clock import Clock
+from repro.kernel.costs import DEFAULT_COSTS, CostModel
+from repro.kernel.forks.base import ForkEngine
+from repro.kernel.forks.default import DefaultFork
+from repro.kvs import rdb
+from repro.kvs.aof import AofRecord
+from repro.kvs.engine import KvEngine
+from repro.kvs.recovery import reload_snapshot
+from repro.mem.frames import FrameAllocator
+from repro.obs import tracer as obs
+from repro.units import ms
+
+STATE_DISCONNECTED = "disconnected"
+STATE_SYNCING = "syncing"
+STATE_ONLINE = "online"
+
+
+class ReplicaNode:
+    """One replica: its own engine plus replication protocol state."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock,
+        frames: Optional[FrameAllocator] = None,
+        fork_engine: Optional[ForkEngine] = None,
+        costs: CostModel = DEFAULT_COSTS,
+        stale_after_ns: int = ms(5),
+    ) -> None:
+        self.name = name
+        if fork_engine is None:
+            # Replicas fork rarely (only once promoted); the default
+            # fork on the shared clock keeps their timeline honest.
+            fork_engine = DefaultFork(clock=clock, costs=costs)
+        from repro.config import EngineConfig
+
+        self.engine = KvEngine(
+            fork_engine=fork_engine,
+            config=EngineConfig(aof_enabled=True),
+            frames=frames,
+            name=name,
+        )
+        self.state = STATE_DISCONNECTED
+        #: Master lineage this replica's dataset descends from.
+        self.replid: str = ""
+        #: Stream position applied / last position acked to the master.
+        self.applied_offset = 0
+        self.acked_offset = 0
+        #: Simulated time the master was last heard from (heartbeat,
+        #: stream record, or sync payload) — the failure detector and
+        #: the stale-read rule both key off this.
+        self.last_master_contact_ns = 0
+        self.stale_after_ns = stale_after_ns
+        self.full_syncs = 0
+        self.partial_resyncs = 0
+        self.records_applied = 0
+        self.stale_reads = 0
+
+    # -- sync protocol ---------------------------------------------------
+
+    def load_full_sync(
+        self,
+        snapshot: rdb.SnapshotFile,
+        replid: str,
+        offset: int,
+        now: int,
+    ) -> int:
+        """Install a shipped RDB image (the +FULLRESYNC payload).
+
+        Replaces the dataset, adopts the master's lineage and the
+        offset the image corresponds to, and comes online.  Returns the
+        number of keys loaded.
+        """
+        count = reload_snapshot(self.engine, snapshot)
+        self.replid = replid
+        self.applied_offset = offset
+        self.acked_offset = offset
+        self.state = STATE_ONLINE
+        self.last_master_contact_ns = now
+        self.full_syncs += 1
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "repl.replica.fullsync",
+                obs.CAT_KVS,
+                now,
+                replica=self.name,
+                keys=count,
+                offset=offset,
+            )
+        return count
+
+    def apply(self, record: AofRecord, offset: int, now: int) -> None:
+        """Apply one stream record; advances ``applied_offset``.
+
+        Applies unconditionally — replication writes bypass the write
+        gate (a replica refusing its own master would diverge), going
+        straight to the store and the replica's AOF.
+        """
+        if record.op == "SET":
+            assert record.value is not None
+            self.engine.store.set(record.key, record.value)
+            if self.engine.aof is not None:
+                self.engine.aof.append(
+                    AofRecord("SET", record.key, record.value)
+                )
+        elif record.op == "DEL":
+            existed = self.engine.store.delete(record.key)
+            if existed and self.engine.aof is not None:
+                self.engine.aof.append(AofRecord("DEL", record.key))
+        else:
+            raise ValueError(f"unknown stream op {record.op!r}")
+        self.applied_offset = offset
+        self.records_applied += 1
+        self.last_master_contact_ns = now
+
+    def ack(self, now: int) -> int:
+        """REPLCONF ACK: report (and record) the applied position."""
+        self.acked_offset = self.applied_offset
+        self.last_master_contact_ns = now
+        return self.acked_offset
+
+    def heartbeat(self, now: int) -> None:
+        """A master PING arrived; the link is alive."""
+        self.last_master_contact_ns = now
+
+    # -- serving reads ---------------------------------------------------
+
+    def is_stale(self, now: int) -> bool:
+        """Whether reads served right now would be flagged stale."""
+        if self.state != STATE_ONLINE:
+            return True
+        return now - self.last_master_contact_ns > self.stale_after_ns
+
+    def get(self, key, now: int) -> tuple[Optional[bytes], bool]:
+        """Serve one read locally; returns ``(value, stale_flag)``."""
+        stale = self.is_stale(now)
+        if stale:
+            self.stale_reads += 1
+        return self.engine.store.get(key), stale
+
+    # -- lifecycle -------------------------------------------------------
+
+    def disconnect(self) -> None:
+        """Drop to the disconnected state (link lost, master gone)."""
+        if self.state != STATE_DISCONNECTED:
+            self.state = STATE_DISCONNECTED
+
+    def close(self) -> None:
+        """Release the node's simulated memory (tests' teardown)."""
+        if self.engine.process.alive:
+            self.engine.process.exit()
+
+    def describe(self) -> str:
+        """Stable one-line rendering (used in journals/digests)."""
+        return (
+            f"{self.name}(state={self.state},applied={self.applied_offset},"
+            f"acked={self.acked_offset})"
+        )

@@ -162,6 +162,60 @@ class TestCoordinator:
         assert second == []
 
 
+class TestDemotedShardScheduling:
+    """Dirty-pressure scheduling x supervisor demotion.
+
+    A shard demoted to the default fork must not be scheduled as if it
+    were still async: its trigger pays the full page-table-copy stall,
+    which the coordinator's TriggerEvent must reflect.
+    """
+
+    def _drain(self, cluster):
+        from repro.kvs.resp import encode_command
+
+        for shard in cluster.shards:
+            for _ in range(4096):
+                if not shard.snapshotting:
+                    break
+                shard.server.feed(encode_command("PING"))
+
+    def test_demoted_shard_pays_the_default_fork_stall(self):
+        cluster = SimCluster(n_shards=2, method="async")
+        # Same resident set on both shards, so fork cost differences
+        # come from the engine mode alone.
+        for shard in cluster.shards:
+            for i in range(8000):
+                shard.engine.set(b"k:%05d" % i, b"v" * 4096)
+        # Shard 0 rolled back too often: the supervisor demoted it.
+        demoted = cluster.shards[0]
+        for _ in range(demoted.supervisor.fallback_after):
+            demoted.supervisor.observe_completion(
+                ForkError("injected", phase="child-copy")
+            )
+        assert demoted.mode == MODE_FALLBACK
+        assert demoted.engine.fork_engine.name == "default"
+        assert cluster.shards[1].mode == "async"
+
+        # Make shard 0 the dirtiest so dirty-pressure schedules it
+        # first, then shard 1 once the first save drains.
+        demoted.engine.set(b"extra", b"v")
+        coord = SnapshotCoordinator(
+            cluster, DirtyPressurePolicy(threshold=1000)
+        )
+        (first,) = coord.tick()
+        assert first.shard_id == 0
+        self._drain(cluster)
+        (second,) = coord.tick()
+        assert second.shard_id == 1
+        self._drain(cluster)
+        # The demoted trigger stalled for the default fork's page-table
+        # copy; the async shard's trigger did not.
+        assert first.fork_ns > 3 * second.fork_ns
+        # Clean completion repromotes: the shard is async again.
+        assert demoted.mode == "async"
+        assert demoted.engine.fork_engine.name == "async"
+
+
 class TestCooperativeSupervision:
     def test_begin_save_returns_inflight_job(self):
         engine = KvEngine(fork_engine=AsyncFork())

@@ -120,6 +120,48 @@ class TestClusterClient:
         again = client.execute("GET", "foo")
         assert again.redirects == 0  # slot cache updated
 
+    def test_redirect_pingpong_raises_typed_error(self, cluster):
+        from repro.cluster.client import ClusterClient
+        from repro.cluster.slots import SlotMap
+        from repro.errors import TooManyRedirectsError
+
+        # Doctor shard 1's view of the map so it claims shard 0 owns
+        # everything: a cold client bounces 0 -> 1 -> 0 -> ... forever
+        # (a stale-topology disagreement mid-failover).
+        doctored = SlotMap(len(cluster))
+        doctored._owner = [0] * len(doctored._owner)
+        key = next(
+            f"k{i}"
+            for i in range(100)
+            if cluster.slot_map.shard_of_key(f"k{i}") == 1
+        )
+        cluster.shards[1].server.slot_map = doctored
+        client = ClusterClient(cluster, bootstrap=False)
+        with pytest.raises(TooManyRedirectsError) as excinfo:
+            client.execute("GET", key)
+        assert excinfo.value.command == b"GET"
+        assert excinfo.value.redirects == client.max_redirects
+        assert client.moved_redirects == client.max_redirects + 1
+
+    def test_redirect_limit_is_configurable(self, cluster):
+        from repro.cluster.client import ClusterClient
+        from repro.errors import TooManyRedirectsError
+
+        doctored_key = next(
+            f"k{i}"
+            for i in range(100)
+            if cluster.slot_map.shard_of_key(f"k{i}") == 1
+        )
+        from repro.cluster.slots import SlotMap
+
+        doctored = SlotMap(len(cluster))
+        doctored._owner = [0] * len(doctored._owner)
+        cluster.shards[1].server.slot_map = doctored
+        client = ClusterClient(cluster, bootstrap=False, max_redirects=2)
+        with pytest.raises(TooManyRedirectsError) as excinfo:
+            client.execute("GET", doctored_key)
+        assert excinfo.value.redirects == 2
+
     def test_rtt_accumulates_per_hop(self, cluster):
         from repro.cluster.client import ClusterClient
 

@@ -29,6 +29,7 @@ EXPECTED_IDS = {
     "sec3-thp",
     "chaos",
     "figx-cluster",
+    "figx-failover",
 }
 
 

@@ -13,6 +13,8 @@ from repro.faults import (
     SITE_FRAME_ALLOC,
     FaultPlan,
     FaultSpec,
+    known_sites,
+    register_site,
 )
 
 
@@ -137,6 +139,49 @@ class TestJournal:
         assert run() == run()
         empty = FaultPlan(seed=9)
         assert run() != empty.fingerprint()
+
+
+class TestSiteRegistry:
+    def test_fire_rejects_a_typoed_site_loudly(self):
+        plan = FaultPlan(seed=1)
+        with pytest.raises(ConfigurationError, match="known:"):
+            plan.fire("repl.link.semd")  # typo must not silently no-op
+
+    def test_storm_validates_its_site_universe(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            FaultPlan.storm(seed=1, faults=3, sites=("mem.frames.aloc",))
+
+    def test_known_sites_is_sorted_and_complete(self):
+        sites = known_sites()
+        assert list(sites) == sorted(sites)
+        assert set(ALL_SITES) <= set(sites)
+        assert "repl.link.send" in sites
+        assert "repl.master.cron" in sites
+
+    def test_register_site_extends_the_registry(self):
+        site = register_site("test.registry.probe", ("glitch",))
+        try:
+            assert site in known_sites()
+            spec = FaultSpec(site=site, kind="glitch")
+            plan = FaultPlan(seed=1, specs=[spec])
+            assert plan.fire(site) is spec
+        finally:
+            KINDS_BY_SITE.pop(site, None)
+
+    def test_register_site_is_idempotent_but_refuses_redefinition(self):
+        try:
+            register_site("test.registry.probe2", ("glitch",))
+            register_site("test.registry.probe2", ("glitch",))  # no-op
+            with pytest.raises(ConfigurationError, match="refusing"):
+                register_site("test.registry.probe2", ("glitch", "other"))
+        finally:
+            KINDS_BY_SITE.pop("test.registry.probe2", None)
+
+    def test_register_site_rejects_empty(self):
+        with pytest.raises(ConfigurationError, match="needs a name"):
+            register_site("", ("glitch",))
+        with pytest.raises(ConfigurationError, match="needs a name"):
+            register_site("test.registry.probe3", ())
 
 
 class TestDeterminism:

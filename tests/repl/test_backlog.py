@@ -1,0 +1,93 @@
+"""Tests for the replication backlog's PSYNC offset arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvs.aof import AofRecord
+from repro.repl.backlog import ReplicationBacklog, derive_replid
+
+
+def rec(i: int, size: int = 16) -> AofRecord:
+    return AofRecord("SET", b"k:%04d" % i, b"v" * size)
+
+
+class TestOffsets:
+    def test_offsets_advance_by_encoded_size(self):
+        backlog = ReplicationBacklog(derive_replid(1))
+        record = rec(0)
+        end = backlog.append(record)
+        assert end == record.encoded_size()
+        assert backlog.master_offset == end
+        end2 = backlog.append(rec(1))
+        assert end2 == 2 * record.encoded_size()
+
+    def test_records_since_returns_the_suffix(self):
+        backlog = ReplicationBacklog(derive_replid(1))
+        offsets = [backlog.append(rec(i)) for i in range(5)]
+        tail = backlog.records_since(offsets[2])
+        assert [e.record.key for e in tail] == [b"k:0003", b"k:0004"]
+        assert tail[0].start == offsets[2]
+        assert backlog.records_since(offsets[-1]) == []
+
+    def test_start_offset_carries_across_promotion(self):
+        backlog = ReplicationBacklog(derive_replid(2), start_offset=970)
+        assert backlog.master_offset == 970
+        end = backlog.append(rec(0))
+        assert end == 970 + rec(0).encoded_size()
+
+
+class TestResyncDecision:
+    def test_matching_replid_in_range_continues(self):
+        backlog = ReplicationBacklog(derive_replid(1))
+        offset = backlog.append(rec(0))
+        assert backlog.can_resync_from(backlog.replid, 0)
+        assert backlog.can_resync_from(backlog.replid, offset)
+
+    def test_wrong_or_empty_replid_forces_full_sync(self):
+        backlog = ReplicationBacklog(derive_replid(1))
+        backlog.append(rec(0))
+        assert not backlog.can_resync_from(derive_replid(2), 0)
+        assert not backlog.can_resync_from("", 0)
+
+    def test_replid2_preserves_the_old_lineage(self):
+        backlog = ReplicationBacklog(derive_replid(1, epoch=1))
+        backlog.replid2 = derive_replid(1, epoch=0)
+        backlog.append(rec(0))
+        assert backlog.can_resync_from(derive_replid(1, epoch=0), 0)
+
+    def test_future_offset_is_rejected(self):
+        backlog = ReplicationBacklog(derive_replid(1))
+        end = backlog.append(rec(0))
+        assert not backlog.can_resync_from(backlog.replid, end + 1)
+
+
+class TestEviction:
+    def test_capacity_evicts_whole_records_from_the_head(self):
+        record = rec(0, size=32)
+        backlog = ReplicationBacklog(
+            derive_replid(1), capacity_bytes=4 * record.encoded_size()
+        )
+        for i in range(8):
+            backlog.append(rec(i, size=32))
+        assert backlog.buffered_bytes <= backlog.capacity_bytes
+        assert backlog.evicted_records == 4
+        assert backlog.start_offset == 4 * record.encoded_size()
+        # An offset that fell off the ring can no longer partial-resync.
+        assert not backlog.can_resync_from(backlog.replid, 0)
+        assert backlog.can_resync_from(backlog.replid, backlog.start_offset)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ReplicationBacklog(derive_replid(1), capacity_bytes=0)
+
+
+class TestReplid:
+    def test_derive_replid_is_deterministic_40_hex(self):
+        assert derive_replid(7) == derive_replid(7)
+        assert len(derive_replid(7)) == 40
+        int(derive_replid(7), 16)  # hex
+
+    def test_epochs_and_seeds_mint_distinct_ids(self):
+        assert derive_replid(7) != derive_replid(8)
+        assert derive_replid(7, epoch=1) != derive_replid(7, epoch=0)

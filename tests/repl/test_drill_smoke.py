@@ -1,0 +1,34 @@
+"""Fast failover-drill smoke: the chaos sequence must hold in CI.
+
+Runs the figx-failover experiment's seeded drill directly (one method,
+one seed) so the tier-1 suite exercises the full chaos path — partition,
+partial resync, SIGKILL mid-BGSAVE, quorum detection, torn-AOF repair,
+promotion — without the experiment's latency-sweep cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figx_failover import _run_drill
+
+
+@pytest.mark.parametrize("method", ["default", "async"])
+def test_drill_promotes_without_losing_acked_writes(method):
+    outcome = _run_drill(method, seed=0)
+    assert outcome["promoted"]
+    assert outcome["acked_total"] > 0
+    assert outcome["acked_lost"] == 0
+    assert outcome["partition_healed"]
+    assert outcome["partial_ok"]
+    assert outcome["stale_flagged"] > 0
+    assert outcome["write_refused_while_down"]
+    assert outcome["recovery_ns"] > 0
+
+
+def test_drill_replays_byte_identically():
+    first = _run_drill("async", seed=7)
+    second = _run_drill("async", seed=7)
+    assert first["digest"] == second["digest"]
+    other_seed = _run_drill("async", seed=8)
+    assert other_seed["digest"] != first["digest"]
