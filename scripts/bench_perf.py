@@ -7,7 +7,7 @@ The harness wraps the pytest-benchmark suite in ``benchmarks/perf/``:
    (default ``quick``) via ``pytest --benchmark-json``;
 2. adds a deterministic allocation count per operation (simulated frame
    allocations, independent of wall-clock noise);
-3. emits ``BENCH_PR4.json`` — ``{bench_id: {median_ns, allocs_per_op}}``;
+3. emits ``BENCH_PR8.json`` — ``{bench_id: {median_ns, allocs_per_op}}``;
 4. with ``--compare``, checks every pinned benchmark against the
    checked-in baseline for the profile and exits non-zero when the
    median regresses by more than the tolerance (default ±20%) or the
@@ -40,7 +40,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 SUITE = "benchmarks/perf"
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR4.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR8.json"
 DEFAULT_BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 DEFAULT_TOLERANCE = 0.20
 
@@ -89,7 +89,7 @@ def run_suite(keyword: str | None, profile: str) -> dict:
 def collect_results(
     raw: dict, profile: str, with_allocs: bool = True
 ) -> dict:
-    """Convert pytest-benchmark JSON into the BENCH_PR4 schema."""
+    """Convert pytest-benchmark JSON into the BENCH_PR8 schema."""
     _ensure_paths()
     from repro.config import _PROFILES
 
@@ -187,7 +187,7 @@ def main(argv: list[str] | None = None) -> int:
         "--output",
         type=Path,
         default=DEFAULT_OUTPUT,
-        help="where to write the results JSON (default BENCH_PR4.json)",
+        help="where to write the results JSON (default BENCH_PR8.json)",
     )
     parser.add_argument(
         "--compare",
@@ -238,7 +238,7 @@ def main(argv: list[str] | None = None) -> int:
         check_pinned(results)
 
     payload = {
-        "schema": "bench-pr4/v1",
+        "schema": "bench-pr8/v1",
         "profile": args.profile,
         "tolerance": args.tolerance,
         "injected_slowdown": args.inject_slowdown,

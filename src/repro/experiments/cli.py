@@ -54,6 +54,11 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", metavar="PATH", default=None,
         help="export a Chrome-trace JSON of every simulated run",
     )
+    run_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweeps (output is byte-identical "
+        "at any N; default 1)",
+    )
 
     all_p = sub.add_parser("run-all", help="run every experiment")
     all_p.add_argument(
@@ -66,6 +71,11 @@ def main(argv: list[str] | None = None) -> int:
     all_p.add_argument(
         "--trace", metavar="PATH", default=None,
         help="export a Chrome-trace JSON of every simulated run",
+    )
+    all_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweeps (output is byte-identical "
+        "at any N; default 1)",
     )
 
     trace_p = sub.add_parser(
@@ -115,8 +125,18 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "run"
         else all_experiment_ids()
     )
+    jobs = getattr(args, "jobs", 1)
     collector = None
     trace_path = getattr(args, "trace", None)
+    if trace_path and jobs > 1:
+        # Spans are recorded in the worker processes and would be lost;
+        # tracing needs the simulations in-process.
+        print("--trace forces --jobs 1 (spans live in-process)",
+              file=sys.stderr)
+        jobs = 1
+    from repro.experiments.parallel import set_jobs
+
+    set_jobs(jobs)
     if trace_path:
         from repro.experiments.common import clear_cache
         from repro.obs import tracer as obs_tracer

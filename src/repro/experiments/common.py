@@ -65,10 +65,74 @@ class PointSummary:
 
 _CACHE: dict[tuple, PointSummary] = {}
 
+#: ``run_point`` keyword defaults, in cache-key order (single source of
+#: truth for :func:`point_key`).
+_POINT_DEFAULTS: dict[str, object] = {
+    "engine": "redis",
+    "ratio": "set-only",
+    "pattern": "uniform",
+    "clients": 50,
+    "copy_threads": 8,
+    "aof": False,
+    "rewrite": False,
+    "production": False,
+    "rate_per_sec": None,
+}
+
 
 def clear_cache() -> None:
     """Drop memoized points (tests use this for isolation)."""
     _CACHE.clear()
+
+
+def point_key(
+    profile: SimulationProfile, size_gb: float, method: str, **kwargs
+) -> tuple:
+    """The memo-cache key of one ``run_point`` parameter set.
+
+    Artifact flags (``keep_throughput``/``keep_trace``) are *not* part
+    of the key — they only control what the summary carries.
+    """
+    return (
+        profile.name,
+        profile.query_count,
+        size_gb,
+        method,
+        *(kwargs.get(name, default)
+          for name, default in _POINT_DEFAULTS.items()),
+    )
+
+
+def _compute_point(task: tuple) -> PointSummary:
+    """Fan-out worker: one fresh point (module-level, picklable)."""
+    profile, size_gb, method, kwargs = task
+    return run_point(profile, size_gb, method, **kwargs)
+
+
+def prewarm_points(
+    profile: SimulationProfile, points: list[dict]
+) -> None:
+    """Fill the memo cache for ``run_point`` parameter sets, in parallel.
+
+    ``points`` are keyword dicts with at least ``size_gb`` and
+    ``method``.  Points are sharded over the configured ``--jobs``
+    workers; each worker recomputes its points from their per-repeat
+    seeds alone, so the summaries are byte-identical to serial
+    execution regardless of worker count (DESIGN.md §14).  Already
+    cached points are skipped.
+    """
+    from repro.experiments.parallel import parallel_map
+
+    todo = []
+    for kwargs in points:
+        kwargs = dict(kwargs)
+        size_gb = kwargs.pop("size_gb")
+        method = kwargs.pop("method")
+        if point_key(profile, size_gb, method, **kwargs) not in _CACHE:
+            todo.append((profile, size_gb, method, kwargs))
+    for task, summary in zip(todo, parallel_map(_compute_point, todo)):
+        _, size_gb, method, kwargs = task
+        _CACHE[point_key(profile, size_gb, method, **kwargs)] = summary
 
 
 def run_point(
@@ -88,20 +152,19 @@ def run_point(
     keep_trace: bool = False,
 ) -> PointSummary:
     """Simulate one experiment point (memoized, averaged over repeats)."""
-    key = (
-        profile.name,
-        profile.query_count,
+    key = point_key(
+        profile,
         size_gb,
         method,
-        engine,
-        ratio,
-        pattern,
-        clients,
-        copy_threads,
-        aof,
-        rewrite,
-        production,
-        rate_per_sec,
+        engine=engine,
+        ratio=ratio,
+        pattern=pattern,
+        clients=clients,
+        copy_threads=copy_threads,
+        aof=aof,
+        rewrite=rewrite,
+        production=production,
+        rate_per_sec=rate_per_sec,
     )
     cached = _CACHE.get(key)
     if cached is not None:
@@ -109,7 +172,12 @@ def run_point(
         missing_trace = keep_trace and "trace" not in cached.extras
         if not (missing_throughput or missing_trace):
             return cached
-        # fall through and recompute with the requested artifacts kept
+        # Recompute to attach the missing artifact, but keep the union
+        # of what the cache already holds and what this call asks for —
+        # otherwise alternating keep_trace/keep_throughput callers drop
+        # each other's artifact and recompute the same point forever.
+        keep_throughput = keep_throughput or cached.throughput is not None
+        keep_trace = keep_trace or "trace" in cached.extras
 
     if rate_per_sec is None:
         rate_per_sec = (
@@ -175,6 +243,11 @@ def _summarize(
     def mean(values) -> float:
         return float(np.mean(values))
 
+    def p99_ms(sample) -> float:
+        # Method 'none' runs have no snapshot window, so the snapshot
+        # sample is legitimately empty; the tables render nan as '-'.
+        return sample.p99_ms() if len(sample) else float("nan")
+
     snaps = [r.snapshot_queries() for r in results]
     norms = [r.normal_queries() for r in results]
     hist: dict[tuple[int, int], float] = {}
@@ -187,9 +260,9 @@ def _summarize(
         method=method,
         engine=engine,
         repeats=len(results),
-        snap_p99_ms=mean([s.p99_ms() for s in snaps]),
+        snap_p99_ms=mean([p99_ms(s) for s in snaps]),
         snap_max_ms=mean([s.max_ms() for s in snaps]),
-        norm_p99_ms=mean([s.p99_ms() for s in norms]),
+        norm_p99_ms=mean([p99_ms(s) for s in norms]),
         norm_max_ms=mean([s.max_ms() for s in norms]),
         fork_ms=mean([r.fork_call_ns for r in results]) / 1e6,
         child_copy_ms=mean([r.child_copy_ns for r in results]) / 1e6,

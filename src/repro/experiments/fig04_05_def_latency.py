@@ -28,7 +28,20 @@ PAPER_64G = {
 }
 
 
-@register("fig4-5", "Normal vs Snapshot-DEF vs Snapshot-ODF latencies")
+def points(profile: SimulationProfile) -> list[dict]:
+    """The sweep's points, for ``--jobs`` fan-out (serial order)."""
+    return [
+        {"size_gb": size, "method": method}
+        for size in sweep_sizes(profile)
+        for method in ("none", "default", "odf")
+    ]
+
+
+@register(
+    "fig4-5",
+    "Normal vs Snapshot-DEF vs Snapshot-ODF latencies",
+    points=points,
+)
 def run(profile: SimulationProfile) -> ExperimentReport:
     """Sweep sizes for methods none/default/odf and report p99 + max."""
     report = ExperimentReport(

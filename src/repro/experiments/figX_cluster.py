@@ -23,6 +23,7 @@ from __future__ import annotations
 from repro.cluster.cluster import FORK_METHODS, SimCluster
 from repro.cluster.coordinator import SnapshotCoordinator, make_policy
 from repro.config import SimulationProfile
+from repro.experiments.parallel import parallel_map
 from repro.experiments.registry import register
 from repro.metrics.latency import merge
 from repro.metrics.report import ExperimentReport, Table
@@ -67,6 +68,11 @@ def _one_run(profile: SimulationProfile, method: str, policy_name: str,
     return run_cluster_workload(cluster, workload, coordinator=coordinator)
 
 
+def _one_run_task(task):
+    """``parallel_map`` adapter (module-level, picklable)."""
+    return _one_run(*task)
+
+
 @register("figx-cluster",
           "Cluster-scale Fig. 16: snapshot scheduling across shards")
 def run(profile: SimulationProfile) -> ExperimentReport:
@@ -81,13 +87,24 @@ def run(profile: SimulationProfile) -> ExperimentReport:
         ["method", "policy", "p99 ms", "p99.9 ms",
          "worst shard p99 ms", "snapshots"],
     )
+    # Every (method, policy, seed) cell is seeded independently, so the
+    # grid fans out over the ``--jobs`` workers; ``parallel_map``
+    # returns in grid order, keeping aggregation identical to serial.
+    grid = [
+        (profile, method, policy_name, seed)
+        for method in FORK_METHODS
+        for policy_name in POLICIES
+        for seed in range(profile.repeats)
+    ]
+    by_cell: dict[tuple[str, str], list] = {}
+    for (_, method, policy_name, _), result in zip(
+        grid, parallel_map(_one_run_task, grid)
+    ):
+        by_cell.setdefault((method, policy_name), []).append(result)
     p99 = {}
     for method in FORK_METHODS:
         for policy_name in POLICIES:
-            runs = [
-                _one_run(profile, method, policy_name, seed)
-                for seed in range(profile.repeats)
-            ]
+            runs = by_cell[(method, policy_name)]
             cluster_sample = merge([r.merged for r in runs])
             shard_p99s = [
                 merge([r.per_shard[sid] for r in runs]).p99_ms()

@@ -40,6 +40,7 @@ from repro.faults.plan import (
 from repro.kernel.clock import Clock
 from repro.kvs.engine import KvEngine
 from repro.kvs.supervisor import SnapshotSupervisor
+from repro.experiments.parallel import parallel_map
 from repro.metrics.latency import percentile
 from repro.metrics.report import ExperimentReport, Table
 from repro.repl import (
@@ -115,6 +116,11 @@ def _live_sync_run(profile: SimulationProfile, method: str, seed: int):
     replica.close()
     master.engine.process.exit()
     return result
+
+
+def _live_sync_task(task):
+    """``parallel_map`` adapter (module-level, picklable)."""
+    return _live_sync_run(*task)
 
 
 # -- phase two: the seeded failover drill -------------------------------
@@ -265,6 +271,14 @@ def _run_drill(method: str, seed: int) -> dict:
     return outcome
 
 
+def _drill_task(task):
+    """Run one drill plus its replay; report whether they matched."""
+    method, seed = task
+    outcome = _run_drill(method, seed)
+    replay = _run_drill(method, seed)
+    return outcome, outcome["digest"] == replay["digest"]
+
+
 @register(
     "figx-failover",
     "Replication & failover: sync spikes, recovery, acked-write safety",
@@ -282,20 +296,41 @@ def run(profile: SimulationProfile) -> ExperimentReport:
         ["method", "p99 in-sync ms", "p99 quiet ms", "spike x",
          "fork stall ms", "ship ms"],
     )
+    # Each (method, seed) run is seeded independently — fan the grid
+    # out over the ``--jobs`` workers, aggregate in grid order.
+    sync_grid = [
+        (profile, method, seed)
+        for method in FORK_METHODS
+        for seed in range(profile.repeats)
+    ]
+    sync_runs: dict[str, list] = {}
+    for (_, method, _), result in zip(
+        sync_grid, parallel_map(_live_sync_task, sync_grid)
+    ):
+        sync_runs.setdefault(method, []).append(result)
     p99_in = {}
     p99_out = {}
     for method in FORK_METHODS:
         inside_all, outside_all, stalls, ships = [], [], [], []
-        for seed in range(profile.repeats):
-            result = _live_sync_run(profile, method, seed)
+        for result in sync_runs[method]:
             inside, outside = result.split_by_window()
             inside_all.extend(inside.tolist())
             outside_all.extend(outside.tolist())
             stalls.append(result.fork_stall_ns)
             if result.sync_report is not None:
                 ships.append(result.sync_report.ship_ns)
-        p99_in[method] = percentile(np.asarray(inside_all), 99.0) / 1e6
-        p99_out[method] = percentile(np.asarray(outside_all), 99.0) / 1e6
+        # The sync window always opens in this experiment, but guard the
+        # percentile anyway — it raises on empty samples now.
+        p99_in[method] = (
+            percentile(np.asarray(inside_all), 99.0) / 1e6
+            if inside_all
+            else float("nan")
+        )
+        p99_out[method] = (
+            percentile(np.asarray(outside_all), 99.0) / 1e6
+            if outside_all
+            else float("nan")
+        )
         sync_table.add_row(
             method,
             p99_in[method],
@@ -312,28 +347,31 @@ def run(profile: SimulationProfile) -> ExperimentReport:
         ["method", "seed", "recovery ms", "acked kept", "partial resync",
          "AOF bytes repaired", "peer resyncs"],
     )
+    drill_grid = [
+        (method, seed)
+        for method in FORK_METHODS
+        for seed in range(profile.repeats)
+    ]
     drills = []
     replay_identical = True
-    for method in FORK_METHODS:
-        for seed in range(profile.repeats):
-            outcome = _run_drill(method, seed)
-            replay = _run_drill(method, seed)
-            replay_identical &= outcome["digest"] == replay["digest"]
-            drills.append(outcome)
-            drill_table.add_row(
-                method,
-                seed,
-                outcome["recovery_ns"] / 1e6,
-                f"{outcome['acked_total'] - outcome['acked_lost']}"
-                f"/{outcome['acked_total']}",
-                "yes" if outcome["partial_ok"] else "NO",
-                outcome["aof_bytes_dropped"],
-                ",".join(
-                    f"{k}:{v}" for k, v in sorted(
-                        outcome["peer_resyncs"].items()
-                    )
-                ),
-            )
+    for (method, seed), (outcome, replayed_ok) in zip(
+        drill_grid, parallel_map(_drill_task, drill_grid)
+    ):
+        replay_identical &= replayed_ok
+        drills.append(outcome)
+        drill_table.add_row(
+            method,
+            seed,
+            outcome["recovery_ns"] / 1e6,
+            f"{outcome['acked_total'] - outcome['acked_lost']}"
+            f"/{outcome['acked_total']}",
+            "yes" if outcome["partial_ok"] else "NO",
+            outcome["aof_bytes_dropped"],
+            ",".join(
+                f"{k}:{v}"
+                for k, v in sorted(outcome["peer_resyncs"].items())
+            ),
+        )
     report.add_table(drill_table)
 
     report.check(

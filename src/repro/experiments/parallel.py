@@ -1,0 +1,64 @@
+"""Deterministic multiprocess execution of sweep points.
+
+The experiments are embarrassingly parallel at the *point* level — each
+(parameter set, seed) pair builds its own workload, engines and clock
+from its seed and shares nothing with its neighbours (the seed-per-point
+contract; see DESIGN.md §14).  That makes fan-out trivial to do
+deterministically:
+
+* work items are enumerated in the same order serial execution would
+  visit them;
+* each worker computes its items from their seeds alone;
+* :func:`parallel_map` returns results in input order (``pool.map``),
+  so aggregation sees exactly the serial sequence.
+
+Output is therefore byte-identical to a serial run at any worker count
+(including ``--jobs 1``), which CI asserts.  Workers are forked — the
+callable and items only need to be picklable for the result path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Process-wide worker count, set by the CLI's ``--jobs`` flag.
+_JOBS = 1
+
+
+def set_jobs(jobs: int) -> None:
+    """Set the worker count used when ``parallel_map`` isn't told one."""
+    global _JOBS
+    _JOBS = max(1, int(jobs))
+
+
+def get_jobs() -> int:
+    """The configured worker count (1 = serial)."""
+    return _JOBS
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving order; fan out if asked.
+
+    ``fn`` must be a module-level callable and its results picklable.
+    With ``jobs`` (or the configured ``--jobs``) at 1, this is a plain
+    list comprehension — no pool, no pickling, no fork.
+    """
+    work: Sequence[T] = list(items)
+    n_jobs = get_jobs() if jobs is None else max(1, int(jobs))
+    n_jobs = min(n_jobs, len(work))
+    if n_jobs <= 1:
+        return [fn(item) for item in work]
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return [fn(item) for item in work]
+    with ctx.Pool(n_jobs) as pool:
+        return pool.map(fn, work)

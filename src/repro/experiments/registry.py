@@ -9,6 +9,11 @@ from repro.config import SimulationProfile, active_profile
 from repro.metrics.report import ExperimentReport
 
 Runner = Callable[[SimulationProfile], ExperimentReport]
+#: Optional enumerator of an experiment's ``run_point`` parameter sets
+#: (keyword dicts with at least ``size_gb`` and ``method``); used to
+#: prewarm the point cache across ``--jobs`` workers before the runner
+#: aggregates serially.
+PointsFn = Callable[[SimulationProfile], list]
 
 
 @dataclass(frozen=True)
@@ -18,19 +23,22 @@ class ExperimentSpec:
     experiment_id: str
     title: str
     runner: Runner
+    points: Optional[PointsFn] = None
 
 
 _REGISTRY: dict[str, ExperimentSpec] = {}
 
 
-def register(experiment_id: str, title: str):
+def register(
+    experiment_id: str, title: str, points: Optional[PointsFn] = None
+):
     """Decorator registering ``runner(profile) -> ExperimentReport``."""
 
     def wrap(runner: Runner) -> Runner:
         if experiment_id in _REGISTRY:
             raise ValueError(f"duplicate experiment id {experiment_id!r}")
         _REGISTRY[experiment_id] = ExperimentSpec(
-            experiment_id, title, runner
+            experiment_id, title, runner, points
         )
         return runner
 
@@ -60,4 +68,11 @@ def run_experiment(
     spec = get_experiment(experiment_id)
     if profile is None:
         profile = active_profile()
+    if spec.points is not None:
+        # Compute the sweep's points across the ``--jobs`` workers (a
+        # no-op at jobs=1 or when the cache already holds them); the
+        # runner then aggregates from the cache serially.
+        from repro.experiments.common import prewarm_points
+
+        prewarm_points(profile, spec.points(profile))
     return spec.runner(profile)

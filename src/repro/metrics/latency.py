@@ -17,9 +17,18 @@ from repro.units import ns_to_ms
 
 def percentile(values: np.ndarray, q: float) -> float:
     """Percentile with the 'lower-of-the-two' convention used by
-    latency-measurement tools (no interpolation above observed samples)."""
+    latency-measurement tools (no interpolation above observed samples).
+
+    Raises :class:`ValueError` on an empty sample — a percentile of
+    nothing is a caller bug, and the nan the old behaviour returned
+    silently poisoned every mean/comparison downstream.
+    """
     if len(values) == 0:
-        return float("nan")
+        raise ValueError(
+            f"cannot take the {q} percentile of an empty sample; "
+            "guard the call site (empty windows are expected for "
+            "method 'none' runs)"
+        )
     return float(np.percentile(values, q, method="lower"))
 
 
@@ -68,11 +77,11 @@ class LatencySample:
     # -- statistics ----------------------------------------------------------
 
     def p99_ns(self) -> float:
-        """99 %-ile latency in nanoseconds."""
+        """99 %-ile latency in nanoseconds (raises on an empty sample)."""
         return percentile(self.latencies_ns, 99.0)
 
     def p999_ns(self) -> float:
-        """99.9 %-ile latency in nanoseconds."""
+        """99.9 %-ile latency in nanoseconds (raises on an empty sample)."""
         return percentile(self.latencies_ns, 99.9)
 
     def max_ns(self) -> float:
@@ -96,7 +105,20 @@ class LatencySample:
         return ns_to_ms(self.max_ns())
 
     def summary(self) -> dict:
-        """Dict of the headline statistics (ms)."""
+        """Dict of the headline statistics (ms).
+
+        Reporting convenience: an empty sample yields nan statistics
+        (rendered as '-' by the tables) instead of raising.
+        """
+        if len(self) == 0:
+            nan = float("nan")
+            return {
+                "count": 0,
+                "mean_ms": nan,
+                "p99_ms": nan,
+                "p999_ms": nan,
+                "max_ms": nan,
+            }
         return {
             "count": len(self),
             "mean_ms": ns_to_ms(self.mean_ns()),

@@ -10,8 +10,9 @@ counts the fork call itself).
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.obs.tracer import ABORTED_SUFFIX, CAT_KERNEL
 from repro.units import USEC
@@ -56,9 +57,9 @@ class InterruptRecorder:
         recorder matches one fed by a live observer episode-for-episode.
         """
         recorder = cls()
-        for record in tracer.records:
-            if record.cat == CAT_KERNEL:
-                recorder.record(record.name, record.duration_ns)
+        kernel = [r for r in tracer.records if r.cat == CAT_KERNEL]
+        recorder.reasons = [r.name for r in kernel]
+        recorder.durations_ns = [int(r.end_ns - r.start_ns) for r in kernel]
         return recorder
 
     def count(self, reason_prefix: str = "") -> int:
@@ -89,14 +90,32 @@ class InterruptRecorder:
         (reason ending in ``!aborted`` — a §4.4 rollback mid-section)
         never completed an interruption and are always excluded.
         """
-        counter: Counter = Counter()
-        for reason, duration in zip(self.reasons, self.durations_ns):
-            if exclude_fork_call and reason.startswith("fork"):
-                continue
-            if reason.endswith(ABORTED_SUFFIX):
-                continue
-            counter[bcc_bucket(duration)] += 1
-        return dict(counter)
+        if not self.reasons:
+            return {}
+        keep = np.fromiter(
+            (
+                not (exclude_fork_call and r.startswith("fork"))
+                and not r.endswith(ABORTED_SUFFIX)
+                for r in self.reasons
+            ),
+            dtype=bool,
+            count=len(self.reasons),
+        )
+        durations = np.asarray(self.durations_ns, dtype=np.int64)[keep]
+        if not len(durations):
+            return {}
+        us_val = np.maximum(durations // USEC, 1)
+        # frexp is exact for integers below 2**53, so the largest power
+        # of two <= us_val is exactly 2**(exponent - 1).
+        _, exponent = np.frexp(us_val.astype(np.float64))
+        lows, counts = np.unique(
+            np.left_shift(np.int64(1), exponent.astype(np.int64) - 1),
+            return_counts=True,
+        )
+        return {
+            (int(lo), int(lo) * 2 - 1): int(c)
+            for lo, c in zip(lows, counts)
+        }
 
     def bucket_count(self, lo_us: int, hi_us: int) -> int:
         """Count of one specific bucket."""

@@ -375,7 +375,31 @@ class _Runner:
     # ------------------------------------------------------------------
 
     def run(self) -> tuple[np.ndarray, np.ndarray]:
-        """Execute the loop; returns (latencies, completions)."""
+        """Execute the run; returns (latencies, completions).
+
+        The single-threaded open-loop path (no TCP back-pressure) is
+        computed with the vectorized prefix-scan timeline of
+        :mod:`repro.sim.snapshot_vec` — bit-identical to the scalar
+        loop (DESIGN.md §14), which remains both the fallback when the
+        fixed-point iteration fails to settle and the only path for
+        multi-threaded engines and bounded-inflight clients, whose
+        completion feedback genuinely needs stepping.
+        """
+        from repro.sim import snapshot_vec
+        from repro.workload.openloop import scalar_timeline_forced
+
+        if (
+            self.threads == 1
+            and self.config.inflight_per_client == 0
+            and not scalar_timeline_forced()
+        ):
+            result = snapshot_vec.try_vectorized(self)
+            if result is not None:
+                return result
+        return self._run_scalar()
+
+    def _run_scalar(self) -> tuple[np.ndarray, np.ndarray]:
+        """The arrival-by-arrival reference loop."""
         arrivals = self.arrivals
         is_set = self.is_set
         tables = self.tables

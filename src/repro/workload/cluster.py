@@ -30,7 +30,11 @@ from repro.determinism import seeded_rng
 from repro.errors import KvsError
 from repro.metrics.latency import LatencySample, merge
 from repro.sim.network import NetworkLink, ProductionEnvironment
-from repro.workload.openloop import arrival_times
+from repro.workload.openloop import (
+    arrival_times,
+    busy_schedule,
+    scalar_timeline_forced,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.cluster import SimCluster
@@ -141,16 +145,22 @@ def run_cluster_workload(
     client = cluster.client(link=link)
     clock = cluster.clock
     n = len(workload)
-    latencies = np.empty(n, dtype=np.int64)
     shard_ids = np.empty(n, dtype=np.int32)
     arrivals = workload.arrivals_ns
     service = workload.service_ns
     value = b"v" * workload.spec.value_size
-    #: When each single-threaded shard next becomes idle.
-    free_at = [0] * len(cluster)
-    #: When the machine-wide kernel lock next becomes free.
-    kernel_busy = 0
-    kernel_ns = 0
+    # Phase 1 — drive the engines in arrival order and record, per
+    # query, everything the queueing model needs: kernel time consumed,
+    # the serving shard, the reply RTT, refusals, and the coordinator's
+    # fork events.  None of the engine side effects read queueing state
+    # (they advance on the *arrival* clock), so the per-shard ``free_at``
+    # chains and the machine-wide ``kernel_busy`` lock can be solved
+    # afterwards — vectorized between coupling points (see DESIGN.md §14).
+    kerns = np.zeros(n, dtype=np.int64)
+    rtts = np.zeros(n, dtype=np.int64)
+    #: ``(query_index, tick_start, [(shard_id, fork_ns), ...])`` per
+    #: coordinator tick that actually triggered forks.
+    fork_batches: list[tuple[int, int, list[tuple[int, int]]]] = []
     refused = 0
     fixed_ns = cluster.shards[0].engine.fork_engine.costs.fork_fixed_ns
     for i in range(n):
@@ -167,15 +177,12 @@ def run_cluster_workload(
             # all start at the tick instant even though the sequential
             # simulation advanced the clock through each call in turn.
             tick_start = clock.now
-            for event in coordinator.tick():
-                fixed = min(event.fork_ns, fixed_ns)
-                copy = event.fork_ns - fixed
-                kernel_start = max(tick_start + fixed, kernel_busy)
-                kernel_busy = kernel_start + copy
-                kernel_ns += copy
-                free_at[event.shard_id] = max(
-                    free_at[event.shard_id], kernel_busy
-                )
+            events = [
+                (event.shard_id, event.fork_ns)
+                for event in coordinator.tick()
+            ]
+            if events:
+                fork_batches.append((i, tick_start, events))
         key = workload.keys[workload.key_index[i]]
         before = clock.now
         try:
@@ -185,29 +192,31 @@ def run_cluster_workload(
                 reply = client.execute(b"GET", key)
         except KvsError:
             # MISCONF write refusal (persistent snapshot failure): the
-            # command is answered immediately with an error.
+            # command is answered immediately with an error (no kernel
+            # work, no RTT charged — ``kerns``/``rtts`` stay zero, which
+            # is exactly how the solver prices it).
             refused += 1
-            shard = cluster.slot_map.shard_of_key(key)
-            end = max(arrival, free_at[shard]) + int(service[i])
-            free_at[shard] = end
-            latencies[i] = end - arrival
-            shard_ids[i] = shard
+            shard_ids[i] = cluster.slot_map.shard_of_key(key)
             continue
-        kern = clock.now - before
-        shard = reply.shard_id
-        start = max(arrival, free_at[shard])
-        if kern > 0:
-            # The query's own kernel work (CoW faults, proactive syncs,
-            # save-point forks) contends for the machine-wide lock.
-            kernel_start = max(start, kernel_busy)
-            kernel_busy = kernel_start + kern
-            kernel_ns += kern
-            end = kernel_start + kern + int(service[i])
-        else:
-            end = start + int(service[i])
-        free_at[shard] = end
-        latencies[i] = end - arrival + reply.rtt_ns
-        shard_ids[i] = shard
+        kerns[i] = clock.now - before
+        rtts[i] = reply.rtt_ns
+        shard_ids[i] = reply.shard_id
+    # Phase 2 — solve the coupled queueing timeline.
+    solve = (
+        _solve_timeline_scalar
+        if scalar_timeline_forced()
+        else _solve_timeline
+    )
+    latencies, kernel_ns = solve(
+        arrivals,
+        service,
+        kerns,
+        rtts,
+        shard_ids,
+        fork_batches,
+        len(cluster),
+        fixed_ns,
+    )
     per_shard = {
         shard.shard_id: LatencySample(
             latencies[shard_ids == shard.shard_id],
@@ -228,3 +237,128 @@ def run_cluster_workload(
         refused_writes=refused,
         kernel_ns=kernel_ns,
     )
+
+
+def _solve_timeline(
+    arrivals: np.ndarray,
+    service: np.ndarray,
+    kerns: np.ndarray,
+    rtts: np.ndarray,
+    shard_ids: np.ndarray,
+    fork_batches: list[tuple[int, int, list[tuple[int, int]]]],
+    n_shards: int,
+    fixed_ns: int,
+) -> tuple[np.ndarray, int]:
+    """Solve the per-shard / kernel-lock timeline, scans between couplings.
+
+    Only two kinds of event couple the shards: coordinator fork ticks
+    (they raise ``kernel_busy`` and the forked shard's ``free_at``) and
+    queries with kernel time (they wait for and then hold the kernel
+    lock).  Everything between two coupling events is an independent
+    single-server chain per shard, solved exactly by
+    :func:`~repro.workload.openloop.busy_schedule`; the coupling events
+    themselves are stepped in order, so the result is bit-identical to
+    the scalar recurrence (see DESIGN.md §14).
+    """
+    n = len(arrivals)
+    latencies = np.empty(n, dtype=np.int64)
+    free_at = [0] * n_shards
+    kernel_busy = 0
+    kernel_ns = 0
+    by_shard = [np.flatnonzero(shard_ids == s) for s in range(n_shards)]
+    ptr = [0] * n_shards
+
+    def advance(s: int, upto: int) -> None:
+        # Serve shard ``s``'s kernel-free queries with index < upto in
+        # one scan; refused queries ride along (service only, zero rtt).
+        idxs = by_shard[s]
+        j = int(np.searchsorted(idxs, upto, side="left"))
+        if j > ptr[s]:
+            seg = idxs[ptr[s] : j]
+            ends = busy_schedule(arrivals[seg], service[seg], free_at[s])
+            latencies[seg] = ends - arrivals[seg] + rtts[seg]
+            free_at[s] = int(ends[-1])
+            ptr[s] = j
+
+    # Coupling events in serving order; a fork tick at index i lands
+    # before query i is served.
+    events: list[tuple[int, int, Optional[tuple]]] = [
+        (i, 0, (tick_start, evs)) for i, tick_start, evs in fork_batches
+    ]
+    events += [(int(i), 1, None) for i in np.flatnonzero(kerns > 0)]
+    events.sort(key=lambda e: (e[0], e[1]))
+    for i, kind, payload in events:
+        if kind == 0:
+            tick_start, evs = payload
+            for shard_id, fork_ns in evs:
+                fixed = min(fork_ns, fixed_ns)
+                copy = fork_ns - fixed
+                kernel_start = max(tick_start + fixed, kernel_busy)
+                kernel_busy = kernel_start + copy
+                kernel_ns += copy
+                advance(shard_id, i)
+                free_at[shard_id] = max(free_at[shard_id], kernel_busy)
+        else:
+            s = int(shard_ids[i])
+            advance(s, i)
+            arrival = int(arrivals[i])
+            kern = int(kerns[i])
+            start = max(arrival, free_at[s])
+            kernel_start = max(start, kernel_busy)
+            kernel_busy = kernel_start + kern
+            kernel_ns += kern
+            end = kernel_start + kern + int(service[i])
+            free_at[s] = end
+            latencies[i] = end - arrival + int(rtts[i])
+            # ``advance`` stopped right at i; skip it in the chain.
+            ptr[s] += 1
+    for s in range(n_shards):
+        advance(s, n)
+    return latencies, kernel_ns
+
+
+def _solve_timeline_scalar(
+    arrivals: np.ndarray,
+    service: np.ndarray,
+    kerns: np.ndarray,
+    rtts: np.ndarray,
+    shard_ids: np.ndarray,
+    fork_batches: list[tuple[int, int, list[tuple[int, int]]]],
+    n_shards: int,
+    fixed_ns: int,
+) -> tuple[np.ndarray, int]:
+    """Reference scalar recurrence (``REPRO_SCALAR_TIMELINE=1``)."""
+    n = len(arrivals)
+    latencies = np.empty(n, dtype=np.int64)
+    free_at = [0] * n_shards
+    kernel_busy = 0
+    kernel_ns = 0
+    batch_pos = 0
+    for i in range(n):
+        arrival = int(arrivals[i])
+        if (
+            batch_pos < len(fork_batches)
+            and fork_batches[batch_pos][0] == i
+        ):
+            _, tick_start, evs = fork_batches[batch_pos]
+            batch_pos += 1
+            for shard_id, fork_ns in evs:
+                fixed = min(fork_ns, fixed_ns)
+                copy = fork_ns - fixed
+                kernel_start = max(tick_start + fixed, kernel_busy)
+                kernel_busy = kernel_start + copy
+                kernel_ns += copy
+                free_at[shard_id] = max(free_at[shard_id], kernel_busy)
+        shard = int(shard_ids[i])
+        kern = int(kerns[i])
+        start = max(arrival, free_at[shard])
+        if kern > 0:
+            kernel_start = max(start, kernel_busy)
+            kernel_busy = kernel_start + kern
+            kernel_ns += kern
+            end = kernel_start + kern + int(service[i])
+        else:
+            end = start + int(service[i])
+        free_at[shard] = end
+        latencies[i] = end - arrival + int(rtts[i])
+    return latencies, kernel_ns

@@ -35,7 +35,11 @@ from repro.errors import ReplicationError
 from repro.metrics.latency import LatencySample
 from repro.repl.master import FullSyncReport, ReplicationMaster
 from repro.repl.replica import ReplicaNode
-from repro.workload.openloop import arrival_times
+from repro.workload.openloop import (
+    arrival_times,
+    busy_schedule,
+    scalar_timeline_forced,
+)
 
 
 @dataclass(frozen=True)
@@ -135,11 +139,16 @@ def run_replicated_workload(
     """
     clock = master.clock
     n = len(workload)
-    latencies = np.empty(n, dtype=np.int64)
     arrivals = workload.arrivals_ns
     service = workload.service_ns
     value = b"v" * workload.spec.value_size
-    free_at = 0
+    #: Queue occupancy per query: kernel time consumed by the engine
+    #: call plus the modelled service time.  The engine's side effects
+    #: (cron heartbeats, sync stepping, replication shipping) depend
+    #: only on the *arrival* clock, never on queueing state, so the
+    #: ``free_at`` recurrence can be solved after the fact in one scan.
+    durations = np.empty(n, dtype=np.int64)
+    stall_at: Optional[int] = None
     fork_stall_ns = 0
     gated = 0
     sync_session = None
@@ -158,7 +167,7 @@ def run_replicated_workload(
             if job is not None:
                 sync_session = session
                 sync_start = before
-                free_at = max(free_at, arrival) + fork_stall_ns
+                stall_at = i
         if sync_session is not None and sync_session.sync_job is not None:
             report = master.step_full_sync(sync_session)
             if report is not None:
@@ -179,10 +188,10 @@ def run_replicated_workload(
         except ReplicationError:
             gated += 1
         kern = clock.now - before
-        start = max(arrival, free_at)
-        end = start + kern + int(service[i])
-        free_at = end
-        latencies[i] = end - arrival
+        durations[i] = kern + int(service[i])
+    latencies = _chain_latencies(
+        arrivals, durations, stall_at, fork_stall_ns
+    )
     # A sync still in flight at stream end: finish it off-window so the
     # replica is usable, but leave the window open-ended (unmeasured).
     if sync_session is not None and sync_session.sync_job is not None:
@@ -200,3 +209,51 @@ def run_replicated_workload(
         gated_writes=gated,
         final_clock_ns=clock.now,
     )
+
+
+def _chain_latencies(
+    arrivals: np.ndarray,
+    durations: np.ndarray,
+    stall_at: Optional[int],
+    stall_ns: int,
+) -> np.ndarray:
+    """Latencies of the master's single-server chain, in one scan.
+
+    A triggered sync's fork stall behaves exactly like a pseudo-query
+    arriving at ``arrivals[stall_at]`` and occupying the server for
+    ``stall_ns`` just before query ``stall_at`` is served, so it is
+    spliced into the chain and its completion discarded.  All adds and
+    maxima are int64, so the result is bit-identical to the scalar
+    recurrence (see DESIGN.md §14).
+    """
+    if scalar_timeline_forced():
+        return _chain_latencies_scalar(
+            arrivals, durations, stall_at, stall_ns
+        )
+    if stall_at is None:
+        ends = busy_schedule(arrivals, durations)
+    else:
+        arr = np.insert(arrivals, stall_at, arrivals[stall_at])
+        dur = np.insert(durations, stall_at, np.int64(stall_ns))
+        ends = np.delete(busy_schedule(arr, dur), stall_at)
+    return ends - arrivals
+
+
+def _chain_latencies_scalar(
+    arrivals: np.ndarray,
+    durations: np.ndarray,
+    stall_at: Optional[int],
+    stall_ns: int,
+) -> np.ndarray:
+    """Reference scalar recurrence (``REPRO_SCALAR_TIMELINE=1``)."""
+    n = len(arrivals)
+    latencies = np.empty(n, dtype=np.int64)
+    free_at = 0
+    for i in range(n):
+        arrival = int(arrivals[i])
+        if i == stall_at:
+            free_at = max(free_at, arrival) + stall_ns
+        end = max(arrival, free_at) + int(durations[i])
+        free_at = end
+        latencies[i] = end - arrival
+    return latencies

@@ -1,0 +1,161 @@
+"""Tests for the run_point memo cache and the parallel sweep runner."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import common
+from repro.experiments.parallel import get_jobs, parallel_map, set_jobs
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_is_plain_map(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_workers_preserve_order(self):
+        items = list(range(40))
+        assert parallel_map(_square, items, jobs=2) == [
+            x * x for x in items
+        ]
+
+    def test_jobs_setting_round_trips(self):
+        set_jobs(3)
+        try:
+            assert get_jobs() == 3
+        finally:
+            set_jobs(1)
+        assert get_jobs() == 1
+
+
+class TestPointCacheArtifacts:
+    """Regression: alternating artifact requests must not thrash.
+
+    The cache key ignores ``keep_trace``/``keep_throughput``; before the
+    union fix, a cached point recomputed for the *missing* artifact
+    dropped the one it already had, so callers alternating the two flags
+    recomputed the same point on every call, forever.
+    """
+
+    def _counting(self, monkeypatch):
+        calls = {"n": 0}
+        real = common.simulate_snapshot
+
+        def counting(config):
+            calls["n"] += 1
+            return real(config)
+
+        monkeypatch.setattr(common, "simulate_snapshot", counting)
+        return calls
+
+    def test_recompute_keeps_artifact_union(self, monkeypatch, tiny_profile):
+        calls = self._counting(monkeypatch)
+        common.clear_cache()
+        try:
+            first = common.run_point(
+                tiny_profile, 1, "async", keep_trace=True
+            )
+            per_point = calls["n"]
+            assert per_point == tiny_profile.repeats
+            assert "trace" in first.extras
+            assert first.throughput is None
+
+            # Asks for the other artifact: one recompute, union kept.
+            second = common.run_point(
+                tiny_profile, 1, "async", keep_throughput=True
+            )
+            assert calls["n"] == 2 * per_point
+            assert second.throughput is not None
+            assert "trace" in second.extras
+
+            # Every combination is now served from the cache.
+            common.run_point(tiny_profile, 1, "async", keep_trace=True)
+            common.run_point(tiny_profile, 1, "async", keep_throughput=True)
+            third = common.run_point(
+                tiny_profile, 1, "async",
+                keep_throughput=True, keep_trace=True,
+            )
+            assert calls["n"] == 2 * per_point
+            assert third.throughput is not None
+            assert "trace" in third.extras
+        finally:
+            common.clear_cache()
+
+    def test_plain_hit_never_recomputes(self, monkeypatch, tiny_profile):
+        calls = self._counting(monkeypatch)
+        common.clear_cache()
+        try:
+            common.run_point(tiny_profile, 1, "default")
+            per_point = calls["n"]
+            common.run_point(tiny_profile, 1, "default")
+            assert calls["n"] == per_point
+        finally:
+            common.clear_cache()
+
+
+class TestPrewarmDeterminism:
+    def test_prewarmed_points_equal_serial(self, tiny_profile):
+        points = [
+            {"size_gb": size, "method": method}
+            for size in (1, 2)
+            for method in ("default", "odf")
+        ]
+        common.clear_cache()
+        serial = [
+            common.run_point(tiny_profile, p["size_gb"], p["method"])
+            for p in points
+        ]
+        common.clear_cache()
+        set_jobs(2)
+        try:
+            common.prewarm_points(tiny_profile, points)
+        finally:
+            set_jobs(1)
+        try:
+            warmed = [
+                common.run_point(tiny_profile, p["size_gb"], p["method"])
+                for p in points
+            ]
+            for a, b in zip(serial, warmed):
+                assert a == b
+        finally:
+            common.clear_cache()
+
+    def test_point_key_matches_run_point_defaults(self, tiny_profile):
+        common.clear_cache()
+        try:
+            common.run_point(tiny_profile, 1, "default")
+            key = common.point_key(tiny_profile, 1, "default")
+            assert key in common._CACHE
+            # Prewarming the same point is then a no-op.
+            before = dict(common._CACHE)
+            common.prewarm_points(
+                tiny_profile, [{"size_gb": 1, "method": "default"}]
+            )
+            assert common._CACHE[key] is before[key]
+        finally:
+            common.clear_cache()
+
+    def test_prewarm_results_are_bitwise_equal_to_serial(self, tiny_profile):
+        # Belt and braces: the throughput-free summaries must compare
+        # equal field by field, including the float aggregates.
+        common.clear_cache()
+        a = common.run_point(tiny_profile, 2, "async")
+        common.clear_cache()
+        set_jobs(2)
+        try:
+            common.prewarm_points(
+                tiny_profile, [{"size_gb": 2, "method": "async"}]
+            )
+        finally:
+            set_jobs(1)
+        b = common.run_point(tiny_profile, 2, "async")
+        common.clear_cache()
+        assert a.snap_p99_ms == b.snap_p99_ms or (
+            np.isnan(a.snap_p99_ms) and np.isnan(b.snap_p99_ms)
+        )
+        assert a.bcc_hist == b.bcc_hist
+        assert a.snapshot_start_ns == b.snapshot_start_ns

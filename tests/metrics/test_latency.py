@@ -22,8 +22,13 @@ class TestPercentile:
         values = np.arange(1, 101)
         assert percentile(values, 99.0) == 99
 
-    def test_empty_is_nan(self):
-        assert np.isnan(percentile(np.empty(0), 99))
+    def test_empty_raises_value_error(self):
+        with pytest.raises(ValueError, match="empty sample"):
+            percentile(np.empty(0), 99)
+
+    def test_empty_list_raises_value_error(self):
+        with pytest.raises(ValueError, match="empty sample"):
+            percentile([], 50)
 
     def test_single_value(self):
         assert percentile(np.array([7]), 99) == 7
@@ -58,7 +63,10 @@ class TestWindows:
     def test_empty_window(self):
         s = sample([10], arrivals=[0])
         assert len(s.window(100, 200)) == 0
-        assert np.isnan(s.window(100, 200).p99_ns())
+        with pytest.raises(ValueError, match="empty sample"):
+            s.window(100, 200).p99_ns()
+        with pytest.raises(ValueError, match="empty sample"):
+            s.window(100, 200).p999_ns()
 
 
 class TestStats:

@@ -35,6 +35,48 @@ class TestArrivals:
         with pytest.raises(ValueError):
             arrival_times(100, 0)
 
+    @pytest.mark.parametrize(
+        "count,clients", [(3, 1_000), (7, 200), (2, 100)]
+    )
+    def test_rate_unbiased_for_truncated_final_batch(self, count, clients):
+        """The realized rate must not drift when the last batch is short.
+
+        Before the last-gap fix, a stream of ``count`` queries whose
+        final batch was truncated still drew a *full* batch gap for it,
+        so short streams with large clients (count=3, clients=1000 →
+        one 100-slot batch holding 3 queries) ran at a fraction of the
+        requested rate.  With the gap scaled, the expected span of the
+        stream is ``count / rate`` (plus the final query's intra-batch
+        wire offset); the pre-fix bias was a large multiple of the
+        sampling noise at these heavily truncated parameter sets.
+        """
+        rate = 50_000.0
+        batch = batch_size_for_clients(clients)
+        last_size = count - (count - 1) // batch * batch
+        mean_gap_ns = batch / rate * SEC
+        expected_span_ns = count / rate * SEC + (last_size - 1) * 1_000
+        n_seeds = 400
+        spans = [
+            float(arrival_times(
+                count, rate, clients, np.random.default_rng(seed)
+            )[-1])
+            for seed in range(n_seeds)
+        ]
+        pre_fix_bias = (batch - last_size) / batch * mean_gap_ns
+        # Noise of the mean is mean_gap * sqrt(n_batches) / sqrt(400) —
+        # at least 4 sigma below the 0.3x-bias threshold here.
+        assert abs(np.mean(spans) - expected_span_ns) < 0.3 * pre_fix_bias
+
+    def test_batch_multiple_counts_unchanged_by_rate_fix(self):
+        """Counts that fill their last batch are bit-identical pre/post fix."""
+        a = arrival_times(1_000, 50_000, 50, np.random.default_rng(9))
+        rng = np.random.default_rng(9)
+        batch = batch_size_for_clients(50)
+        gaps = rng.exponential(batch / 50_000 * SEC, size=1_000 // batch)
+        starts = np.repeat(np.cumsum(gaps), batch)[:1_000]
+        offsets = np.tile(np.arange(batch) * 1_000, 1_000 // batch)[:1_000]
+        assert np.array_equal(a, np.sort((starts + offsets).astype(np.int64)))
+
 
 class TestBurstiness:
     def test_batch_size_scales_with_clients(self):
