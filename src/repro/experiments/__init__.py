@@ -19,6 +19,7 @@ from repro.experiments import (  # noqa: F401 - imported for registration
     fig17_19_throughput,
     figX_cluster,
     figx_failover,
+    figx_live,
     fig20_oos_time,
     fig21_aof,
     fig22_fork_call,

@@ -125,14 +125,19 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "run"
         else all_experiment_ids()
     )
-    jobs = getattr(args, "jobs", 1)
+    requested_jobs = getattr(args, "jobs", 1)
+    jobs = requested_jobs
     collector = None
     trace_path = getattr(args, "trace", None)
     if trace_path and jobs > 1:
         # Spans are recorded in the worker processes and would be lost;
         # tracing needs the simulations in-process.
-        print("--trace forces --jobs 1 (spans live in-process)",
-              file=sys.stderr)
+        print(
+            f"WARNING: --trace forces --jobs 1 (you asked for "
+            f"--jobs {requested_jobs}; spans are recorded in-process, "
+            f"so worker processes would lose them)",
+            file=sys.stderr,
+        )
         jobs = 1
     from repro.experiments.parallel import set_jobs
 
@@ -155,6 +160,11 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"wrote {out}/{name}")
             if not report.all_checks_pass():
                 failed.append(experiment_id)
+        out = getattr(args, "out", None)
+        if out:
+            _write_run_meta(
+                out, profile, targets, requested_jobs, jobs, trace_path
+            )
     finally:
         if collector is not None:
             from repro.obs import tracer as obs_tracer
@@ -167,6 +177,40 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _write_run_meta(
+    out_dir: str,
+    profile,
+    targets: list,
+    requested_jobs: int,
+    effective_jobs: int,
+    trace_path,
+) -> None:
+    """Record how the CSVs were produced, next to them.
+
+    The data CSVs are byte-identical at any ``--jobs`` value (the
+    determinism contract CI diffs them on), so run provenance —
+    requested vs *effective* worker count, whether tracing forced a
+    serial run — lives in this sidecar instead of the CSV headers.  The
+    CI diff excludes it by name (``diff -r -x run_meta.json``).
+    """
+    import json
+    import os
+
+    meta = {
+        "profile": getattr(profile, "name", str(profile)),
+        "experiments": list(targets),
+        "requested_jobs": requested_jobs,
+        "effective_jobs": effective_jobs,
+        "trace": bool(trace_path),
+    }
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "run_meta.json")
+    with open(path, "w") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
 
 
 def _trace_command(args) -> int:

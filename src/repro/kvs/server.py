@@ -82,6 +82,10 @@ class CommandServer:
         #: Optional hook returning extra ``INFO`` fields; the
         #: replication layer attaches its role/offset/link section here.
         self.info_extra: Optional[Callable[[], dict]] = None
+        #: Optional observation hook ``fn(name, args)`` fired for every
+        #: dispatched command (after cron, before the handler) — the net
+        #: layer meters per-command wire traffic through it.
+        self.on_command: Optional[Callable] = None
         self._handlers: dict[bytes, Callable] = {
             b"PING": self._ping,
             b"ECHO": self._echo,
@@ -120,6 +124,8 @@ class CommandServer:
             return RespError("ERR protocol: command name must be a string")
         name = bytes(first).upper()
         handler = self._handlers.get(name)
+        if self.on_command is not None:
+            self.on_command(name, command[1:])
         if handler is None:
             shown = name.decode("utf-8", errors="backslashreplace")
             return RespError(f"ERR unknown command '{shown}'")
@@ -127,6 +133,24 @@ class CommandServer:
             return handler(command[1:])
         except RespError as err:
             return err
+
+    def register_handler(
+        self, name, handler: Callable, *, replace: bool = False
+    ) -> None:
+        """Add a command to the dispatch table.
+
+        ``name`` is case-insensitive; ``handler(args) -> RespValue``
+        follows the same contract as the built-in handlers (raise
+        :class:`~repro.kvs.resp.RespError` for client errors).  The net
+        layer and subclasses extend the table through this instead of
+        poking ``_handlers`` directly.
+        """
+        key = bytes(
+            name.encode() if isinstance(name, str) else name
+        ).upper()
+        if not replace and key in self._handlers:
+            raise ValueError(f"command {key.decode()!r} already registered")
+        self._handlers[key] = handler
 
     # ------------------------------------------------------------------
     # background machinery

@@ -1,0 +1,128 @@
+"""The sim-time ↔ wall-clock bridge.
+
+Everything below the socket is deterministic simulated time
+(:class:`repro.kernel.clock.Clock`); everything above it is real wall
+time.  The bridge is the single crossing point: it observes the clock's
+*kernel sections* — the episodes where the serving thread is trapped in
+kernel mode (the default fork's page-table copy, ODF table faults,
+Async-fork proactive syncs; exactly the paper's Figure 11
+"interruptions") — and converts their simulated duration into a real,
+*blocking* sleep on the asyncio event loop.
+
+Blocking is the point.  A single-threaded Redis serves every connection
+from one event loop; when fork() traps the thread for 500 ms, every
+in-flight client waits.  The asyncio server reproduces that faithfully
+by sleeping synchronously (not ``await asyncio.sleep``) for the scaled
+kernel-busy duration, so concurrent wire latency shows the same tail
+the paper measures — default fork spikes, Async-fork stays flat.
+
+Contract (DESIGN.md §15):
+
+* only kernel-section time crosses the bridge — ordinary command
+  service time does not, so throughput stays wall-clock-bound;
+* the crossing is scaled by ``scale`` (sim-ns × scale = wall-ns) so a
+  quick-profile instance still produces an unmistakable spike;
+* stalls are applied at command boundaries, after the command that
+  incurred them and before its reply is written — the reply to the
+  stalling command and every queued connection both pay, as on real
+  hardware;
+* below ``min_stall_ns`` of accumulated sim time nothing is slept:
+  micro-sections (sub-µs bookkeeping) would otherwise turn into pure
+  scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.kernel.clock import Clock
+from repro.obs import tracer as obs
+from repro.obs.registry import MetricsRegistry
+
+
+class ClockBridge:
+    """Accumulates simulated kernel-busy time; replays it as real stalls."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        scale: float = 1.0,
+        min_stall_ns: int = 10_000,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.clock = clock
+        self.scale = float(scale)
+        self.min_stall_ns = int(min_stall_ns)
+        # time.sleep blocks the calling thread — and therefore the event
+        # loop — which is exactly the phenomenon being reproduced.
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._pending_ns = 0
+        self._installed = False
+        self.metrics = MetricsRegistry(prefix="net.bridge")
+        self._sections = self.metrics.counter("sections")
+        self._sim_busy_ns = self.metrics.counter("sim_busy_ns")
+        self._stalls = self.metrics.counter("stalls")
+        self._stall_wall_ns = self.metrics.counter("stall_wall_ns")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self) -> "ClockBridge":
+        """Start observing the clock's kernel sections."""
+        if not self._installed:
+            self.clock.observe_kernel_sections(self._observe)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Stop observing (idempotent)."""
+        if self._installed:
+            self.clock.unobserve_kernel_sections(self._observe)
+            self._installed = False
+
+    def __enter__(self) -> "ClockBridge":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # -- the crossing ------------------------------------------------------
+
+    def _observe(self, reason: str, start_ns: int, end_ns: int) -> None:
+        self._pending_ns += end_ns - start_ns
+        self._sections.inc()
+        self._sim_busy_ns.inc(end_ns - start_ns)
+
+    @property
+    def pending_ns(self) -> int:
+        """Kernel-busy sim time accumulated since the last drain."""
+        return self._pending_ns
+
+    def drain(self) -> int:
+        """Take (and reset) the accumulated kernel-busy sim time."""
+        pending, self._pending_ns = self._pending_ns, 0
+        return pending
+
+    def stall(self) -> float:
+        """Sleep off the pending kernel-busy window; returns wall seconds.
+
+        Called by the connection handler at a command boundary.  Returns
+        0.0 (without sleeping) when the pending window is below
+        ``min_stall_ns``, in which case the window stays pending — tiny
+        sections accumulate until they are collectively worth a stall.
+        """
+        if self._pending_ns < self.min_stall_ns:
+            return 0.0
+        sim_ns = self.drain()
+        wall_s = sim_ns * self.scale / 1e9
+        if obs.ACTIVE:
+            obs.emit_instant(
+                "net.stall", obs.CAT_NET, self.clock.now,
+                sim_ns=sim_ns, wall_ms=wall_s * 1e3,
+            )
+        self._stalls.inc()
+        self._stall_wall_ns.inc(int(wall_s * 1e9))
+        self._sleep(wall_s)
+        return wall_s

@@ -30,6 +30,7 @@ CAT_TLB = "tlb"  #: TLB shootdowns
 CAT_KVS = "kvs"  #: engine/supervisor snapshot lifecycle
 CAT_IO = "io"  #: simulated disk and network
 CAT_SIM = "sim"  #: run markers from the timing tier
+CAT_NET = "net"  #: live wire layer (connections, commands, bridge stalls)
 
 #: Appended to a kernel section's reason when its body raised: an
 #: aborted fork must not count as a completed interruption (Fig. 11).

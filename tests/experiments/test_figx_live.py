@@ -1,0 +1,73 @@
+"""Tests for the figx-live experiment and its building blocks."""
+
+from __future__ import annotations
+
+from repro.experiments.figx_live import LoadStats, measure_engine
+
+
+class TestLoadStats:
+    def test_percentiles(self):
+        stats = LoadStats(latencies_ms=list(range(100, 0, -1)), bgsaves=1)
+        assert stats.percentile(0.50) == 51
+        assert stats.percentile(0.99) == 100
+        assert stats.percentile(0.0) == 1
+
+
+class TestMeasureEngine:
+    def test_short_run_produces_samples_and_stalls(self):
+        result = measure_engine("default", duration_s=0.6)
+        assert result.engine == "default"
+        assert result.samples > 50
+        assert result.bgsaves >= 1
+        assert result.stalls >= 1
+        # One default-fork call at 8 GiB emulated is ~70 ms of
+        # kernel-busy wall time; even one BGSAVE crosses 10 ms.
+        assert result.stall_wall_ms > 10.0
+        assert result.max_ms > 10.0
+        assert result.p50_ms < result.p99_ms <= result.max_ms
+
+
+class TestCliRunMeta:
+    def test_out_dir_gets_run_meta_sidecar(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["run", "fig3", "--out", str(tmp_path)]) == 0
+        meta_path = tmp_path / "run_meta.json"
+        assert meta_path.exists()
+        import json
+
+        meta = json.loads(meta_path.read_text())
+        assert meta["experiments"] == ["fig3"]
+        assert meta["requested_jobs"] == 1
+        assert meta["effective_jobs"] == 1
+        assert meta["trace"] is False
+
+    def test_trace_forces_serial_with_warning(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        trace = tmp_path / "t.json"
+        assert main([
+            "run", "fig3", "--jobs", "4",
+            "--trace", str(trace), "--out", str(tmp_path),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "WARNING" in err
+        assert "--jobs 4" in err
+        import json
+
+        meta = json.loads((tmp_path / "run_meta.json").read_text())
+        assert meta["requested_jobs"] == 4
+        assert meta["effective_jobs"] == 1
+        assert meta["trace"] is True
+
+    def test_jobs_without_trace_not_warned(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main([
+            "run", "fig3", "--jobs", "2", "--out", str(tmp_path),
+        ]) == 0
+        assert "WARNING" not in capsys.readouterr().err
+        import json
+
+        meta = json.loads((tmp_path / "run_meta.json").read_text())
+        assert meta["effective_jobs"] == 2

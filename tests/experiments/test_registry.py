@@ -30,6 +30,7 @@ EXPECTED_IDS = {
     "chaos",
     "figx-cluster",
     "figx-failover",
+    "figx-live",
 }
 
 

@@ -1,0 +1,127 @@
+"""ClockBridge tests: accumulation, scaling, thresholds, lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.clock import Clock
+from repro.net.bridge import ClockBridge
+
+
+@pytest.fixture()
+def clock():
+    return Clock()
+
+
+def make_bridge(clock, **kwargs):
+    """A bridge with a recording fake sleep (no real blocking)."""
+    slept = []
+    bridge = ClockBridge(clock, sleep=slept.append, **kwargs)
+    return bridge, slept
+
+
+class TestAccumulation:
+    def test_observes_kernel_sections(self, clock):
+        bridge, _ = make_bridge(clock)
+        bridge.install()
+        with clock.kernel_section("fork:default", 5_000_000):
+            pass
+        assert bridge.pending_ns == 5_000_000
+        assert bridge.metrics.get("sections").value == 1
+        assert bridge.metrics.get("sim_busy_ns").value == 5_000_000
+
+    def test_sections_accumulate(self, clock):
+        bridge, _ = make_bridge(clock)
+        bridge.install()
+        with clock.kernel_section("odf:table-fault", 20_000):
+            pass
+        with clock.kernel_section("odf:table-fault", 30_000):
+            pass
+        assert bridge.pending_ns == 50_000
+
+    def test_ordinary_advance_not_observed(self, clock):
+        bridge, _ = make_bridge(clock)
+        bridge.install()
+        clock.advance(10_000_000)  # command service time, not kernel
+        assert bridge.pending_ns == 0
+
+    def test_drain_resets(self, clock):
+        bridge, _ = make_bridge(clock)
+        bridge.install()
+        with clock.kernel_section("fork:default", 1_000_000):
+            pass
+        assert bridge.drain() == 1_000_000
+        assert bridge.pending_ns == 0
+        assert bridge.drain() == 0
+
+
+class TestStall:
+    def test_stall_sleeps_scaled_duration(self, clock):
+        bridge, slept = make_bridge(clock, scale=2.0)
+        bridge.install()
+        with clock.kernel_section("fork:default", 5_000_000):
+            pass
+        wall_s = bridge.stall()
+        assert slept == [pytest.approx(0.010)]  # 5 ms sim x 2.0
+        assert wall_s == pytest.approx(0.010)
+        assert bridge.pending_ns == 0
+        assert bridge.metrics.get("stalls").value == 1
+        assert bridge.metrics.get("stall_wall_ns").value == pytest.approx(
+            10_000_000
+        )
+
+    def test_below_threshold_stays_pending(self, clock):
+        bridge, slept = make_bridge(clock, min_stall_ns=10_000)
+        bridge.install()
+        with clock.kernel_section("async:proactive-sync", 4_000):
+            pass
+        assert bridge.stall() == 0.0
+        assert slept == []
+        # The tiny window is NOT discarded: it keeps accumulating.
+        assert bridge.pending_ns == 4_000
+        with clock.kernel_section("async:proactive-sync", 7_000):
+            pass
+        assert bridge.stall() > 0.0
+        assert len(slept) == 1
+
+    def test_stall_without_sections_is_free(self, clock):
+        bridge, slept = make_bridge(clock)
+        bridge.install()
+        assert bridge.stall() == 0.0
+        assert slept == []
+        assert bridge.metrics.get("stalls").value == 0
+
+    def test_scale_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            ClockBridge(clock, scale=0)
+
+
+class TestLifecycle:
+    def test_uninstall_stops_observing(self, clock):
+        bridge, _ = make_bridge(clock)
+        bridge.install()
+        bridge.uninstall()
+        with clock.kernel_section("fork:default", 1_000_000):
+            pass
+        assert bridge.pending_ns == 0
+
+    def test_install_is_idempotent(self, clock):
+        bridge, _ = make_bridge(clock)
+        bridge.install()
+        bridge.install()
+        with clock.kernel_section("fork:default", 1_000):
+            pass
+        # One observer registration -> one section, not two.
+        assert bridge.metrics.get("sections").value == 1
+        bridge.uninstall()
+        bridge.uninstall()  # idempotent too
+
+    def test_context_manager(self, clock):
+        bridge, _ = make_bridge(clock)
+        with bridge:
+            with clock.kernel_section("fork:default", 1_000):
+                pass
+        assert bridge.pending_ns == 1_000
+        with clock.kernel_section("fork:default", 1_000):
+            pass
+        assert bridge.pending_ns == 1_000  # no longer observing
