@@ -5,6 +5,22 @@ map (``CLUSTER SLOTS``), sends each command straight to the owner, and
 follows ``MOVED`` redirects when its cache is stale — every hop paying
 one :class:`~repro.sim.network.NetworkLink` round trip, so a redirect
 is visible in the measured latency exactly as it is in production.
+
+Resharding adds two more behaviours:
+
+* ``ASK`` redirects (a key already moved out of a ``MIGRATING`` slot)
+  are followed by pipelining ``ASKING`` with the retried command to
+  the importing node, *without* touching the slot cache — the slot has
+  not changed hands yet;
+* when a command exhausts its redirect budget, the client re-bootstraps
+  its whole slot cache from ``CLUSTER SLOTS`` once before giving up —
+  after a reshard or a failover storm the per-slot MOVED learning can
+  otherwise chase a mutually-stale map forever.
+
+Routing is *strict*: a command that is in neither
+``COMMAND_KEY_SPEC`` nor ``KEYLESS_COMMANDS`` but carries arguments
+raises :class:`~repro.errors.UnroutableCommandError` instead of being
+silently sent to shard 0.
 """
 
 from __future__ import annotations
@@ -31,12 +47,12 @@ class ClusterReply:
     shard_id: int
     #: Network time spent, summed over every hop.
     rtt_ns: int
-    #: MOVED hops followed before the final reply.
+    #: Redirect hops (MOVED or ASK) followed before the final reply.
     redirects: int
 
 
 class ClusterClient:
-    """Routes commands to shard servers, following MOVED redirects."""
+    """Routes commands to shard servers, following MOVED/ASK redirects."""
 
     def __init__(
         self,
@@ -58,10 +74,14 @@ class ClusterClient:
         else:
             self._owner = [0] * NUM_SLOTS
         self.moved_redirects = 0
+        self.ask_redirects = 0
+        #: Whole-cache re-bootstraps from ``CLUSTER SLOTS`` (the
+        #: last-resort path before ``TooManyRedirectsError``).
+        self.slot_cache_refreshes = 0
         self.commands_sent = 0
 
     def _target_for(self, name: bytes, args) -> int:
-        keys = command_keys(name, args)
+        keys = command_keys(name, args, strict=True)
         if not keys:
             return 0  # keyless commands go to the first shard
         return self._owner[key_slot(keys[0])]
@@ -75,34 +95,104 @@ class ClusterClient:
         payload = encode_command(*parts)
         shard_id = self._target_for(parts[0], parts[1:])
         rtt_total = 0
+        redirects = 0
+        asking = False
+        refreshed = False
         self.commands_sent += 1
-        for redirect in range(self.max_redirects + 1):
-            rtt_total += self.link.round_trip_ns(payload=len(payload))
-            server = self.cluster.shards[shard_id].server
-            parser = resp.Parser()
-            parser.feed(server.feed(payload))
-            (value,) = tuple(parser)
-            moved = self._parse_moved(value)
-            if moved is None:
-                return ClusterReply(value, shard_id, rtt_total, redirect)
-            slot, shard_id = moved
-            self._owner[slot] = shard_id
-            self.moved_redirects += 1
+        while True:
+            for _ in range(self.max_redirects + 1):
+                value, rtt = self._send(shard_id, payload, asking=asking)
+                asking = False
+                rtt_total += rtt
+                redirect = self._parse_redirect(value)
+                if redirect is None:
+                    return ClusterReply(value, shard_id, rtt_total, redirects)
+                kind, slot, shard_id = redirect
+                redirects += 1
+                if kind == "MOVED":
+                    # The slot changed hands: learn the new owner.
+                    self._owner[slot] = shard_id
+                    self.moved_redirects += 1
+                else:
+                    # ASK is a one-command detour during a migration;
+                    # the slot map is *not* updated.
+                    self.ask_redirects += 1
+                    asking = True
+            if refreshed:
+                break
+            # Last resort before giving up: the per-slot MOVED learning
+            # may be chasing a stale map — re-bootstrap the whole cache.
+            rtt_total += self.refresh_slot_cache(via=shard_id)
+            shard_id = self._target_for(parts[0], parts[1:])
+            asking = False
+            refreshed = True
         raise TooManyRedirectsError(
             f"command {parts[0]!r} still redirected after "
-            f"{self.max_redirects} MOVED hops; the slot map views "
-            "disagree about the owner (stale reshard or failover?)",
+            f"{self.max_redirects} redirect hops and a full slot-cache "
+            "refresh; the slot map views disagree about the owner "
+            "(stale reshard or failover?)",
             command=parts[0],
             redirects=self.max_redirects,
         )
 
-    def _parse_moved(self, value) -> Optional[tuple[int, int]]:
+    def execute_on(self, shard_id: int, *command) -> ClusterReply:
+        """Send one command to an explicit shard, no routing.
+
+        For keyless commands and health probes, where the *caller*
+        picks the shard (the proxy's health-based selection); redirects
+        are not followed — a keyless command cannot bounce.
+        """
+        parts = [
+            part.encode() if isinstance(part, str) else bytes(part)
+            for part in command
+        ]
+        payload = encode_command(*parts)
+        self.commands_sent += 1
+        value, rtt = self._send(shard_id, payload)
+        return ClusterReply(value, shard_id, rtt, 0)
+
+    def refresh_slot_cache(self, via: int = 0) -> int:
+        """Re-bootstrap the whole slot cache from ``CLUSTER SLOTS``.
+
+        Returns the network time the refresh round trip cost.
+        """
+        payload = encode_command(b"CLUSTER", b"SLOTS")
+        rtt = self.link.round_trip_ns(payload=len(payload))
+        server = self.cluster.shards[via].server
+        parser = resp.Parser()
+        parser.feed(server.feed(payload))
+        (rows,) = tuple(parser)
+        for start, end, (host, port) in rows:
+            address = f"{bytes(host).decode()}:{port}"
+            owner = self.cluster.slot_map.shard_of_address(address)
+            for slot in range(start, end + 1):
+                self._owner[slot] = owner
+        self.slot_cache_refreshes += 1
+        return rtt
+
+    def _send(
+        self, shard_id: int, payload: bytes, asking: bool = False
+    ) -> tuple[object, int]:
+        """One round trip; ``asking`` pipelines ASKING ahead of the
+        command in the same trip (how real clients honour ASK)."""
+        wire = encode_command(b"ASKING") + payload if asking else payload
+        rtt = self.link.round_trip_ns(payload=len(wire))
+        server = self.cluster.shards[shard_id].server
+        parser = resp.Parser()
+        parser.feed(server.feed(wire))
+        replies = tuple(parser)
+        # With ASKING pipelined the command's reply is the last one.
+        return replies[-1], rtt
+
+    def _parse_redirect(self, value) -> Optional[tuple[str, int, int]]:
         if not isinstance(value, RespError):
             return None
-        if not value.message.startswith("MOVED "):
-            return None
-        _, slot_text, address = value.message.split(" ", 2)
-        return (
-            int(slot_text),
-            self.cluster.slot_map.shard_of_address(address),
-        )
+        for kind in ("MOVED", "ASK"):
+            if value.message.startswith(kind + " "):
+                _, slot_text, address = value.message.split(" ", 2)
+                return (
+                    kind,
+                    int(slot_text),
+                    self.cluster.slot_map.shard_of_address(address),
+                )
+        return None

@@ -16,18 +16,30 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.cluster.slots import SlotMap, command_keys, key_slot
+from repro.cluster.slots import NUM_SLOTS, SlotMap, command_keys, key_slot
 from repro.kvs.engine import KvEngine, SnapshotJob
-from repro.kvs.resp import RespError, RespValue
+from repro.kvs.resp import OK, RespError, RespValue
 from repro.kvs.server import CommandServer, SavePoint
 from repro.kvs.supervisor import SnapshotSupervisor
 from repro.obs import tracer as obs
 
 CROSSSLOT_ERROR = "CROSSSLOT Keys in request don't hash to the same slot"
+TRYAGAIN_ERROR = (
+    "TRYAGAIN Multiple keys request during rehashing of slot"
+)
 
 
 class ShardedCommandServer(CommandServer):
-    """A ``CommandServer`` that serves one slot range and redirects."""
+    """A ``CommandServer`` that serves one slot range and redirects.
+
+    During a live reshard it also speaks the migration half of the
+    protocol: per-slot ``MIGRATING``/``IMPORTING`` states (``CLUSTER
+    SETSLOT``), ``ASK`` redirects for keys already moved, the one-shot
+    ``ASKING`` admission flag on the importing side, and ``TRYAGAIN``
+    for multi-key commands straddling a half-moved slot — the same
+    precedence Redis Cluster documents (CROSSSLOT is checked first;
+    ASK only ever names a single slot).
+    """
 
     def __init__(
         self,
@@ -40,7 +52,17 @@ class ShardedCommandServer(CommandServer):
         super().__init__(engine, save_points=save_points, **kwargs)
         self.shard_id = shard_id
         self.slot_map = slot_map
+        #: Slot -> destination shard: keys drain out, misses get ASK.
+        self.migrating: dict[int, int] = {}
+        #: Slot -> source shard: keys land here behind ASKING.
+        self.importing: dict[int, int] = {}
+        #: One-shot flag armed by ASKING, consumed by the next keyed
+        #: command (admission ticket into an importing slot).
+        self._asking = False
+        self.ask_redirects_served = 0
+        self.tryagain_served = 0
         self._handlers[b"CLUSTER"] = self._cluster
+        self._handlers[b"ASKING"] = self._asking_cmd
 
     def handle(self, command) -> RespValue:
         redirect = self._redirect_for(command)
@@ -60,16 +82,68 @@ class ShardedCommandServer(CommandServer):
         keys = command_keys(bytes(first), command[1:])
         if not keys:
             return None
+        asking, self._asking = self._asking, False
         slots = {key_slot(key) for key in keys}
         if len(slots) > 1:
             return RespError(CROSSSLOT_ERROR)
         slot = slots.pop()
-        if self.slot_map.shard_of_slot(slot) != self.shard_id:
-            return RespError(self.slot_map.moved_error(slot))
-        return None
+        if self.slot_map.shard_of_slot(slot) == self.shard_id:
+            target = self.migrating.get(slot)
+            if target is None:
+                return None
+            # Owner side of an in-flight migration: serve what is still
+            # here, ASK for what has moved, TRYAGAIN for a mix.
+            present = sum(1 for key in keys if self.engine.exists(key))
+            if present == len(keys):
+                return None
+            if present:
+                self.tryagain_served += 1
+                return RespError(TRYAGAIN_ERROR)
+            self.ask_redirects_served += 1
+            return RespError(
+                f"ASK {slot} {self.slot_map.address_of(target)}"
+            )
+        if slot in self.importing and asking:
+            return None
+        return RespError(self.slot_map.moved_error(slot))
+
+    def _asking_cmd(self, args) -> RespValue:
+        self._arity(args, 0, "asking")
+        self._asking = True
+        return OK
+
+    def _keys_in_slot(self, slot: int) -> list[bytes]:
+        """Every resident key hashing to one slot (sorted, so the scan
+        order is deterministic across runs).  O(keyspace) like Redis's
+        own ``GETKEYSINSLOT`` without the slot index."""
+        return sorted(
+            key for key in self.engine.store.keys() if key_slot(key) == slot
+        )
+
+    def _parse_shard_node(self, raw) -> int:
+        """Decode our 40-hex CLUSTER MYID format back to a shard id."""
+        text = bytes(raw).decode("ascii", errors="replace")
+        try:
+            shard_id = int(text, 16)
+        except ValueError:
+            raise RespError(f"ERR Unknown node {text!r}") from None
+        if not 0 <= shard_id < self.slot_map.n_shards:
+            raise RespError(f"ERR Unknown node {text!r}")
+        return shard_id
+
+    @staticmethod
+    def _parse_slot(raw) -> int:
+        try:
+            slot = int(raw)
+        except (TypeError, ValueError):
+            raise RespError("ERR Invalid slot") from None
+        if not 0 <= slot < NUM_SLOTS:
+            raise RespError("ERR Invalid slot")
+        return slot
 
     def _cluster(self, args) -> RespValue:
-        """CLUSTER KEYSLOT|SLOTS|INFO|MYID (the client-facing subset)."""
+        """The client-facing CLUSTER subset plus the reshard verbs:
+        KEYSLOT|SLOTS|MYID|INFO|SETSLOT|COUNTKEYSINSLOT|GETKEYSINSLOT."""
         if not args:
             raise RespError(
                 "ERR wrong number of arguments for 'cluster' command"
@@ -80,25 +154,82 @@ class ShardedCommandServer(CommandServer):
             return key_slot(bytes(args[1]))
         if sub == b"SLOTS":
             rows = []
-            for rng in self.slot_map.ranges:
+            for rng in self.slot_map.slot_ranges():
                 address = self.slot_map.address_of(rng.shard_id)
                 host, _, port = address.rpartition(":")
                 rows.append([rng.start, rng.end, [host.encode(), int(port)]])
             return rows
         if sub == b"MYID":
             return f"{self.shard_id:040x}".encode()
+        if sub == b"SETSLOT":
+            return self._setslot(args[1:])
+        if sub == b"COUNTKEYSINSLOT":
+            self._arity(args, 2, "cluster countkeysinslot")
+            return len(self._keys_in_slot(self._parse_slot(args[1])))
+        if sub == b"GETKEYSINSLOT":
+            self._arity(args, 3, "cluster getkeysinslot")
+            slot = self._parse_slot(args[1])
+            try:
+                count = int(args[2])
+            except (TypeError, ValueError):
+                raise RespError("ERR Invalid count") from None
+            return self._keys_in_slot(slot)[: max(0, count)]
         if sub == b"INFO":
             fields = {
                 "cluster_enabled": 1,
                 "cluster_state": "ok",
                 "cluster_slots_assigned": sum(
-                    r.end - r.start + 1 for r in self.slot_map.ranges
+                    r.end - r.start + 1 for r in self.slot_map.slot_ranges()
                 ),
                 "cluster_known_nodes": self.slot_map.n_shards,
                 "cluster_size": self.slot_map.n_shards,
+                "migrating_slots": len(self.migrating),
+                "importing_slots": len(self.importing),
             }
             return "".join(f"{k}:{v}\r\n" for k, v in fields.items()).encode()
         raise RespError(f"ERR unknown CLUSTER subcommand {sub.decode()!r}")
+
+    def _setslot(self, args) -> RespValue:
+        """CLUSTER SETSLOT <slot> MIGRATING|IMPORTING|NODE|STABLE [...]."""
+        if len(args) < 2:
+            raise RespError(
+                "ERR wrong number of arguments for 'cluster setslot'"
+            )
+        slot = self._parse_slot(args[0])
+        verb = bytes(args[1]).upper()
+        if verb == b"STABLE":
+            self.migrating.pop(slot, None)
+            self.importing.pop(slot, None)
+            return OK
+        if len(args) != 3:
+            raise RespError(
+                "ERR wrong number of arguments for 'cluster setslot'"
+            )
+        node = self._parse_shard_node(args[2])
+        if verb == b"MIGRATING":
+            if self.slot_map.shard_of_slot(slot) != self.shard_id:
+                raise RespError(
+                    f"ERR I'm not the owner of hash slot {slot}"
+                )
+            self.migrating[slot] = node
+            return OK
+        if verb == b"IMPORTING":
+            if self.slot_map.shard_of_slot(slot) == self.shard_id:
+                raise RespError(
+                    f"ERR I'm already the owner of hash slot {slot}"
+                )
+            self.importing[slot] = node
+            return OK
+        if verb == b"NODE":
+            # Finalization: point the shared map at the new owner (the
+            # epoch bumps) and drop this node's transient slot state.
+            self.slot_map.set_slot_owner(slot, node)
+            self.migrating.pop(slot, None)
+            self.importing.pop(slot, None)
+            return OK
+        raise RespError(
+            f"ERR unknown CLUSTER SETSLOT verb {verb.decode()!r}"
+        )
 
 
 class ClusterShard:

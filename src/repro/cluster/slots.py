@@ -68,23 +68,79 @@ def key_slot(key) -> int:
 
 
 #: Which argument positions are keys, per command.  ``"first"`` — only
-#: args[0]; ``"all"`` — every argument.  Commands absent from the table
-#: are keyless and execute on whichever shard receives them.
+#: args[0]; ``"all"`` — every argument; ``"every-other"`` — args[0],
+#: args[2], ... (the MSET key/value interleave).
 COMMAND_KEY_SPEC: dict[bytes, str] = {
     b"SET": "first",
     b"GET": "first",
+    b"SETNX": "first",
+    b"GETSET": "first",
+    b"APPEND": "first",
+    b"STRLEN": "first",
+    b"INCR": "first",
+    b"INCRBY": "first",
+    b"DECR": "first",
+    b"DECRBY": "first",
+    b"EXPIRE": "first",
+    b"PEXPIRE": "first",
+    b"TTL": "first",
+    b"PTTL": "first",
+    b"PERSIST": "first",
+    b"TYPE": "first",
+    b"DUMP": "first",
+    b"RESTORE": "first",
     b"DEL": "all",
+    b"UNLINK": "all",
     b"EXISTS": "all",
+    b"MGET": "all",
+    b"MSET": "every-other",
 }
 
+#: Commands known to carry *no* key: they execute on whichever shard
+#: (or proxy) receives them.  Everything outside this set and the key
+#: spec is an *unknown* command — strict routers refuse to guess.
+KEYLESS_COMMANDS: frozenset[bytes] = frozenset(
+    {
+        b"PING", b"ECHO", b"DBSIZE", b"FLUSHALL", b"BGSAVE",
+        b"BGREWRITEAOF", b"LASTSAVE", b"SAVE", b"INFO", b"LATENCY",
+        b"CLUSTER", b"ASKING", b"COMMAND", b"CLIENT", b"CONFIG",
+        b"HELLO", b"AUTH", b"SELECT", b"RESET", b"QUIT", b"WAIT",
+        b"SHUTDOWN", b"REPLCONF", b"PSYNC", b"REPLICAOF", b"SLAVEOF",
+        b"DEBUG", b"TENANT", b"PROXY",
+    }
+)
 
-def command_keys(name: bytes, args) -> list[bytes]:
-    """The key arguments of one parsed command (empty if keyless)."""
-    spec = COMMAND_KEY_SPEC.get(name.upper())
-    if spec is None or not args:
+
+def command_keys(name: bytes, args, strict: bool = False) -> list[bytes]:
+    """The key arguments of one parsed command (empty if keyless).
+
+    ``strict=True`` is the *client-side* contract: a command that is in
+    neither :data:`COMMAND_KEY_SPEC` nor :data:`KEYLESS_COMMANDS` but
+    carries arguments raises :class:`~repro.errors.
+    UnroutableCommandError` instead of silently routing as keyless —
+    the shard-0 mis-route this guards against loses writes once slots
+    move.  Servers keep the lenient default and answer unknown commands
+    with the usual ``ERR unknown command``.
+    """
+    upper = name.upper()
+    spec = COMMAND_KEY_SPEC.get(upper)
+    if spec is None:
+        if strict and args and upper not in KEYLESS_COMMANDS:
+            from repro.errors import UnroutableCommandError
+
+            shown = upper.decode("utf-8", errors="backslashreplace")
+            raise UnroutableCommandError(
+                f"cannot route {shown!r}: not in COMMAND_KEY_SPEC and not "
+                "a known keyless command; add a key spec before routing it",
+                command=bytes(upper),
+            )
+        return []
+    if not args:
         return []
     if spec == "first":
         return [bytes(args[0])]
+    if spec == "every-other":
+        return [bytes(a) for a in args[0::2]]
     return [bytes(a) for a in args]
 
 
@@ -137,8 +193,48 @@ class SlotMap:
         return self._owner[key_slot(key)]
 
     def range_of(self, shard_id: int) -> SlotRange:
-        """The contiguous slot range a shard serves."""
+        """The *initial* contiguous slot range a shard was created with.
+
+        Resharding moves individual slots; use :meth:`slot_ranges` for
+        the live (post-migration) view.
+        """
         return self.ranges[shard_id]
+
+    def set_slot_owner(self, slot: int, shard_id: int) -> None:
+        """Reassign one slot (``CLUSTER SETSLOT <slot> NODE ...``).
+
+        The migration finalization step: after the last key of a slot
+        has moved, both sides point the shared map at the target and
+        the epoch bumps so cached client views can detect staleness.
+        """
+        if not 0 <= slot < NUM_SLOTS:
+            raise ValueError(f"slot {slot} outside 0..{NUM_SLOTS - 1}")
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(f"no shard {shard_id} in this map")
+        if self._owner[slot] != shard_id:
+            self._owner[slot] = shard_id
+            self.epoch += 1
+
+    def slot_ranges(self) -> list[SlotRange]:
+        """The live ownership as contiguous runs (``CLUSTER SLOTS``).
+
+        Starts as one run per shard; after a reshard the runs reflect
+        whatever the migrations produced.
+        """
+        runs: list[SlotRange] = []
+        start = 0
+        for slot in range(1, NUM_SLOTS + 1):
+            if slot == NUM_SLOTS or self._owner[slot] != self._owner[start]:
+                runs.append(SlotRange(start, slot - 1, self._owner[start]))
+                start = slot
+        return runs
+
+    def slots_of(self, shard_id: int) -> list[int]:
+        """Every slot a shard currently owns (migration planning)."""
+        return [
+            slot for slot, owner in enumerate(self._owner)
+            if owner == shard_id
+        ]
 
     def address_of(self, shard_id: int) -> str:
         """``host:port`` of a shard, as written into MOVED replies."""

@@ -157,6 +157,21 @@ class TooManyRedirectsError(KvsError):
         self.redirects = redirects
 
 
+class UnroutableCommandError(KvsError):
+    """A command with arguments has no key spec and is not known keyless.
+
+    The cluster client refuses to guess: before this check, any command
+    missing from ``COMMAND_KEY_SPEC`` (``INCR``, ``MSET``, ``EXPIRE``,
+    ...) was silently treated as keyless and sent to shard 0 — a
+    mis-route that turns into lost writes the moment slots move.
+    """
+
+    def __init__(self, message: str, *, command: bytes = b"") -> None:
+        super().__init__(message)
+        #: The command name that could not be routed.
+        self.command = command
+
+
 class ReplicationError(KvsError):
     """Base class for replication-layer failures."""
 

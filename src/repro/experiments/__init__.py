@@ -20,6 +20,7 @@ from repro.experiments import (  # noqa: F401 - imported for registration
     figX_cluster,
     figx_failover,
     figx_live,
+    figx_reshard,
     fig20_oos_time,
     fig21_aof,
     fig22_fork_call,

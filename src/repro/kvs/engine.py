@@ -291,6 +291,11 @@ class KvEngine:
         #: :class:`~repro.errors.NoReplicasError`) refuses the command.
         #: The replication layer installs its min-replicas check here.
         self.write_gate: Optional[Callable] = None
+        #: Key -> absolute expiry deadline on the simulated clock.
+        #: Eviction is lazy (checked on access, like Redis's read path);
+        #: an evicted key routes through the AOF/``on_write`` machinery
+        #: as a DEL so persistence and replication observe it.
+        self._expires: dict[bytes, int] = {}
 
     @property
     def clock(self) -> Clock:
@@ -338,12 +343,37 @@ class KvEngine:
         if self.write_gate is not None:
             self.write_gate()
 
+    @staticmethod
+    def _normalize_key(key) -> bytes:
+        return key.encode() if isinstance(key, str) else bytes(key)
+
+    def _evict_if_expired(self, key: bytes) -> bool:
+        """Lazily evict one key whose deadline has passed.
+
+        Runs *before* the writes-allowed gate: expiry is server-internal
+        housekeeping, not a client write, but it still flows through the
+        AOF and ``on_write`` as a DEL so persistence/replication agree.
+        """
+        if not self._expires:
+            return False
+        deadline = self._expires.get(key)
+        if deadline is None or self.clock.now < deadline:
+            return False
+        del self._expires[key]
+        if self.store.delete(key):
+            if self.aof is not None:
+                self.aof.append(aof_mod.AofRecord("DEL", key))
+            if self.on_write is not None:
+                self.on_write("DEL", key, None)
+        return True
+
     def set(self, key, value: bytes) -> None:
-        """SET key value."""
+        """SET key value (clears any TTL, like Redis's plain SET)."""
         self._check_writes_allowed()
-        normalized = key.encode() if isinstance(key, str) else key
+        normalized = self._normalize_key(key)
         data = value.encode() if isinstance(value, str) else value
         self.store.set(normalized, data)
+        self._expires.pop(normalized, None)
         if self.aof is not None:
             self.aof.append(aof_mod.AofRecord("SET", normalized, data))
         self.commands_processed += 1
@@ -353,12 +383,25 @@ class KvEngine:
     def get(self, key) -> Optional[bytes]:
         """GET key."""
         self.commands_processed += 1
-        return self.store.get(key)
+        normalized = self._normalize_key(key)
+        if self._evict_if_expired(normalized):
+            return None
+        return self.store.get(normalized)
+
+    def exists(self, key) -> bool:
+        """EXISTS key (expiry-aware)."""
+        normalized = self._normalize_key(key)
+        if self._evict_if_expired(normalized):
+            return False
+        return normalized in self.store
 
     def delete(self, key) -> bool:
         """DEL key."""
         self._check_writes_allowed()
-        normalized = key.encode() if isinstance(key, str) else key
+        normalized = self._normalize_key(key)
+        if self._evict_if_expired(normalized):
+            return False
+        self._expires.pop(normalized, None)
         existed = self.store.delete(normalized)
         if self.aof is not None and existed:
             self.aof.append(aof_mod.AofRecord("DEL", normalized))
@@ -366,6 +409,45 @@ class KvEngine:
         if existed and self.on_write is not None:
             self.on_write("DEL", normalized, None)
         return existed
+
+    # -- expiry ----------------------------------------------------------
+
+    def expire_at(self, key, deadline_ns: int) -> bool:
+        """Arm a TTL as an absolute simulated-clock deadline.
+
+        Returns ``False`` when the key does not exist (the EXPIRE
+        contract).  A deadline at or before *now* deletes immediately,
+        matching Redis's ``EXPIRE key 0``.
+        """
+        self._check_writes_allowed()
+        normalized = self._normalize_key(key)
+        if self._evict_if_expired(normalized):
+            return False
+        if normalized not in self.store:
+            return False
+        self._expires[normalized] = deadline_ns
+        if deadline_ns <= self.clock.now:
+            self._evict_if_expired(normalized)
+        return True
+
+    def ttl_ns(self, key) -> int:
+        """Remaining TTL in ns; ``-1`` — no TTL, ``-2`` — no such key."""
+        normalized = self._normalize_key(key)
+        if self._evict_if_expired(normalized):
+            return -2
+        if normalized not in self.store:
+            return -2
+        deadline = self._expires.get(normalized)
+        if deadline is None:
+            return -1
+        return deadline - self.clock.now
+
+    def persist(self, key) -> bool:
+        """Drop a key's TTL; returns whether a TTL was removed."""
+        normalized = self._normalize_key(key)
+        if self._evict_if_expired(normalized):
+            return False
+        return self._expires.pop(normalized, None) is not None
 
     def execute(self, command: str, *args):
         """Tiny dispatcher for command-style access."""

@@ -17,16 +17,17 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import (
+    CorruptSnapshotError,
     DiskError,
     ForkError,
     KvsError,
     SnapshotInProgressError,
 )
-from repro.kvs import resp
+from repro.kvs import rdb, resp
 from repro.kvs.engine import KvEngine, RewriteJob, SnapshotJob
 from repro.kvs.latency_monitor import LatencyMonitor
 from repro.kvs.resp import OK, PONG, RespError, RespValue
-from repro.units import SEC
+from repro.units import MSEC, SEC
 
 
 @dataclass(frozen=True)
@@ -91,7 +92,26 @@ class CommandServer:
             b"ECHO": self._echo,
             b"SET": self._set,
             b"GET": self._get,
+            b"SETNX": self._setnx,
+            b"GETSET": self._getset,
+            b"APPEND": self._append,
+            b"STRLEN": self._strlen,
+            b"INCR": self._incr,
+            b"INCRBY": self._incrby,
+            b"DECR": self._decr,
+            b"DECRBY": self._decrby,
+            b"MSET": self._mset,
+            b"MGET": self._mget,
+            b"TYPE": self._type,
+            b"EXPIRE": self._expire,
+            b"PEXPIRE": self._pexpire,
+            b"TTL": self._ttl,
+            b"PTTL": self._pttl,
+            b"PERSIST": self._persist,
+            b"DUMP": self._dump,
+            b"RESTORE": self._restore,
             b"DEL": self._del,
+            b"UNLINK": self._del,
             b"EXISTS": self._exists,
             b"DBSIZE": self._dbsize,
             b"FLUSHALL": self._flushall,
@@ -276,6 +296,155 @@ class CommandServer:
         self._arity(args, 1, "get")
         return self.engine.get(bytes(args[0]))
 
+    def _setnx(self, args) -> RespValue:
+        self._arity(args, 2, "setnx")
+        if self.engine.exists(bytes(args[0])):
+            return 0
+        self.engine.set(bytes(args[0]), bytes(args[1]))
+        return 1
+
+    def _getset(self, args) -> RespValue:
+        self._arity(args, 2, "getset")
+        old = self.engine.get(bytes(args[0]))
+        self.engine.set(bytes(args[0]), bytes(args[1]))
+        return old
+
+    def _append(self, args) -> RespValue:
+        self._arity(args, 2, "append")
+        old = self.engine.get(bytes(args[0])) or b""
+        value = old + bytes(args[1])
+        self.engine.set(bytes(args[0]), value)
+        return len(value)
+
+    def _strlen(self, args) -> RespValue:
+        self._arity(args, 1, "strlen")
+        value = self.engine.get(bytes(args[0]))
+        return 0 if value is None else len(value)
+
+    @staticmethod
+    def _as_int(raw, what: str = "value") -> int:
+        try:
+            return int(raw)
+        except (TypeError, ValueError):
+            raise RespError(
+                f"ERR {what} is not an integer or out of range"
+            ) from None
+
+    def _incr_by(self, key: bytes, delta: int) -> int:
+        current = self.engine.get(key)
+        total = (0 if current is None else self._as_int(current)) + delta
+        self.engine.set(key, str(total).encode())
+        return total
+
+    def _incr(self, args) -> RespValue:
+        self._arity(args, 1, "incr")
+        return self._incr_by(bytes(args[0]), 1)
+
+    def _incrby(self, args) -> RespValue:
+        self._arity(args, 2, "incrby")
+        return self._incr_by(bytes(args[0]), self._as_int(args[1]))
+
+    def _decr(self, args) -> RespValue:
+        self._arity(args, 1, "decr")
+        return self._incr_by(bytes(args[0]), -1)
+
+    def _decrby(self, args) -> RespValue:
+        self._arity(args, 2, "decrby")
+        return self._incr_by(bytes(args[0]), -self._as_int(args[1]))
+
+    def _mset(self, args) -> RespValue:
+        if not args or len(args) % 2:
+            raise RespError(
+                "ERR wrong number of arguments for 'mset' command"
+            )
+        for index in range(0, len(args), 2):
+            self.engine.set(bytes(args[index]), bytes(args[index + 1]))
+        return OK
+
+    def _mget(self, args) -> RespValue:
+        if not args:
+            raise RespError(
+                "ERR wrong number of arguments for 'mget' command"
+            )
+        return [self.engine.get(bytes(key)) for key in args]
+
+    def _type(self, args) -> RespValue:
+        self._arity(args, 1, "type")
+        if self.engine.exists(bytes(args[0])):
+            return resp.SimpleString(b"string")
+        return resp.SimpleString(b"none")
+
+    def _expire(self, args) -> RespValue:
+        self._arity(args, 2, "expire")
+        seconds = self._as_int(args[1])
+        deadline = self.engine.clock.now + seconds * SEC
+        return int(self.engine.expire_at(bytes(args[0]), deadline))
+
+    def _pexpire(self, args) -> RespValue:
+        self._arity(args, 2, "pexpire")
+        millis = self._as_int(args[1])
+        deadline = self.engine.clock.now + millis * MSEC
+        return int(self.engine.expire_at(bytes(args[0]), deadline))
+
+    def _ttl(self, args) -> RespValue:
+        self._arity(args, 1, "ttl")
+        remaining = self.engine.ttl_ns(bytes(args[0]))
+        if remaining < 0:
+            return remaining
+        # Redis rounds the remaining TTL *up* to whole seconds.
+        return -(-remaining // SEC)
+
+    def _pttl(self, args) -> RespValue:
+        self._arity(args, 1, "pttl")
+        remaining = self.engine.ttl_ns(bytes(args[0]))
+        if remaining < 0:
+            return remaining
+        return -(-remaining // MSEC)
+
+    def _persist(self, args) -> RespValue:
+        self._arity(args, 1, "persist")
+        return int(self.engine.persist(bytes(args[0])))
+
+    def _dump(self, args) -> RespValue:
+        """DUMP key — serialize one value via the RDB encode path."""
+        self._arity(args, 1, "dump")
+        value = self.engine.get(bytes(args[0]))
+        if value is None:
+            return None
+        return rdb.dump([(bytes(args[0]), value)]).payload
+
+    def _restore(self, args) -> RespValue:
+        """RESTORE key ttl-ms payload [REPLACE] — the MIGRATE landing."""
+        if len(args) not in (3, 4):
+            raise RespError(
+                "ERR wrong number of arguments for 'restore' command"
+            )
+        replace = False
+        if len(args) == 4:
+            if bytes(args[3]).upper() != b"REPLACE":
+                raise RespError("ERR syntax error")
+            replace = True
+        key = bytes(args[0])
+        ttl_ms = self._as_int(args[1], what="ttl")
+        if ttl_ms < 0:
+            raise RespError("ERR Invalid TTL value, must be >= 0")
+        if not replace and self.engine.exists(key):
+            raise RespError("BUSYKEY Target key name already exists.")
+        try:
+            entries = list(rdb.load(rdb.SnapshotFile(payload=bytes(args[2]))))
+        except CorruptSnapshotError:
+            raise RespError(
+                "ERR Bad data format: DUMP payload did not verify"
+            ) from None
+        if len(entries) != 1:
+            raise RespError(
+                "ERR Bad data format: expected exactly one entry"
+            )
+        self.engine.set(key, entries[0][1])
+        if ttl_ms:
+            self.engine.expire_at(key, self.engine.clock.now + ttl_ms * MSEC)
+        return OK
+
     def _del(self, args) -> RespValue:
         if not args:
             raise RespError("ERR wrong number of arguments for 'del' command")
@@ -286,7 +455,7 @@ class CommandServer:
             raise RespError(
                 "ERR wrong number of arguments for 'exists' command"
             )
-        return sum(1 for key in args if bytes(key) in self.engine.store)
+        return sum(1 for key in args if self.engine.exists(bytes(key)))
 
     def _dbsize(self, args) -> RespValue:
         self._arity(args, 0, "dbsize")

@@ -1,0 +1,90 @@
+"""Per-tenant usage metering for the proxy tier.
+
+The proxy fronts one shared cluster for many tenants; billing and
+capacity questions ("who is sending the writes?", "whose p99 moved?")
+need per-tenant counters, not machine-wide ones.  A
+:class:`UsageMeter` keeps one :class:`TenantUsage` ledger per tenant
+name and snapshots under dotted names (``usage.<tenant>.<counter>``)
+so reports can merge it with the engine registries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class TenantUsage:
+    """One tenant's traffic ledger."""
+
+    commands: int = 0
+    reads: int = 0
+    writes: int = 0
+    keyless: int = 0
+    errors: int = 0
+    redirects: int = 0
+    rtt_ns: int = 0
+    connections_opened: int = 0
+    connections_closed: int = 0
+    connections_refused: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: Commands metered as writes (everything else keyed is a read).
+WRITE_COMMANDS = frozenset(
+    {
+        b"SET", b"SETNX", b"GETSET", b"APPEND", b"INCR", b"INCRBY",
+        b"DECR", b"DECRBY", b"MSET", b"DEL", b"UNLINK", b"EXPIRE",
+        b"PEXPIRE", b"PERSIST", b"RESTORE", b"FLUSHALL",
+    }
+)
+
+
+class UsageMeter:
+    """Tenant name -> :class:`TenantUsage`, created on first touch."""
+
+    def __init__(self) -> None:
+        self._tenants: dict[str, TenantUsage] = {}
+
+    def usage(self, tenant: str) -> TenantUsage:
+        ledger = self._tenants.get(tenant)
+        if ledger is None:
+            ledger = self._tenants[tenant] = TenantUsage()
+        return ledger
+
+    def record_command(
+        self,
+        tenant: str,
+        name: bytes,
+        *,
+        keyed: bool,
+        rtt_ns: int = 0,
+        redirects: int = 0,
+        error: bool = False,
+    ) -> None:
+        """Meter one routed command under a tenant."""
+        ledger = self.usage(tenant)
+        ledger.commands += 1
+        if not keyed:
+            ledger.keyless += 1
+        elif name.upper() in WRITE_COMMANDS:
+            ledger.writes += 1
+        else:
+            ledger.reads += 1
+        ledger.rtt_ns += rtt_ns
+        ledger.redirects += redirects
+        if error:
+            ledger.errors += 1
+
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def snapshot(self) -> dict[str, int]:
+        """Dotted-name counters, sorted (the registry convention)."""
+        snap: dict[str, int] = {}
+        for tenant, ledger in self._tenants.items():
+            for name, value in ledger.as_dict().items():
+                snap[f"usage.{tenant}.{name}"] = value
+        return dict(sorted(snap.items()))

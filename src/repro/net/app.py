@@ -93,6 +93,12 @@ class ServerConfig:
     #: () disables spontaneous background saves; live demos trigger
     #: BGSAVE explicitly so the spike is attributable.
     save_points: tuple[SavePoint, ...] = ()
+    #: Serve a whole simulated cluster behind a proxy frontend instead
+    #: of one engine: keyed commands slot-route to shards, BGSAVE
+    #: broadcasts, and HELLO reports cluster mode.
+    proxy: bool = False
+    #: Shards behind the proxy (``--proxy`` only).
+    shards: int = 3
     #: Hard wall-clock lifetime; a watchdog *thread* (immune to a
     #: blocked event loop) force-exits the process after this many
     #: seconds.  0 disables.
@@ -106,7 +112,7 @@ class ServerConfig:
             )
 
 
-def _emulation_costs(base: CostModel, inflation: float) -> WireCostModel:
+def emulation_costs(base: CostModel, inflation: float) -> WireCostModel:
     """Inflate the size-proportional fork-call constants by ``inflation``.
 
     Only the per-PTE and per-PMD terms scale: they are what grows
@@ -126,6 +132,8 @@ def _emulation_costs(base: CostModel, inflation: float) -> WireCostModel:
 
 def build_backend(config: ServerConfig) -> CommandServer:
     """Build the simulated engine + command server for one config."""
+    if config.proxy:
+        return _build_proxy_backend(config)
     engine = KvEngine(
         fork_engine=FORK_ENGINES[config.engine](),
         config=EngineConfig(
@@ -143,10 +151,41 @@ def build_backend(config: ServerConfig) -> CommandServer:
         target_pages = int(config.sim_size_gb * PAGES_PER_GIB)
         resident_pages = max(1, engine.process.mm.rss)
         inflation = max(1.0, target_pages / resident_pages)
-        engine.fork_engine.costs = _emulation_costs(
+        engine.fork_engine.costs = emulation_costs(
             engine.fork_engine.costs, inflation
         )
     return CommandServer(engine, save_points=config.save_points)
+
+
+def _build_proxy_backend(config: ServerConfig) -> CommandServer:
+    """Build a SimCluster fronted by a ProxyFrontend (``--proxy``)."""
+    from repro.cluster.cluster import SimCluster
+    from repro.proxy import ClusterProxy, ProxyFrontend
+
+    cluster = SimCluster(
+        n_shards=config.shards,
+        method=config.engine,
+        save_points=config.save_points,
+    )
+    payload = bytes(config.value_size)
+    for i in range(config.keys):
+        key = b"key:%012d" % i
+        cluster.shard_for_key(key).engine.set(key, payload)
+    for shard in cluster.shards:
+        # Startup population is warm-up, not traffic (as standalone).
+        shard.engine.store.dirty_since_save = 0
+        if config.sim_size_gb > 0:
+            # Each shard emulates an equal split of the instance size,
+            # so one shard's BGSAVE costs what its share would.
+            target_pages = int(
+                config.sim_size_gb * PAGES_PER_GIB / config.shards
+            )
+            resident_pages = max(1, shard.engine.process.mm.rss)
+            inflation = max(1.0, target_pages / resident_pages)
+            shard.engine.fork_engine.costs = emulation_costs(
+                shard.engine.fork_engine.costs, inflation
+            )
+    return ProxyFrontend(ClusterProxy(cluster))
 
 
 class ReproServer:

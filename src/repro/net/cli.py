@@ -60,6 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-ns slept per simulated kernel-busy ns (default 1)",
     )
     parser.add_argument(
+        "--proxy", action="store_true",
+        help="serve a sharded cluster behind a proxy frontend instead "
+        "of one engine (keyed commands slot-route to shards)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=3,
+        help="shards behind the proxy; --proxy only (default 3)",
+    )
+    parser.add_argument(
         "--aof", action="store_true", help="enable the append-only file"
     )
     parser.add_argument(
@@ -93,6 +102,8 @@ def main(argv: list[str] | None = None) -> int:
         value_size=args.value_size,
         sim_size_gb=args.sim_size_gb,
         time_scale=args.time_scale,
+        proxy=args.proxy,
+        shards=args.shards,
         aof=args.aof,
         save_points=(
             DEFAULT_SAVE_POINTS if args.save == "default" else ()

@@ -1,0 +1,11 @@
+"""The proxy/balancer tier in front of the sharded cluster."""
+
+from repro.proxy.core import ClusterProxy, ShardHealth, TenantConfig
+from repro.proxy.frontend import ProxyFrontend
+
+__all__ = [
+    "ClusterProxy",
+    "ProxyFrontend",
+    "ShardHealth",
+    "TenantConfig",
+]

@@ -248,6 +248,7 @@ def _solve_timeline(
     fork_batches: list[tuple[int, int, list[tuple[int, int]]]],
     n_shards: int,
     fixed_ns: int,
+    busy_batches: list[tuple[int, int, list[tuple[int, int]]]] = (),
 ) -> tuple[np.ndarray, int]:
     """Solve the per-shard / kernel-lock timeline, scans between couplings.
 
@@ -259,6 +260,13 @@ def _solve_timeline(
     :func:`~repro.workload.openloop.busy_schedule`; the coupling events
     themselves are stepped in order, so the result is bit-identical to
     the scalar recurrence (see DESIGN.md §14).
+
+    ``busy_batches`` (same ``(query_index, tick_start, [(shard_id,
+    busy_ns), ...])`` shape as ``fork_batches``) models *userspace*
+    head-of-line blocking — a slot migrator's DUMP/ship/RESTORE batches.
+    They occupy their shard like a long command but do not touch the
+    machine-wide kernel lock; an empty list (the default) leaves every
+    existing timeline bit-identical.
     """
     n = len(arrivals)
     latencies = np.empty(n, dtype=np.int64)
@@ -280,24 +288,37 @@ def _solve_timeline(
             free_at[s] = int(ends[-1])
             ptr[s] = j
 
-    # Coupling events in serving order; a fork tick at index i lands
-    # before query i is served.
+    # Coupling events in serving order; a fork or migration tick at
+    # index i lands before query i is served.  Sort is stable, so at
+    # one index forks apply first, then migration busy, then the query.
     events: list[tuple[int, int, Optional[tuple]]] = [
-        (i, 0, (tick_start, evs)) for i, tick_start, evs in fork_batches
+        (i, 0, (tick_start, evs, True))
+        for i, tick_start, evs in fork_batches
+    ]
+    events += [
+        (i, 0, (tick_start, evs, False))
+        for i, tick_start, evs in busy_batches
     ]
     events += [(int(i), 1, None) for i in np.flatnonzero(kerns > 0)]
     events.sort(key=lambda e: (e[0], e[1]))
     for i, kind, payload in events:
         if kind == 0:
-            tick_start, evs = payload
-            for shard_id, fork_ns in evs:
-                fixed = min(fork_ns, fixed_ns)
-                copy = fork_ns - fixed
-                kernel_start = max(tick_start + fixed, kernel_busy)
-                kernel_busy = kernel_start + copy
-                kernel_ns += copy
+            tick_start, evs, couples_kernel = payload
+            for shard_id, work_ns in evs:
                 advance(shard_id, i)
-                free_at[shard_id] = max(free_at[shard_id], kernel_busy)
+                if couples_kernel:
+                    fixed = min(work_ns, fixed_ns)
+                    copy = work_ns - fixed
+                    kernel_start = max(tick_start + fixed, kernel_busy)
+                    kernel_busy = kernel_start + copy
+                    kernel_ns += copy
+                    free_at[shard_id] = max(free_at[shard_id], kernel_busy)
+                else:
+                    # Userspace work: the shard is busy, the kernel
+                    # lock is not.
+                    free_at[shard_id] = (
+                        max(free_at[shard_id], tick_start) + work_ns
+                    )
         else:
             s = int(shard_ids[i])
             advance(s, i)
@@ -326,6 +347,7 @@ def _solve_timeline_scalar(
     fork_batches: list[tuple[int, int, list[tuple[int, int]]]],
     n_shards: int,
     fixed_ns: int,
+    busy_batches: list[tuple[int, int, list[tuple[int, int]]]] = (),
 ) -> tuple[np.ndarray, int]:
     """Reference scalar recurrence (``REPRO_SCALAR_TIMELINE=1``)."""
     n = len(arrivals)
@@ -334,6 +356,7 @@ def _solve_timeline_scalar(
     kernel_busy = 0
     kernel_ns = 0
     batch_pos = 0
+    busy_pos = 0
     for i in range(n):
         arrival = int(arrivals[i])
         if (
@@ -349,6 +372,17 @@ def _solve_timeline_scalar(
                 kernel_busy = kernel_start + copy
                 kernel_ns += copy
                 free_at[shard_id] = max(free_at[shard_id], kernel_busy)
+        if (
+            busy_pos < len(busy_batches)
+            and busy_batches[busy_pos][0] == i
+        ):
+            _, tick_start, evs = busy_batches[busy_pos]
+            busy_pos += 1
+            for shard_id, busy_ns in evs:
+                # Userspace migration work: shard busy, kernel lock free.
+                free_at[shard_id] = (
+                    max(free_at[shard_id], tick_start) + busy_ns
+                )
         shard = int(shard_ids[i])
         kern = int(kerns[i])
         start = max(arrival, free_at[shard])

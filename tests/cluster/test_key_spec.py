@@ -1,0 +1,152 @@
+"""Regression tests for the COMMAND_KEY_SPEC routing gaps.
+
+Before the fix, any keyed command outside the 4-entry spec (INCR,
+MSET, EXPIRE, APPEND, ...) was treated as keyless and silently sent to
+shard 0 — a mis-route that loses writes the moment slots move.  Every
+command the servers implement must route to its key's owner, and a
+truly-unknown command carrying arguments must fail loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import SimCluster
+from repro.cluster.slots import (
+    COMMAND_KEY_SPEC,
+    KEYLESS_COMMANDS,
+    command_keys,
+)
+from repro.errors import UnroutableCommandError
+from repro.kvs.resp import RespError
+
+
+@pytest.fixture(scope="module")
+def cluster() -> SimCluster:
+    return SimCluster(n_shards=4, method="async")
+
+
+def find_key(cluster, shard_id: int, prefix: str = "k") -> str:
+    """A key owned by the given shard (so mis-routes are detectable)."""
+    return next(
+        f"{prefix}{i}"
+        for i in range(10_000)
+        if cluster.slot_map.shard_of_key(f"{prefix}{i}") == shard_id
+    )
+
+
+#: command -> (args builder, expected key list), over a key ``k``.
+KEYED_COMMANDS = {
+    b"SET": (lambda k: [k, b"v"], lambda k: [k]),
+    b"GET": (lambda k: [k], lambda k: [k]),
+    b"SETNX": (lambda k: [k, b"v"], lambda k: [k]),
+    b"GETSET": (lambda k: [k, b"v"], lambda k: [k]),
+    b"APPEND": (lambda k: [k, b"v"], lambda k: [k]),
+    b"STRLEN": (lambda k: [k], lambda k: [k]),
+    b"INCR": (lambda k: [k], lambda k: [k]),
+    b"INCRBY": (lambda k: [k, b"2"], lambda k: [k]),
+    b"DECR": (lambda k: [k], lambda k: [k]),
+    b"DECRBY": (lambda k: [k, b"2"], lambda k: [k]),
+    b"EXPIRE": (lambda k: [k, b"10"], lambda k: [k]),
+    b"PEXPIRE": (lambda k: [k, b"10"], lambda k: [k]),
+    b"TTL": (lambda k: [k], lambda k: [k]),
+    b"PTTL": (lambda k: [k], lambda k: [k]),
+    b"PERSIST": (lambda k: [k], lambda k: [k]),
+    b"TYPE": (lambda k: [k], lambda k: [k]),
+    b"DUMP": (lambda k: [k], lambda k: [k]),
+    b"RESTORE": (lambda k: [k, b"0", b"x"], lambda k: [k]),
+    b"DEL": (lambda k: [k], lambda k: [k]),
+    b"UNLINK": (lambda k: [k], lambda k: [k]),
+    b"EXISTS": (lambda k: [k], lambda k: [k]),
+    b"MGET": (lambda k: [k], lambda k: [k]),
+    b"MSET": (lambda k: [k, b"v"], lambda k: [k]),
+}
+
+
+class TestCommandKeySpec:
+    @pytest.mark.parametrize("name", sorted(KEYED_COMMANDS))
+    def test_every_keyed_command_extracts_its_key(self, name):
+        build_args, expect_keys = KEYED_COMMANDS[name]
+        assert command_keys(name, build_args(b"k1")) == expect_keys(b"k1")
+
+    def test_mset_keys_are_every_other_argument(self):
+        args = [b"{t}a", b"1", b"{t}b", b"2", b"{t}c", b"3"]
+        assert command_keys(b"MSET", args) == [b"{t}a", b"{t}b", b"{t}c"]
+
+    def test_mget_keys_are_all_arguments(self):
+        assert command_keys(b"MGET", [b"a", b"b"]) == [b"a", b"b"]
+
+    def test_spec_is_case_insensitive(self):
+        assert command_keys(b"incrby", [b"k", b"5"]) == [b"k"]
+
+    def test_every_server_command_is_classified(self):
+        """No command the servers dispatch may fall through the spec:
+        each is either keyed or known-keyless (the shard-0 trap)."""
+        cluster = SimCluster(n_shards=2, method="default")
+        for name in cluster.shards[0].server._handlers:
+            assert name in COMMAND_KEY_SPEC or name in KEYLESS_COMMANDS, (
+                f"{name!r} is in neither COMMAND_KEY_SPEC nor "
+                "KEYLESS_COMMANDS; strict clients cannot route it"
+            )
+
+    def test_unknown_command_with_args_fails_loudly_in_strict_mode(self):
+        with pytest.raises(UnroutableCommandError) as excinfo:
+            command_keys(b"LPUSH", [b"mylist", b"v"], strict=True)
+        assert excinfo.value.command == b"LPUSH"
+
+    def test_unknown_command_without_args_stays_keyless(self):
+        assert command_keys(b"WHATEVER", [], strict=True) == []
+
+    def test_lenient_mode_keeps_server_semantics(self):
+        # Servers answer unknown commands with ERR, not a routing crash.
+        assert command_keys(b"LPUSH", [b"mylist", b"v"]) == []
+
+
+class TestClientRouting:
+    @pytest.mark.parametrize(
+        "name",
+        sorted(n for n in KEYED_COMMANDS if n not in (b"RESTORE", b"DUMP")),
+    )
+    def test_command_reaches_the_owner_shard(self, cluster, name):
+        build_args, _ = KEYED_COMMANDS[name]
+        client = cluster.client()
+        key = find_key(cluster, shard_id=3, prefix=name.decode().lower())
+        args = [a if a != b"k1" else key for a in build_args(key.encode())]
+        reply = client.execute(name, *args)
+        assert reply.shard_id == 3
+        assert reply.redirects == 0
+        # The owner must accept (no MOVED/CROSSSLOT); command-level
+        # errors like WRONGTYPE would still be fine, redirects are not.
+        if isinstance(reply.value, RespError):
+            assert not reply.value.message.startswith(("MOVED", "CROSSSLOT"))
+
+    def test_incr_lands_on_owner_not_shard0(self, cluster):
+        client = cluster.client()
+        key = find_key(cluster, shard_id=2, prefix="ctr")
+        reply = client.execute("INCR", key)
+        assert reply.shard_id == 2
+        assert reply.value == 1
+        owner_store = cluster.shards[2].engine.store
+        assert key.encode() in owner_store
+        assert key.encode() not in cluster.shards[0].engine.store
+
+    def test_unknown_keyed_command_raises_before_sending(self, cluster):
+        client = cluster.client()
+        with pytest.raises(UnroutableCommandError):
+            client.execute("LPUSH", "mylist", "v")
+        # The refusal happens before anything touches the wire.
+        assert client.link.sends == 0
+        assert client.commands_sent == 0
+
+    def test_mset_single_slot_roundtrip(self, cluster):
+        client = cluster.client()
+        reply = client.execute("MSET", "{tag}a", "1", "{tag}b", "2")
+        assert bytes(reply.value) == b"OK"
+        got = client.execute("MGET", "{tag}a", "{tag}b")
+        assert got.value == [b"1", b"2"]
+
+    def test_mset_cross_slot_is_refused(self, cluster):
+        client = cluster.client()
+        reply = client.execute("MSET", "foo", "1", "bar", "2")
+        assert isinstance(reply.value, RespError)
+        assert reply.value.message.startswith("CROSSSLOT")

@@ -1,0 +1,94 @@
+"""Property test: client-side routing agrees with the accepting shard.
+
+For random keys — including hash-tag edge cases (``{}``, nested
+braces, tag-only keys) — the shard the client computes from
+``key_slot`` must be exactly the shard that accepts the command
+without a MOVED redirect, and every other shard must bounce it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import SimCluster
+from repro.cluster.slots import NUM_SLOTS, hashable_part, key_slot
+from repro.kvs import resp
+from repro.kvs.resp import RespError, encode_command
+
+#: One shared cluster: building engines per example would dominate.
+_CLUSTER = SimCluster(n_shards=5, method="default")
+
+
+def send(server, *args):
+    parser = resp.Parser()
+    parser.feed(server.feed(encode_command(*args)))
+    (value,) = tuple(parser)
+    return value
+
+
+#: Keys biased toward hash-tag punctuation so `{`/`}` cases are common.
+keys = st.binary(min_size=1, max_size=24).map(
+    lambda raw: raw.replace(b"\x00", b"{").replace(b"\x01", b"}")
+)
+
+tagged_keys = st.one_of(
+    keys,
+    st.just(b"{}"),  # empty tag: hash the whole key
+    st.just(b"{}{x}"),  # first tag empty, second present
+    st.just(b"{{nested}}"),  # tag is '{nested'
+    st.just(b"{tag}"),  # tag-only key
+    st.just(b"a{tag}b{other}"),  # only the first tag counts
+    st.builds(lambda t: b"{" + t + b"}suffix", st.binary(max_size=8)),
+    st.builds(lambda t: b"prefix{" + t + b"}", st.binary(max_size=8)),
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(key=tagged_keys)
+def test_client_slot_agrees_with_accepting_shard(key):
+    slot = key_slot(key)
+    assert 0 <= slot < NUM_SLOTS
+    owner = _CLUSTER.slot_map.shard_of_slot(slot)
+    for shard in _CLUSTER.shards:
+        reply = send(shard.server, b"EXISTS", key)
+        if shard.shard_id == owner:
+            assert reply in (0, 1), reply
+        else:
+            assert isinstance(reply, RespError)
+            assert reply.message.startswith(f"MOVED {slot} ")
+            target = reply.message.rsplit(":", 1)[1]
+            assert int(target) - 7000 == owner
+
+
+@settings(max_examples=300, deadline=None)
+@given(key=tagged_keys)
+def test_hash_tag_rule_matches_spec(key):
+    part = hashable_part(key)
+    open_brace = key.find(b"{")
+    if open_brace == -1:
+        assert part == key
+    else:
+        close_brace = key.find(b"}", open_brace + 1)
+        if close_brace == -1 or close_brace == open_brace + 1:
+            # No closing brace, or empty tag: whole key hashes.
+            assert part == key
+        else:
+            assert part == key[open_brace + 1 : close_brace]
+            assert part  # never empty
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    # A '}' inside the tag truncates it at the first close brace, so
+    # the co-location guarantee only holds for brace-free tags (which
+    # is what the Redis spec promises too).
+    tag=st.binary(min_size=1, max_size=10).filter(
+        lambda t: b"}" not in t and b"{" not in t
+    ),
+    suffix=st.binary(max_size=6),
+)
+def test_same_tag_same_slot(tag, suffix):
+    a = b"{" + tag + b"}" + suffix
+    b = b"{" + tag + b"}other"
+    assert key_slot(a) == key_slot(b) == key_slot(tag)

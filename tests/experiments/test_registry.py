@@ -31,6 +31,7 @@ EXPECTED_IDS = {
     "figx-cluster",
     "figx-failover",
     "figx-live",
+    "figx-reshard",
 }
 
 
